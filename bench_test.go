@@ -1,0 +1,281 @@
+// Benchmarks regenerating every table and figure of the paper, one
+// testing.B target per artifact (run with -benchtime=1x for a single
+// regeneration), plus micro-benchmarks of the core operations and the
+// concurrent pools. The reported custom metrics carry the headline
+// numbers of each artifact so a bench run doubles as a smoke
+// reproduction; cmd/paperfigs renders the full tables.
+package lmbalance_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lmbalance"
+	"lmbalance/internal/bnb"
+	"lmbalance/internal/experiments"
+	"lmbalance/internal/netsim"
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+	"lmbalance/internal/theory"
+)
+
+// BenchmarkFig6VariationDensity regenerates Fig. 6 (variation density
+// curves over δ, f, n, steps).
+func BenchmarkFig6VariationDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Ns) - 1
+		b.ReportMetric(res.Final(0, last), "VD(δ=1,f=1.1)")
+		b.ReportMetric(res.Final(2, last), "VD(δ=4,f=1.1)")
+	}
+}
+
+// BenchmarkFig7BalancingQualityDelta1 regenerates Fig. 7 (δ=1 panels).
+func BenchmarkFig7BalancingQualityDelta1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig78(experiments.Fig7Configs, "7", experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanSpreadTail(0), "spread(f=1.1)")
+		b.ReportMetric(res.MeanSpreadTail(1), "spread(f=1.8)")
+	}
+}
+
+// BenchmarkFig8BalancingQualityDelta4 regenerates Fig. 8 (δ=4 panels).
+func BenchmarkFig8BalancingQualityDelta4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig78(experiments.Fig8Configs, "8", experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanSpreadTail(0), "spread(f=1.1)")
+		b.ReportMetric(res.MeanSpreadTail(1), "spread(f=1.8)")
+	}
+}
+
+// BenchmarkFig9DistributionDelta1 regenerates Fig. 9 (distribution
+// snapshots, δ=1).
+func BenchmarkFig9DistributionDelta1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig910(experiments.Fig7Configs, "9", experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EnvelopeWidth(0, 400), "envelope@400(f=1.1)")
+	}
+}
+
+// BenchmarkFig10DistributionDelta4 regenerates Fig. 10 (distribution
+// snapshots, δ=4).
+func BenchmarkFig10DistributionDelta4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig910(experiments.Fig8Configs, "10", experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EnvelopeWidth(0, 400), "envelope@400(f=1.1)")
+	}
+}
+
+// BenchmarkTable1BorrowStats regenerates Table 1 (borrowing statistics
+// for C ∈ {4,8,16,32}).
+func BenchmarkTable1BorrowStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Metrics[0].TotalBorrow, "totalBorrow(C=4)")
+		b.ReportMetric(res.Metrics[0].RemoteBorrow, "remoteBorrow(C=4)")
+		b.ReportMetric(res.Metrics[3].RemoteBorrow, "remoteBorrow(C=32)")
+	}
+}
+
+// BenchmarkTheorem1Convergence regenerates the §3 validation table
+// (measured expected-load ratio vs G^t(1)/FIX bounds).
+func BenchmarkTheorem1Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TheoremCheck(experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].MeasuredRatio, "ratio(n=64,δ=1,f=1.1)")
+		b.ReportMetric(res.Rows[1].Fix, "FIX(n=64,δ=1,f=1.1)")
+	}
+}
+
+// BenchmarkLemma5DecreaseCost regenerates the §6 decrease-cost comparison
+// (Lemma 5/6 bounds vs simulation).
+func BenchmarkLemma5DecreaseCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.DecreaseCost(experiments.ScaleQuick, uint64(i)+1)
+		b.ReportMetric(res.Rows[0].SimMean, "sim(f=1.1)")
+		b.ReportMetric(float64(res.Rows[0].Improved), "lemma6(f=1.1)")
+	}
+}
+
+// BenchmarkBaselines regenerates the extension comparison against the
+// baseline algorithms.
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BaselineComparison(experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Name == "LM(f=1.1,δ=1)" {
+				b.ReportMetric(row.MeanSpreadTail, "spreadLM")
+			}
+			if row.Name == "nobalance" {
+				b.ReportMetric(row.MeanSpreadTail, "spreadNoBalance")
+			}
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation tables.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablations(experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ParamSweep[0].MeanSpreadTail, "spread(δ=1,f=1.1)")
+	}
+}
+
+// BenchmarkGrowthCost regenerates the §6 distribution-cost table
+// (Lemma 4 reconstruction).
+func BenchmarkGrowthCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.GrowthCost(experiments.ScaleQuick, uint64(i)+1)
+		b.ReportMetric(res.Rows[0].SimMean, "ops(f=1.1)")
+		b.ReportMetric(float64(res.Rows[0].Predicted), "closedform(f=1.1)")
+	}
+}
+
+// BenchmarkScaling regenerates the Theorem 2 network-size-independence
+// table (n = 16..1024).
+func BenchmarkScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Scaling(experiments.ScaleQuick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(first.RatioOneProducer, "ratio(n=16)")
+		b.ReportMetric(last.RatioOneProducer, "ratio(n=1024)")
+	}
+}
+
+// BenchmarkNetsimMessageCost measures the message-passing realization:
+// wall time and messages per completed balancing protocol.
+func BenchmarkNetsimMessageCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := netsim.Run(netsim.Config{
+			N: 32, Delta: 1, F: 1.2, Steps: 2000,
+			GenP: []float64{0.6}, ConP: []float64{0.4}, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var completed int64
+		for _, n := range res.Nodes {
+			completed += n.Completed
+		}
+		if completed > 0 {
+			b.ReportMetric(float64(res.Messages())/float64(completed), "msgs/op")
+		}
+	}
+}
+
+// BenchmarkSimulatePaperRun measures one full §7 simulation run (64
+// processors, 500 steps).
+func BenchmarkSimulatePaperRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lmbalance.SimulatePaper(lmbalance.DefaultParams(), 1, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVDMonteCarloFig6Cell measures one Fig. 6 cell (n=35, δ=4,
+// f=1.1, 150 steps, 1000 graphs).
+func BenchmarkVDMonteCarloFig6Cell(b *testing.B) {
+	cfg := theory.VDConfig{N: 35, Delta: 4, F: 1.1, Steps: 150, Mode: theory.VDTrue}
+	for i := 0; i < b.N; i++ {
+		if _, err := theory.VDMonteCarlo(cfg, 1000, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolsTaskTree compares the LM pool and the stealing pool on a
+// recursively generated task tree (the B&B-shaped workload).
+func BenchmarkPoolsTaskTree(b *testing.B) {
+	b.Run("luling-monien", func(b *testing.B) {
+		p, err := pool.New(pool.Config{Workers: 8, F: 1.2, Delta: 1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		var n atomic.Int64
+		var spawn func(d int) pool.Task
+		spawn = func(d int) pool.Task {
+			return func(w *pool.Worker) {
+				n.Add(1)
+				if d > 0 {
+					w.Submit(spawn(d - 1))
+					w.Submit(spawn(d - 1))
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Submit(spawn(10))
+			p.Wait()
+		}
+	})
+	b.Run("stealing", func(b *testing.B) {
+		p, err := pool.NewStealing(8, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		var n atomic.Int64
+		var spawn func(d int) pool.StealTask
+		spawn = func(d int) pool.StealTask {
+			return func(r *pool.StealWorkerRef) {
+				n.Add(1)
+				if d > 0 {
+					r.Submit(spawn(d - 1))
+					r.Submit(spawn(d - 1))
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Submit(spawn(10))
+			p.Wait()
+		}
+	})
+}
+
+// BenchmarkParallelTSP measures the flagship application end to end.
+func BenchmarkParallelTSP(b *testing.B) {
+	ins := bnb.RandomInstance(12, rng.New(42))
+	p, err := pool.New(pool.Config{Workers: 8, F: 1.2, Delta: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := bnb.SolveParallel(ins, p, 3)
+		b.ReportMetric(float64(res.Nodes), "nodes")
+	}
+}

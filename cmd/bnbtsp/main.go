@@ -1,0 +1,67 @@
+// Command bnbtsp solves random symmetric TSP instances by branch & bound,
+// sequentially and on the Lüling–Monien task pool, and reports costs,
+// node counts, timings and the pool's work distribution — the paper's
+// flagship application class.
+//
+//	bnbtsp -cities 14 -workers 8 -f 1.2 -delta 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lmbalance/internal/bnb"
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+)
+
+func main() {
+	var (
+		cities  = flag.Int("cities", 13, "number of cities")
+		workers = flag.Int("workers", 4, "pool workers")
+		f       = flag.Float64("f", 1.2, "trigger factor f")
+		delta   = flag.Int("delta", 1, "neighborhood size δ")
+		seed    = flag.Uint64("seed", 1, "instance seed")
+		depth   = flag.Int("depth", 3, "tree depth below which subtrees run sequentially")
+		trials  = flag.Int("trials", 1, "number of instances")
+	)
+	flag.Parse()
+	if err := run(*cities, *workers, *f, *delta, *seed, *depth, *trials); err != nil {
+		fmt.Fprintln(os.Stderr, "bnbtsp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cities, workers int, f float64, delta int, seed uint64, depth, trials int) error {
+	p, err := pool.New(pool.Config{Workers: workers, F: f, Delta: delta, Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	r := rng.New(seed)
+	for trial := 0; trial < trials; trial++ {
+		ins := bnb.RandomInstance(cities, r)
+
+		t0 := time.Now()
+		seq := bnb.SolveSequential(ins)
+		seqDur := time.Since(t0)
+
+		t0 = time.Now()
+		par := bnb.SolveParallel(ins, p, depth)
+		parDur := time.Since(t0)
+
+		if par.Cost != seq.Cost {
+			return fmt.Errorf("trial %d: parallel cost %d != sequential %d", trial, par.Cost, seq.Cost)
+		}
+		fmt.Printf("instance %d: %d cities, optimum %d\n", trial, cities, seq.Cost)
+		fmt.Printf("  sequential: %8d nodes in %v\n", seq.Nodes, seqDur)
+		fmt.Printf("  parallel:   %8d nodes in %v (%d workers)\n", par.Nodes, parDur, workers)
+		s := p.Stats()
+		fmt.Printf("  pool: %d tasks, %d balances, %d migrated, executed per worker %v (spread %d)\n",
+			s.Submitted, s.Balances, s.Migrated, s.Executed, s.Spread())
+		fmt.Printf("  tour: %v\n", seq.Tour)
+	}
+	return nil
+}

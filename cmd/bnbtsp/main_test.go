@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunSolvesAndAgrees(t *testing.T) {
+	// run() itself cross-checks parallel vs sequential optima and returns
+	// an error on mismatch.
+	if err := run(10, 4, 1.2, 1, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadPool(t *testing.T) {
+	if err := run(10, 1, 1.2, 1, 1, 3, 1); err == nil {
+		t.Fatal("1-worker pool accepted")
+	}
+	if err := run(10, 4, 1.0, 1, 1, 3, 1); err == nil {
+		t.Fatal("f=1.0 accepted")
+	}
+}

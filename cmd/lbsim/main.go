@@ -1,0 +1,229 @@
+// Command lbsim runs one configurable simulation of the Lüling–Monien
+// load balancing algorithm (or a baseline) under a synthetic workload and
+// prints the balancing-quality series and activity counters.
+//
+// Examples:
+//
+//	lbsim -n 64 -steps 500 -f 1.1 -delta 1 -c 4 -runs 100
+//	lbsim -algo rsu -pattern hotspot -n 64
+//	lbsim -topology torus -delta 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmbalance/internal/baseline"
+	"lmbalance/internal/core"
+	"lmbalance/internal/rng"
+	"lmbalance/internal/sim"
+	"lmbalance/internal/topology"
+	"lmbalance/internal/trace"
+	"lmbalance/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 64, "number of processors")
+		steps   = flag.Int("steps", 500, "global time steps")
+		runs    = flag.Int("runs", 10, "independent runs")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		f       = flag.Float64("f", 1.1, "trigger factor f")
+		delta   = flag.Int("delta", 1, "neighborhood size δ")
+		c       = flag.Int("c", 4, "borrow capacity C")
+		algo    = flag.String("algo", "lm", "algorithm: lm, nobalance, scatter, rsu, diffusion, gradient")
+		topo    = flag.String("topology", "global", "candidate selection: global, ring, torus, hypercube, debruijn")
+		pattern = flag.String("pattern", "paper", "workload: paper, uniform, hotspot, burst, oneproducer")
+		every   = flag.Int("every", 25, "print the series every k steps")
+		record  = flag.String("record", "", "sample the workload into a CSV trace file and exit")
+		replay  = flag.String("replay", "", "replay a CSV trace file as the workload (overrides -pattern)")
+	)
+	flag.Parse()
+
+	o := options{
+		n: *n, steps: *steps, runs: *runs, seed: *seed,
+		f: *f, delta: *delta, c: *c,
+		algo: *algo, topo: *topo, pattern: *pattern, every: *every,
+		record: *record, replay: *replay,
+	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flags.
+type options struct {
+	n, steps, runs      int
+	seed                uint64
+	f                   float64
+	delta, c            int
+	algo, topo, pattern string
+	every               int
+	record, replay      string
+}
+
+func run(o options) error {
+	n, steps, runs, seed := o.n, o.steps, o.runs, o.seed
+	f, delta, c := o.f, o.delta, o.c
+	algo, topo, pattern, every := o.algo, o.topo, o.pattern, o.every
+	selector := func() (topology.Selector, error) {
+		switch topo {
+		case "global":
+			return topology.NewGlobal(n), nil
+		case "ring":
+			return topology.NewNeighborhood(topology.Ring(n)), nil
+		case "torus":
+			side := 1
+			for side*side < n {
+				side++
+			}
+			if side*side != n {
+				return nil, fmt.Errorf("torus needs a square processor count, got %d", n)
+			}
+			return topology.NewNeighborhood(topology.Torus2D(side, side)), nil
+		case "hypercube":
+			dim := 0
+			for 1<<dim < n {
+				dim++
+			}
+			if 1<<dim != n {
+				return nil, fmt.Errorf("hypercube needs a power-of-two processor count, got %d", n)
+			}
+			return topology.NewNeighborhood(topology.Hypercube(dim)), nil
+		case "debruijn":
+			dim := 0
+			for 1<<dim < n {
+				dim++
+			}
+			if 1<<dim != n {
+				return nil, fmt.Errorf("de Bruijn needs a power-of-two processor count, got %d", n)
+			}
+			return topology.NewNeighborhood(topology.DeBruijn(dim)), nil
+		default:
+			return nil, fmt.Errorf("unknown topology %q", topo)
+		}
+	}
+
+	newPattern := func(run int, r *rng.RNG) (workload.Pattern, error) {
+		if o.replay != "" {
+			file, err := os.Open(o.replay)
+			if err != nil {
+				return nil, err
+			}
+			defer file.Close()
+			tr, err := workload.ReadTrace(file)
+			if err != nil {
+				return nil, err
+			}
+			if tr.Procs() > n {
+				return nil, fmt.Errorf("trace addresses %d processors, simulation has %d", tr.Procs(), n)
+			}
+			return tr, nil
+		}
+		switch pattern {
+		case "paper":
+			b := workload.PaperBounds()
+			b.Horizon = steps
+			return workload.NewPhases(n, b, r)
+		case "uniform":
+			return workload.Uniform{GenP: 0.5, ConP: 0.4}, nil
+		case "hotspot":
+			return workload.Hotspot{Hot: 1 + n/16, GenP: 0.9, ConP: 0.3}, nil
+		case "burst":
+			return workload.Burst{BurstLen: 50, DrainLen: 50, HighG: 0.8, HighC: 0.8}, nil
+		case "oneproducer":
+			return workload.OneProducer{}, nil
+		default:
+			return nil, fmt.Errorf("unknown pattern %q", pattern)
+		}
+	}
+
+	newBalancer := func(run int, r *rng.RNG) (sim.Balancer, error) {
+		switch algo {
+		case "lm":
+			sel, err := selector()
+			if err != nil {
+				return nil, err
+			}
+			return core.NewSystem(n, core.Params{F: f, Delta: delta, C: c}, sel, r)
+		case "nobalance":
+			return baseline.NewNoBalance(n), nil
+		case "scatter":
+			return baseline.NewRandomScatter(n, r), nil
+		case "rsu":
+			return baseline.NewRSU(n, 1, r), nil
+		case "diffusion":
+			side := 1
+			for side*side < n {
+				side++
+			}
+			if side*side != n {
+				return nil, fmt.Errorf("diffusion torus needs a square processor count")
+			}
+			return baseline.NewDiffusion(topology.Torus2D(side, side), 1, 0)
+		case "gradient":
+			side := 1
+			for side*side < n {
+				side++
+			}
+			if side*side != n {
+				return nil, fmt.Errorf("gradient torus needs a square processor count")
+			}
+			return baseline.NewGradient(topology.Torus2D(side, side), 2, 8, 1)
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", algo)
+		}
+	}
+
+	if o.record != "" {
+		pat, err := newPattern(0, rng.New(seed))
+		if err != nil {
+			return err
+		}
+		events := workload.Record(pat, n, steps, rng.New(seed).Split())
+		file, err := os.Create(o.record)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteTrace(file, events); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d events to %s\n", len(events), o.record)
+		return nil
+	}
+
+	cfg := sim.Config{
+		N: n, Steps: steps, Runs: runs, Seed: seed,
+		NewBalancer: newBalancer,
+		NewPattern:  newPattern,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	tb := trace.NewTable(
+		fmt.Sprintf("%s | %s workload | n=%d steps=%d runs=%d", algo, pattern, n, steps, runs),
+		"step", "avg", "min", "max", "spread")
+	for s := every - 1; s < steps; s += every {
+		tb.AddRow(s+1,
+			res.Avg.At(s).Mean(), res.Min.At(s).Min(), res.Max.At(s).Max(),
+			res.Spread.At(s).Mean())
+	}
+	if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal-load variation density: %.4f\n", res.FinalLoadVD)
+	if algo == "lm" {
+		m := res.CoreMetrics.Scale(runs)
+		fmt.Printf("per-run: balance ops %.1f, migrations %.1f, total borrow %.2f, remote borrow %.3f, borrow fail %.3f, decrease sim %.2f\n",
+			m.BalanceOps, m.Migrations, m.TotalBorrow, m.RemoteBorrow, m.BorrowFail, m.DecreaseSim)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func opts(n, steps, runs int, algo, topo, pattern string) options {
+	return options{
+		n: n, steps: steps, runs: runs, seed: 1,
+		f: 1.1, delta: 1, c: 4,
+		algo: algo, topo: topo, pattern: pattern, every: 25,
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(opts(16, 50, 2, "lm", "global", "paper")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"lm", "nobalance", "scatter", "rsu", "diffusion", "gradient"} {
+		o := opts(16, 30, 1, algo, "global", "uniform")
+		o.every = 10
+		if err := run(o); err != nil {
+			t.Fatalf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunAllPatterns(t *testing.T) {
+	for _, pat := range []string{"paper", "uniform", "hotspot", "burst", "oneproducer"} {
+		o := opts(16, 30, 1, "lm", "global", pat)
+		o.every = 10
+		if err := run(o); err != nil {
+			t.Fatalf("pattern %s: %v", pat, err)
+		}
+	}
+}
+
+func TestRunAllTopologies(t *testing.T) {
+	for _, topo := range []string{"global", "ring", "torus", "hypercube", "debruijn"} {
+		o := opts(16, 30, 1, "lm", topo, "uniform")
+		o.every = 10
+		if err := run(o); err != nil {
+			t.Fatalf("topology %s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run(opts(16, 30, 1, "nope", "global", "uniform")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run(opts(16, 30, 1, "lm", "nope", "uniform")); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if err := run(opts(16, 30, 1, "lm", "global", "nope")); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestRunRejectsNonSquareTorus(t *testing.T) {
+	if err := run(opts(12, 30, 1, "lm", "torus", "uniform")); err == nil {
+		t.Fatal("non-square torus accepted")
+	}
+	if err := run(opts(12, 30, 1, "lm", "hypercube", "uniform")); err == nil {
+		t.Fatal("non-power-of-two hypercube accepted")
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.csv")
+	o := opts(8, 40, 1, "lm", "global", "uniform")
+	o.record = trace
+	if err := run(o); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	o = opts(8, 40, 2, "lm", "global", "ignored")
+	o.replay = trace
+	if err := run(o); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	// Replaying on a smaller machine than the trace addresses must fail.
+	o = opts(4, 40, 1, "lm", "global", "ignored")
+	o.replay = trace
+	if err := run(o); err == nil {
+		t.Fatal("undersized replay accepted")
+	}
+	// Missing file.
+	o = opts(8, 40, 1, "lm", "global", "ignored")
+	o.replay = filepath.Join(t.TempDir(), "missing.csv")
+	if err := run(o); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKnownNames(t *testing.T) {
+	for _, a := range artifacts {
+		if !known(a.name) {
+			t.Fatalf("artifact %q not known to itself", a.name)
+		}
+	}
+	if known("nonsense") {
+		t.Fatal("unknown artifact reported known")
+	}
+	if names() == "" {
+		t.Fatal("empty artifact list")
+	}
+}
+
+func TestRunRejectsUnknownArtifact(t *testing.T) {
+	if err := run(false, "nonsense", "", 1); err == nil {
+		t.Fatal("unknown -only value accepted")
+	}
+}
+
+func TestRunSingleArtifactToDir(t *testing.T) {
+	dir := t.TempDir()
+	// decrease is the fastest artifact (pure closed forms + tiny MC).
+	if err := run(false, "decrease", dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "decrease.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty artifact file")
+	}
+	// Only the selected artifact is produced.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 file, found %d", len(entries))
+	}
+}
+
+func TestRunMultipleSelection(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(false, "decrease,growth", dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"decrease.txt", "growth.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}

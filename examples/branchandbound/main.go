@@ -1,0 +1,50 @@
+// Branch & bound: solve a traveling salesman instance on the concurrent
+// Lüling–Monien task pool — the application class (distributed best-first
+// branch & bound) the paper's algorithm was built for.
+//
+//	go run ./examples/branchandbound
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lmbalance/internal/bnb"
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+)
+
+func main() {
+	const cities = 13
+	ins := bnb.RandomInstance(cities, rng.New(7))
+
+	greedyTour, greedyCost := ins.GreedyTour()
+	fmt.Printf("%d random cities; nearest-neighbor tour costs %d\n", cities, greedyCost)
+	_ = greedyTour
+
+	t0 := time.Now()
+	seq := bnb.SolveSequential(ins)
+	fmt.Printf("sequential B&B: optimum %d (%d nodes, %v)\n",
+		seq.Cost, seq.Nodes, time.Since(t0))
+
+	p, err := pool.New(pool.Config{Workers: 8, F: 1.2, Delta: 1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	t0 = time.Now()
+	par := bnb.SolveParallel(ins, p, 3)
+	fmt.Printf("parallel B&B:   optimum %d (%d nodes, %v)\n",
+		par.Cost, par.Nodes, time.Since(t0))
+	if par.Cost != seq.Cost {
+		log.Fatalf("parallel result %d differs from sequential %d", par.Cost, seq.Cost)
+	}
+
+	s := p.Stats()
+	fmt.Printf("pool: %d subproblems as tasks, %d balancing operations, %d migrated\n",
+		s.Submitted, s.Balances, s.Migrated)
+	fmt.Printf("tasks executed per worker: %v (spread %d)\n", s.Executed, s.Spread())
+	fmt.Printf("optimal tour: %v\n", par.Tour)
+}

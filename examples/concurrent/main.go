@@ -1,0 +1,106 @@
+// Concurrent: use the Lüling–Monien task pool as a general-purpose
+// dynamic load balancer for an irregular, recursively generated workload,
+// and compare its work distribution against a classic random
+// work-stealing pool.
+//
+//	go run ./examples/concurrent
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"lmbalance/internal/pool"
+)
+
+// work simulates an irregular task: a short burst of CPU.
+func work(units int) uint64 {
+	var x uint64 = 2463534242
+	for i := 0; i < units*400; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+func main() {
+	const workers = 8
+
+	// An irregular tree: every task spawns 0-3 children depending on its
+	// position, so the load is impossible to partition statically.
+	fanOf := func(depth, k int) int {
+		switch (depth + k) % 4 {
+		case 0:
+			return 1
+		case 1, 2:
+			return 2
+		default:
+			return 3
+		}
+	}
+	var executed atomic.Int64
+	var spawnLM func(depth, fan int) pool.Task
+	spawnLM = func(depth, fan int) pool.Task {
+		return func(w *pool.Worker) {
+			work(60 + 4*depth)
+			executed.Add(1)
+			if depth > 0 {
+				for k := 0; k < fan; k++ {
+					w.Submit(spawnLM(depth-1, fanOf(depth, k)))
+				}
+			}
+		}
+	}
+
+	lm, err := pool.New(pool.Config{Workers: workers, F: 1.2, Delta: 1, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	lm.Submit(spawnLM(13, 3))
+	lm.Wait()
+	lmDur := time.Since(t0)
+	lmStats := lm.Stats()
+	lm.Close()
+
+	var executedWS atomic.Int64
+	var spawnWS func(depth, fan int) pool.StealTask
+	spawnWS = func(depth, fan int) pool.StealTask {
+		return func(r *pool.StealWorkerRef) {
+			work(60 + 4*depth)
+			executedWS.Add(1)
+			if depth > 0 {
+				for k := 0; k < fan; k++ {
+					r.Submit(spawnWS(depth-1, fanOf(depth, k)))
+				}
+			}
+		}
+	}
+	ws, err := pool.NewStealing(workers, 9, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	ws.Submit(spawnWS(13, 3))
+	ws.Wait()
+	wsDur := time.Since(t0)
+	wsStats := ws.Stats()
+	ws.Close()
+
+	fmt.Printf("irregular task tree, %d workers\n\n", workers)
+	fmt.Printf("%-18s %8s %10s %10s %10s  %s\n", "pool", "tasks", "time", "balances", "migrated", "executed per worker")
+	fmt.Printf("%-18s %8d %10v %10d %10d  %v (spread %d)\n",
+		"Lüling–Monien", lmStats.Submitted, lmDur.Round(time.Millisecond),
+		lmStats.Balances, lmStats.Migrated, lmStats.Executed, lmStats.Spread())
+	fmt.Printf("%-18s %8d %10v %10d %10d  %v (spread %d)\n",
+		"work stealing", wsStats.Submitted, wsDur.Round(time.Millisecond),
+		wsStats.Balances, wsStats.Migrated, wsStats.Executed, wsStats.Spread())
+	if executed.Load() != executedWS.Load() {
+		log.Fatalf("pools executed different task counts: %d vs %d",
+			executed.Load(), executedWS.Load())
+	}
+	fmt.Printf("\nboth pools executed all %d tasks exactly once.\n", executed.Load())
+}

@@ -1,0 +1,45 @@
+// Phases: reproduce the paper's §7 experiment interactively — the
+// synthetic phase workload on 64 processors — and compare two parameter
+// sets side by side, including the Table 1 borrowing counters.
+//
+//	go run ./examples/phases
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lmbalance"
+)
+
+func main() {
+	configs := []lmbalance.Params{
+		{F: 1.1, Delta: 1, C: 4},
+		{F: 1.1, Delta: 4, C: 4},
+		{F: 1.8, Delta: 1, C: 4},
+	}
+	const runs = 10
+
+	fmt.Println("paper §7 workload: 64 processors, 500 steps,")
+	fmt.Println("g∈[0.1,0.9], c∈[0.1,0.7], phase length∈[150,400], averaged over", runs, "runs")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %10s %12s %12s\n", "params", "avg load", "spread", "balances/run", "borrows/run")
+	for _, p := range configs {
+		res, err := lmbalance.SimulatePaper(p, runs, 2024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := res.Avg.Len() - 1
+		m := res.CoreMetrics.Scale(runs)
+		fmt.Printf("f=%-4g δ=%d C=%-2d        %10.1f %10.1f %12.1f %12.2f\n",
+			p.F, p.Delta, p.C,
+			res.Avg.At(last).Mean(),
+			res.Spread.At(last).Mean(),
+			m.BalanceOps, m.TotalBorrow)
+	}
+	fmt.Println()
+	fmt.Println("observations (matching the paper):")
+	fmt.Println("  - larger δ tightens the spread dramatically,")
+	fmt.Println("  - smaller f tightens it further at the cost of more balancing,")
+	fmt.Println("  - borrowing activity is rare relative to 32000 processor-steps.")
+}

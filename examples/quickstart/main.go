@@ -1,0 +1,64 @@
+// Quickstart: drive the Lüling–Monien balancer directly and watch a
+// hotspot's load spread across the machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lmbalance"
+)
+
+func main() {
+	// 16 processors, the paper's default parameters (f=1.1, δ=1, C=4).
+	sys, err := lmbalance.NewSystem(16, lmbalance.DefaultParams(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Processor 0 generates 1000 packets; nobody else produces anything.
+	// Every generation may trigger a balancing operation when processor
+	// 0's self-generated load has grown by the factor f.
+	for i := 0; i < 1000; i++ {
+		sys.Generate(0)
+	}
+
+	fmt.Println("loads after 1000 generations on processor 0:")
+	for i := 0; i < sys.N(); i++ {
+		fmt.Printf("  proc %2d: %4d packets\n", i, sys.Load(i))
+	}
+
+	// Theorem 2 predicts the generator exceeds the others by at most
+	// δ/(δ+1−f) in expectation (times f between balancing operations).
+	avgOther := 0.0
+	for i := 1; i < sys.N(); i++ {
+		avgOther += float64(sys.Load(i))
+	}
+	avgOther /= float64(sys.N() - 1)
+	fmt.Printf("\ngenerator/other ratio: %.3f (Theorem 2 bound δ/(δ+1−f) = %.3f)\n",
+		float64(sys.Load(0))/avgOther, lmbalance.FixLimit(1, 1.1))
+
+	m := sys.Metrics()
+	fmt.Printf("balancing operations: %d, packets migrated: %d\n",
+		m.BalanceOps, m.Migrations)
+
+	// Now consume everything from a different processor: borrowing kicks
+	// in once processor 5 runs out of self-generated packets (it has
+	// none), and the debt is settled with the owning class.
+	consumed := 0
+	for sys.Load(5) > 0 {
+		if !sys.Consume(5) {
+			break
+		}
+		consumed++
+	}
+	m = sys.Metrics()
+	fmt.Printf("\nprocessor 5 consumed %d packets; borrows %d, remote settlements %d\n",
+		consumed, m.TotalBorrow, m.RemoteBorrow)
+	if err := sys.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("invariants hold.")
+}

@@ -1,0 +1,3 @@
+module lmbalance
+
+go 1.22

@@ -1,0 +1,360 @@
+// Package baseline implements the comparison load balancing strategies the
+// paper is positioned against, behind the same driving interface as the
+// core algorithm, so they can run under identical workloads:
+//
+//   - NoBalance: load stays where it is generated — the control.
+//   - RandomScatter: §5's strawman ("sends all its packets in each time
+//     step to a single random chosen processor"). Its expected loads are
+//     equal but its variation is huge; it demonstrates why the paper
+//     analyzes variation density, not just expectations.
+//   - RSU: the scheme of Rudolph, Slivkin-Allalouf and Upfal (SPAA 1991,
+//     the paper's reference [20]) — the only prior fully dynamic algorithm
+//     with a theoretical analysis: with probability 1/l a processor
+//     compares its load with a random partner and balances pairwise when
+//     the difference exceeds a threshold.
+//   - Diffusion: classic first-order diffusion on a topology — every k
+//     steps each processor averages with its graph neighbors.
+//   - Gradient: a simplified Lin–Keller gradient model (the paper's
+//     reference [6]) — packets flow from overloaded processors along the
+//     estimated direction of the nearest lightly loaded processor.
+//
+// All baselines operate on plain per-processor packet counts: they do not
+// track virtual load classes (that bookkeeping is the core algorithm's
+// own machinery).
+package baseline
+
+import (
+	"fmt"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/topology"
+)
+
+// Algorithm is the driving interface shared with core.System (see
+// sim.Balancer): per-step Generate/Consume plus load introspection.
+type Algorithm interface {
+	Name() string
+	N() int
+	Generate(i int)
+	Consume(i int) bool
+	Load(i int) int
+	Loads(dst []int) []int
+	TotalLoad() int
+	// Tick is called once per global time step after all processors have
+	// acted; periodic algorithms (diffusion, scatter, gradient) rebalance
+	// here. Event-driven algorithms may ignore it.
+	Tick(t int)
+	// BalanceOps and Migrations report activity for cost comparisons.
+	BalanceOps() int64
+	Migrations() int64
+}
+
+// counts is the shared trivial state: a load vector.
+type counts struct {
+	l          []int
+	balanceOps int64
+	migrations int64
+}
+
+func newCounts(n int) counts { return counts{l: make([]int, n)} }
+
+func (c *counts) N() int         { return len(c.l) }
+func (c *counts) Load(i int) int { return c.l[i] }
+
+func (c *counts) Loads(dst []int) []int { return append(dst[:0], c.l...) }
+
+func (c *counts) TotalLoad() int {
+	sum := 0
+	for _, v := range c.l {
+		sum += v
+	}
+	return sum
+}
+
+func (c *counts) Generate(i int) { c.l[i]++ }
+
+func (c *counts) Consume(i int) bool {
+	if c.l[i] == 0 {
+		return false
+	}
+	c.l[i]--
+	return true
+}
+
+func (c *counts) BalanceOps() int64 { return c.balanceOps }
+func (c *counts) Migrations() int64 { return c.migrations }
+
+// NoBalance performs no balancing at all.
+type NoBalance struct {
+	counts
+}
+
+// NewNoBalance returns the no-op control algorithm on n processors.
+func NewNoBalance(n int) *NoBalance {
+	return &NoBalance{counts: newCounts(n)}
+}
+
+// Name implements Algorithm.
+func (a *NoBalance) Name() string { return "nobalance" }
+
+// Tick implements Algorithm (no-op).
+func (a *NoBalance) Tick(t int) {}
+
+// RandomScatter is the §5 strawman: each step, every processor sends its
+// entire load to one uniformly random processor. Expected loads are equal
+// across processors, but the variation is enormous.
+type RandomScatter struct {
+	counts
+	r    *rng.RNG
+	next []int
+}
+
+// NewRandomScatter returns the strawman on n processors.
+func NewRandomScatter(n int, r *rng.RNG) *RandomScatter {
+	return &RandomScatter{counts: newCounts(n), r: r, next: make([]int, n)}
+}
+
+// Name implements Algorithm.
+func (a *RandomScatter) Name() string { return "randomscatter" }
+
+// Tick implements Algorithm: all processors scatter simultaneously.
+func (a *RandomScatter) Tick(t int) {
+	for i := range a.next {
+		a.next[i] = 0
+	}
+	for i, v := range a.l {
+		if v == 0 {
+			continue
+		}
+		dst := a.r.Intn(len(a.l))
+		a.next[dst] += v
+		if dst != i {
+			a.migrations += int64(v)
+			a.balanceOps++
+		}
+	}
+	copy(a.l, a.next)
+}
+
+// RSU is the Rudolph–Slivkin-Allalouf–Upfal SPAA'91 scheme: each step,
+// processor i flips a coin with success probability min(1, 1/(l_i+1)); on
+// success it selects a uniformly random partner and, if the load
+// difference exceeds Threshold, the pair averages its load. (The +1 keeps
+// empty processors probing rather than dividing by zero, matching the
+// published "with probability proportional to 1/load" intent for idle
+// processors.)
+type RSU struct {
+	counts
+	r         *rng.RNG
+	Threshold int
+}
+
+// NewRSU returns the RSU baseline with the given pairwise threshold
+// (the original analysis uses a small constant; 1 reproduces "balance
+// whenever unequal beyond one packet").
+func NewRSU(n int, threshold int, r *rng.RNG) *RSU {
+	return &RSU{counts: newCounts(n), r: r, Threshold: threshold}
+}
+
+// Name implements Algorithm.
+func (a *RSU) Name() string { return fmt.Sprintf("rsu(th=%d)", a.Threshold) }
+
+// Tick implements Algorithm.
+func (a *RSU) Tick(t int) {
+	n := len(a.l)
+	for i := 0; i < n; i++ {
+		p := 1.0 / float64(a.l[i]+1)
+		if !a.r.Bernoulli(p) {
+			continue
+		}
+		j := a.r.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		diff := a.l[i] - a.l[j]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= a.Threshold {
+			continue
+		}
+		total := a.l[i] + a.l[j]
+		ni := total / 2
+		nj := total - ni
+		moved := a.l[i] - ni
+		if moved < 0 {
+			moved = -moved
+		}
+		a.l[i], a.l[j] = ni, nj
+		a.migrations += int64(moved)
+		a.balanceOps++
+	}
+}
+
+// Diffusion averages each processor with its graph neighborhood every
+// Period steps: i keeps its share of the neighborhood average and sends
+// the excess to its most underloaded neighbor(s). This is the standard
+// first-order diffusion scheme (FOS) restricted to integer packets.
+type Diffusion struct {
+	counts
+	g      *topology.Graph
+	Period int
+	alpha  float64
+}
+
+// NewDiffusion returns a diffusion balancer on graph g firing every period
+// steps with diffusion parameter alpha — the fraction of the pairwise
+// difference exchanged per edge. For first-order diffusion to be stable the
+// parameter must satisfy alpha <= 1/(maxDegree+1); larger values oscillate.
+// Pass alpha <= 0 to use that maximal stable value.
+func NewDiffusion(g *topology.Graph, period int, alpha float64) (*Diffusion, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("baseline: diffusion period %d < 1", period)
+	}
+	maxDeg := 1
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	limit := 1.0 / float64(maxDeg+1)
+	if alpha <= 0 {
+		alpha = limit
+	}
+	if alpha > limit {
+		return nil, fmt.Errorf("baseline: diffusion alpha %v exceeds stability limit %v for max degree %d", alpha, limit, maxDeg)
+	}
+	return &Diffusion{counts: newCounts(g.N()), g: g, Period: period, alpha: alpha}, nil
+}
+
+// Name implements Algorithm.
+func (a *Diffusion) Name() string {
+	return fmt.Sprintf("diffusion(%s,k=%d)", a.g.Name(), a.Period)
+}
+
+// Tick implements Algorithm.
+func (a *Diffusion) Tick(t int) {
+	if (t+1)%a.Period != 0 {
+		return
+	}
+	n := len(a.l)
+	delta := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, j := range a.g.Neighbors(i) {
+			if j <= i {
+				continue // each undirected edge once
+			}
+			d := a.l[i] - a.l[j]
+			move := int(a.alpha * float64(d)) // toward the lighter side
+			if move > 0 {
+				delta[i] -= move
+				delta[j] += move
+				a.migrations += int64(move)
+			} else if move < 0 {
+				delta[i] -= move
+				delta[j] += move
+				a.migrations += int64(-move)
+			}
+		}
+	}
+	changed := false
+	for i := 0; i < n; i++ {
+		if delta[i] != 0 {
+			changed = true
+		}
+		a.l[i] += delta[i]
+		if a.l[i] < 0 {
+			// Cannot happen: each edge moves at most alpha<=0.5 of the
+			// difference, and differences are bounded by the load itself;
+			// guard anyway so a modeling bug cannot corrupt the run.
+			panic("baseline: diffusion drove load negative")
+		}
+	}
+	if changed {
+		a.balanceOps++
+	}
+}
+
+// Gradient is a simplified Lin–Keller gradient model. Processors with load
+// below Low are "lightly loaded". Every Period steps each processor
+// computes its proximity = graph distance to the nearest light processor
+// (approximated by one relaxation sweep per tick, as in the original
+// asynchronous model), and every processor whose load exceeds High sends
+// one packet along the neighbor with minimal proximity.
+type Gradient struct {
+	counts
+	g         *topology.Graph
+	Low, High int
+	Period    int
+	prox      []int
+}
+
+// NewGradient returns a gradient balancer on g with the given watermarks.
+func NewGradient(g *topology.Graph, low, high, period int) (*Gradient, error) {
+	if low < 0 || high <= low {
+		return nil, fmt.Errorf("baseline: gradient watermarks low=%d high=%d invalid", low, high)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("baseline: gradient period %d < 1", period)
+	}
+	n := g.N()
+	gr := &Gradient{counts: newCounts(n), g: g, Low: low, High: high, Period: period, prox: make([]int, n)}
+	for i := range gr.prox {
+		gr.prox[i] = n // "infinity"
+	}
+	return gr, nil
+}
+
+// Name implements Algorithm.
+func (a *Gradient) Name() string {
+	return fmt.Sprintf("gradient(%s,lo=%d,hi=%d)", a.g.Name(), a.Low, a.High)
+}
+
+// Tick implements Algorithm.
+func (a *Gradient) Tick(t int) {
+	if (t+1)%a.Period != 0 {
+		return
+	}
+	n := len(a.l)
+	// One relaxation sweep of the proximity surface (asynchronous gradient
+	// model): light processors have proximity 0, others 1 + min neighbor.
+	for i := 0; i < n; i++ {
+		if a.l[i] <= a.Low {
+			a.prox[i] = 0
+			continue
+		}
+		best := n
+		for _, j := range a.g.Neighbors(i) {
+			if a.prox[j] < best {
+				best = a.prox[j]
+			}
+		}
+		if best < n {
+			a.prox[i] = best + 1
+		} else {
+			a.prox[i] = n
+		}
+	}
+	// Overloaded processors push one packet downhill.
+	moved := false
+	for i := 0; i < n; i++ {
+		if a.l[i] <= a.High {
+			continue
+		}
+		bestJ, bestP := -1, a.prox[i]
+		for _, j := range a.g.Neighbors(i) {
+			if a.prox[j] < bestP {
+				bestP, bestJ = a.prox[j], j
+			}
+		}
+		if bestJ >= 0 && a.l[i] > 0 {
+			a.l[i]--
+			a.l[bestJ]++
+			a.migrations++
+			moved = true
+		}
+	}
+	if moved {
+		a.balanceOps++
+	}
+}

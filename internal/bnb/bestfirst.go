@@ -1,0 +1,69 @@
+package bnb
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lmbalance/internal/pool"
+)
+
+// SolveBestFirst finds the optimal tour using the best-first priority
+// pool: every open subproblem is a task whose priority is its lower
+// bound, so workers always expand the globally most promising frontier —
+// the strategy of the authors' distributed branch & bound systems [7,8],
+// where the load balancer must keep not just *some* work but *good* work
+// on every processor. Subtrees deeper than spawnDepth are finished
+// sequentially inside one task.
+//
+// The pool is reusable afterwards (SolveBestFirst waits for its own
+// tasks).
+func SolveBestFirst(ins *Instance, p *pool.PriorityPool, spawnDepth int) Result {
+	if ins.N > 63 {
+		panic("bnb: instance too large for bitmask search")
+	}
+	if spawnDepth < 1 {
+		spawnDepth = 1
+	}
+	tour, cost := ins.GreedyTour()
+	inc := newIncumbent(tour, cost)
+	var nodes atomic.Int64
+	var wg sync.WaitGroup
+
+	var makeTask func(path []int, visited uint64, cost int) pool.PriorityTask
+	makeTask = func(path []int, visited uint64, cost int) pool.PriorityTask {
+		cur := path[len(path)-1]
+		bound := ins.lowerBound(cost, cur, visited)
+		return pool.PriorityTask{
+			Priority: int64(bound),
+			Run: func(w *pool.PriorityWorker) {
+				defer wg.Done()
+				if len(path) == ins.N {
+					nodes.Add(1)
+					inc.offer(path, cost+ins.D[cur][0])
+					return
+				}
+				if bound >= int(inc.cost.Load()) {
+					nodes.Add(1)
+					return // pruned: the incumbent improved since spawning
+				}
+				if len(path) >= spawnDepth {
+					var local int64
+					dfs(ins, inc, &local, path, visited, cost)
+					nodes.Add(local)
+					return
+				}
+				nodes.Add(1)
+				for _, j := range childrenByDistance(ins, cur, visited) {
+					child := append(append(make([]int, 0, len(path)+1), path...), j)
+					wg.Add(1)
+					w.Submit(makeTask(child, visited|1<<uint(j), cost+ins.D[cur][j]))
+				}
+			},
+		}
+	}
+	wg.Add(1)
+	p.Submit(makeTask([]int{0}, 1, 0))
+	wg.Wait()
+	bestTour, bestCost := inc.snapshot()
+	return Result{Cost: bestCost, Tour: bestTour, Nodes: nodes.Load()}
+}

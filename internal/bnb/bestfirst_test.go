@@ -1,0 +1,104 @@
+package bnb
+
+import (
+	"testing"
+
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+)
+
+func TestBestFirstMatchesSequential(t *testing.T) {
+	p, err := pool.NewPriority(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	r := rng.New(15)
+	for trial := 0; trial < 3; trial++ {
+		ins := RandomInstance(11, r)
+		seq := SolveSequential(ins)
+		bf := SolveBestFirst(ins, p, 3)
+		if bf.Cost != seq.Cost {
+			t.Fatalf("trial %d: best-first cost %d != sequential %d", trial, bf.Cost, seq.Cost)
+		}
+		if ins.TourCost(bf.Tour) != bf.Cost {
+			t.Fatalf("trial %d: tour/cost mismatch", trial)
+		}
+		if bf.Nodes == 0 {
+			t.Fatal("no nodes expanded")
+		}
+	}
+}
+
+func TestBestFirstPoolReusable(t *testing.T) {
+	p, err := pool.NewPriority(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ins := RandomInstance(10, rng.New(16))
+	a := SolveBestFirst(ins, p, 2)
+	b := SolveBestFirst(ins, p, 4)
+	if a.Cost != b.Cost {
+		t.Fatalf("same instance, different costs: %d vs %d", a.Cost, b.Cost)
+	}
+}
+
+func TestBestFirstSpawnDepthClamped(t *testing.T) {
+	p, err := pool.NewPriority(pool.Config{Workers: 2, F: 1.5, Delta: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ins := RandomInstance(8, rng.New(17))
+	res := SolveBestFirst(ins, p, 0)
+	if res.Cost != SolveSequential(ins).Cost {
+		t.Fatal("clamped spawn depth broke optimality")
+	}
+}
+
+// TestBestFirstPrunesAtLeastAsWellOnAverage: over several instances, the
+// best-first strategy should not expand dramatically more nodes than the
+// LIFO pool — typically fewer, because good incumbents arrive early.
+func TestBestFirstNodeCounts(t *testing.T) {
+	pp, err := pool.NewPriority(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pp.Close()
+	lp, err := pool.New(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lp.Close()
+	r := rng.New(18)
+	var bfNodes, lifoNodes int64
+	for trial := 0; trial < 4; trial++ {
+		ins := RandomInstance(12, r)
+		bf := SolveBestFirst(ins, pp, 3)
+		li := SolveParallel(ins, lp, 3)
+		if bf.Cost != li.Cost {
+			t.Fatalf("trial %d: cost mismatch %d vs %d", trial, bf.Cost, li.Cost)
+		}
+		bfNodes += bf.Nodes
+		lifoNodes += li.Nodes
+	}
+	t.Logf("nodes expanded: best-first %d, LIFO %d", bfNodes, lifoNodes)
+	if bfNodes > lifoNodes*3 {
+		t.Fatalf("best-first expanded far more nodes (%d) than LIFO (%d)", bfNodes, lifoNodes)
+	}
+}
+
+func BenchmarkBestFirstTSP12(b *testing.B) {
+	ins := RandomInstance(12, rng.New(42))
+	p, err := pool.NewPriority(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := SolveBestFirst(ins, p, 3)
+		b.ReportMetric(float64(res.Nodes), "nodes")
+	}
+}

@@ -1,0 +1,295 @@
+// Package bnb implements best-first branch & bound for the symmetric
+// traveling salesman problem — the flagship application of the paper's
+// load balancing principle (the authors' references [7] and [8] apply the
+// same algorithm to distributed B&B and a parallel TSP solver). The
+// parallel solver runs on the Lüling–Monien task pool (internal/pool):
+// subproblems are the load packets, generated dynamically as the tree
+// unfolds and consumed as subtrees are pruned — exactly the unpredictable
+// generate/consume pattern the paper's model captures.
+package bnb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+)
+
+// Instance is a symmetric TSP instance with integer distances.
+type Instance struct {
+	N int
+	// D is the full symmetric distance matrix, D[i][j] == D[j][i],
+	// D[i][i] == 0.
+	D [][]int
+
+	// minEdge[i] is the cheapest edge incident to city i, precomputed for
+	// the lower bound.
+	minEdge []int
+}
+
+// RandomInstance places n cities uniformly in the unit square and uses
+// rounded Euclidean distances scaled by 1000. It panics if n < 3.
+func RandomInstance(n int, r *rng.RNG) *Instance {
+	if n < 3 {
+		panic("bnb: instance needs at least 3 cities")
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = r.Float64(), r.Float64()
+	}
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			v := int(math.Round(1000 * math.Sqrt(dx*dx+dy*dy)))
+			if v == 0 {
+				v = 1 // distinct cities at distance 0 break bounds
+			}
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return NewInstance(d)
+}
+
+// NewInstance wraps a distance matrix, validating symmetry and zero
+// diagonal.
+func NewInstance(d [][]int) *Instance {
+	n := len(d)
+	for i := 0; i < n; i++ {
+		if len(d[i]) != n {
+			panic(fmt.Sprintf("bnb: row %d has length %d, want %d", i, len(d[i]), n))
+		}
+		if d[i][i] != 0 {
+			panic(fmt.Sprintf("bnb: nonzero diagonal at %d", i))
+		}
+		for j := 0; j < n; j++ {
+			if d[i][j] != d[j][i] {
+				panic(fmt.Sprintf("bnb: asymmetric at (%d,%d)", i, j))
+			}
+			if i != j && d[i][j] <= 0 {
+				panic(fmt.Sprintf("bnb: non-positive distance at (%d,%d)", i, j))
+			}
+		}
+	}
+	ins := &Instance{N: n, D: d, minEdge: make([]int, n)}
+	for i := 0; i < n; i++ {
+		best := math.MaxInt
+		for j := 0; j < n; j++ {
+			if i != j && d[i][j] < best {
+				best = d[i][j]
+			}
+		}
+		ins.minEdge[i] = best
+	}
+	return ins
+}
+
+// TourCost returns the cost of the closed tour visiting perm in order and
+// returning to perm[0]. It panics if perm is not a permutation of all
+// cities.
+func (ins *Instance) TourCost(perm []int) int {
+	if len(perm) != ins.N {
+		panic("bnb: tour length mismatch")
+	}
+	seen := make([]bool, ins.N)
+	cost := 0
+	for i, c := range perm {
+		if c < 0 || c >= ins.N || seen[c] {
+			panic("bnb: tour is not a permutation")
+		}
+		seen[c] = true
+		cost += ins.D[c][perm[(i+1)%ins.N]]
+	}
+	return cost
+}
+
+// GreedyTour returns a nearest-neighbor tour from city 0 and its cost —
+// the initial incumbent for the searches.
+func (ins *Instance) GreedyTour() ([]int, int) {
+	tour := make([]int, 0, ins.N)
+	visited := make([]bool, ins.N)
+	cur := 0
+	tour = append(tour, 0)
+	visited[0] = true
+	cost := 0
+	for len(tour) < ins.N {
+		best, bestD := -1, math.MaxInt
+		for j := 0; j < ins.N; j++ {
+			if !visited[j] && ins.D[cur][j] < bestD {
+				best, bestD = j, ins.D[cur][j]
+			}
+		}
+		visited[best] = true
+		tour = append(tour, best)
+		cost += bestD
+		cur = best
+	}
+	cost += ins.D[cur][0]
+	return tour, cost
+}
+
+// lowerBound returns cost plus the sum of minimum incident edges of the
+// current city and all unvisited cities — an admissible bound on the
+// completion cost (every remaining city, and the path's head, must be left
+// through at least its cheapest edge; the tour's return edge is covered by
+// city 0's term when 0 is the start).
+func (ins *Instance) lowerBound(cost int, cur int, visited uint64) int {
+	lb := cost + ins.minEdge[cur]
+	for j := 0; j < ins.N; j++ {
+		if visited&(1<<uint(j)) == 0 {
+			lb += ins.minEdge[j]
+		}
+	}
+	return lb
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Cost  int
+	Tour  []int
+	Nodes int64 // search tree nodes expanded
+}
+
+// incumbent is the shared best solution, safe for concurrent use.
+type incumbent struct {
+	mu   sync.Mutex
+	cost atomic.Int64
+	tour []int
+}
+
+func newIncumbent(tour []int, cost int) *incumbent {
+	inc := &incumbent{tour: append([]int(nil), tour...)}
+	inc.cost.Store(int64(cost))
+	return inc
+}
+
+// offer installs (tour, cost) if it beats the incumbent.
+func (inc *incumbent) offer(tour []int, cost int) {
+	if int64(cost) >= inc.cost.Load() {
+		return
+	}
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if int64(cost) < inc.cost.Load() {
+		inc.cost.Store(int64(cost))
+		inc.tour = append(inc.tour[:0], tour...)
+	}
+}
+
+func (inc *incumbent) snapshot() ([]int, int) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return append([]int(nil), inc.tour...), int(inc.cost.Load())
+}
+
+// SolveSequential finds the optimal tour by depth-first branch & bound.
+// It panics on instances with more than 63 cities (bitmask representation).
+func SolveSequential(ins *Instance) Result {
+	if ins.N > 63 {
+		panic("bnb: instance too large for bitmask search")
+	}
+	tour, cost := ins.GreedyTour()
+	inc := newIncumbent(tour, cost)
+	var nodes int64
+	path := make([]int, 1, ins.N)
+	path[0] = 0
+	dfs(ins, inc, &nodes, path, 1, 0)
+	bestTour, bestCost := inc.snapshot()
+	return Result{Cost: bestCost, Tour: bestTour, Nodes: nodes}
+}
+
+// dfs expands the subtree below path (visited is its bitmask, cost its
+// length so far), pruning against the incumbent.
+func dfs(ins *Instance, inc *incumbent, nodes *int64, path []int, visited uint64, cost int) {
+	*nodes++
+	cur := path[len(path)-1]
+	if len(path) == ins.N {
+		inc.offer(path, cost+ins.D[cur][0])
+		return
+	}
+	if ins.lowerBound(cost, cur, visited) >= int(inc.cost.Load()) {
+		return
+	}
+	// Expand nearest-first: finds good incumbents early, prunes more.
+	for _, j := range childrenByDistance(ins, cur, visited) {
+		path = append(path, j)
+		dfs(ins, inc, nodes, path, visited|1<<uint(j), cost+ins.D[cur][j])
+		path = path[:len(path)-1]
+	}
+}
+
+// childrenByDistance returns the unvisited cities sorted by distance from
+// cur (insertion sort; the lists are short).
+func childrenByDistance(ins *Instance, cur int, visited uint64) []int {
+	out := make([]int, 0, ins.N)
+	for j := 0; j < ins.N; j++ {
+		if visited&(1<<uint(j)) == 0 {
+			out = append(out, j)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && ins.D[cur][out[k]] < ins.D[cur][out[k-1]]; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// SolveParallel finds the optimal tour using the given task pool: tree
+// nodes above spawnDepth become pool tasks (dynamically generated load
+// packets); deeper subtrees are solved sequentially inside one task. The
+// pool is reusable afterwards (SolveParallel waits for its own tasks).
+func SolveParallel(ins *Instance, p *pool.Pool, spawnDepth int) Result {
+	if ins.N > 63 {
+		panic("bnb: instance too large for bitmask search")
+	}
+	if spawnDepth < 1 {
+		spawnDepth = 1
+	}
+	tour, cost := ins.GreedyTour()
+	inc := newIncumbent(tour, cost)
+	var nodes atomic.Int64
+	var wg sync.WaitGroup
+
+	var makeTask func(path []int, visited uint64, cost int) pool.Task
+	makeTask = func(path []int, visited uint64, cost int) pool.Task {
+		return func(w *pool.Worker) {
+			defer wg.Done()
+			cur := path[len(path)-1]
+			if len(path) == ins.N {
+				nodes.Add(1)
+				inc.offer(path, cost+ins.D[cur][0])
+				return
+			}
+			if ins.lowerBound(cost, cur, visited) >= int(inc.cost.Load()) {
+				nodes.Add(1)
+				return
+			}
+			if len(path) >= spawnDepth {
+				// Sequential subtree: no further task generation.
+				var local int64
+				dfs(ins, inc, &local, path, visited, cost)
+				nodes.Add(local)
+				return
+			}
+			nodes.Add(1)
+			for _, j := range childrenByDistance(ins, cur, visited) {
+				child := append(append(make([]int, 0, len(path)+1), path...), j)
+				wg.Add(1)
+				w.Submit(makeTask(child, visited|1<<uint(j), cost+ins.D[cur][j]))
+			}
+		}
+	}
+	wg.Add(1)
+	p.Submit(makeTask([]int{0}, 1, 0))
+	wg.Wait()
+	bestTour, bestCost := inc.snapshot()
+	return Result{Cost: bestCost, Tour: bestTour, Nodes: nodes.Load()}
+}

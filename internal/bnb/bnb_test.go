@@ -1,0 +1,225 @@
+package bnb
+
+import (
+	"testing"
+
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+)
+
+func TestNewInstanceValidation(t *testing.T) {
+	expectPanic := func(name string, d [][]int) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		NewInstance(d)
+	}
+	expectPanic("ragged", [][]int{{0, 1}, {1}})
+	expectPanic("diag", [][]int{{1, 1}, {1, 0}})
+	expectPanic("asym", [][]int{{0, 1}, {2, 0}})
+	expectPanic("nonpositive", [][]int{{0, 0}, {0, 0}})
+}
+
+func TestRandomInstanceProperties(t *testing.T) {
+	r := rng.New(1)
+	ins := RandomInstance(10, r)
+	if ins.N != 10 {
+		t.Fatal("wrong size")
+	}
+	for i := 0; i < 10; i++ {
+		if ins.minEdge[i] <= 0 {
+			t.Fatalf("minEdge[%d] = %d", i, ins.minEdge[i])
+		}
+		for j := 0; j < 10; j++ {
+			if ins.D[i][j] != ins.D[j][i] {
+				t.Fatal("asymmetric")
+			}
+		}
+	}
+}
+
+func TestRandomInstanceTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=2 did not panic")
+		}
+	}()
+	RandomInstance(2, rng.New(1))
+}
+
+func TestTourCost(t *testing.T) {
+	// Square: 0-(1)-1-(1)-2-(1)-3-(1)-0, diagonal 2.
+	d := [][]int{
+		{0, 1, 2, 1},
+		{1, 0, 1, 2},
+		{2, 1, 0, 1},
+		{1, 2, 1, 0},
+	}
+	ins := NewInstance(d)
+	if got := ins.TourCost([]int{0, 1, 2, 3}); got != 4 {
+		t.Fatalf("perimeter tour cost %d, want 4", got)
+	}
+	// 0→2 (2), 2→1 (1), 1→3 (2), 3→0 (1) = 6.
+	if got := ins.TourCost([]int{0, 2, 1, 3}); got != 6 {
+		t.Fatalf("crossing tour cost %d, want 6", got)
+	}
+}
+
+func TestTourCostPanics(t *testing.T) {
+	ins := RandomInstance(5, rng.New(2))
+	for _, bad := range [][]int{
+		{0, 1, 2},       // too short
+		{0, 1, 2, 3, 3}, // repeat
+		{0, 1, 2, 3, 7}, // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("tour %v did not panic", bad)
+				}
+			}()
+			ins.TourCost(bad)
+		}()
+	}
+}
+
+func TestGreedyTourValid(t *testing.T) {
+	ins := RandomInstance(12, rng.New(3))
+	tour, cost := ins.GreedyTour()
+	if got := ins.TourCost(tour); got != cost {
+		t.Fatalf("greedy reports cost %d but tour costs %d", cost, got)
+	}
+}
+
+func TestSequentialOptimalOnSquare(t *testing.T) {
+	d := [][]int{
+		{0, 1, 2, 1},
+		{1, 0, 1, 2},
+		{2, 1, 0, 1},
+		{1, 2, 1, 0},
+	}
+	res := SolveSequential(NewInstance(d))
+	if res.Cost != 4 {
+		t.Fatalf("optimal cost %d, want 4", res.Cost)
+	}
+	if got := NewInstance(d).TourCost(res.Tour); got != 4 {
+		t.Fatalf("reported tour costs %d", got)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("no nodes expanded")
+	}
+}
+
+// TestSequentialMatchesBruteForce verifies optimality against exhaustive
+// enumeration on small random instances.
+func TestSequentialMatchesBruteForce(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 5; trial++ {
+		ins := RandomInstance(8, r)
+		want := bruteForce(ins)
+		got := SolveSequential(ins)
+		if got.Cost != want {
+			t.Fatalf("trial %d: B&B cost %d, brute force %d", trial, got.Cost, want)
+		}
+		if ins.TourCost(got.Tour) != got.Cost {
+			t.Fatalf("trial %d: tour/cost mismatch", trial)
+		}
+	}
+}
+
+// bruteForce enumerates all tours from city 0.
+func bruteForce(ins *Instance) int {
+	perm := make([]int, ins.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 1 << 30
+	var rec func(k int)
+	rec = func(k int) {
+		if k == ins.N {
+			if c := ins.TourCost(perm); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < ins.N; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(1) // fix city 0 as start
+	return best
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rng.New(5)
+	p, err := pool.New(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for trial := 0; trial < 3; trial++ {
+		ins := RandomInstance(11, r)
+		seq := SolveSequential(ins)
+		par := SolveParallel(ins, p, 3)
+		if par.Cost != seq.Cost {
+			t.Fatalf("trial %d: parallel cost %d != sequential %d", trial, par.Cost, seq.Cost)
+		}
+		if ins.TourCost(par.Tour) != par.Cost {
+			t.Fatalf("trial %d: parallel tour/cost mismatch", trial)
+		}
+	}
+}
+
+func TestParallelPoolReusable(t *testing.T) {
+	p, err := pool.New(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	r := rng.New(6)
+	ins := RandomInstance(10, r)
+	a := SolveParallel(ins, p, 2)
+	b := SolveParallel(ins, p, 4)
+	if a.Cost != b.Cost {
+		t.Fatalf("same instance, different costs: %d vs %d", a.Cost, b.Cost)
+	}
+}
+
+func TestParallelSpawnDepthClamped(t *testing.T) {
+	p, err := pool.New(pool.Config{Workers: 2, F: 1.5, Delta: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ins := RandomInstance(8, rng.New(7))
+	res := SolveParallel(ins, p, 0) // clamped to 1
+	if res.Cost != SolveSequential(ins).Cost {
+		t.Fatal("clamped spawn depth broke optimality")
+	}
+}
+
+func BenchmarkSequentialTSP12(b *testing.B) {
+	ins := RandomInstance(12, rng.New(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveSequential(ins)
+	}
+}
+
+func BenchmarkParallelTSP12(b *testing.B) {
+	ins := RandomInstance(12, rng.New(42))
+	p, err := pool.New(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveParallel(ins, p, 3)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/topology"
+)
+
+// classVirtualTotal returns Σ_p (d[p][j] + b[p][j]) — the system-wide
+// virtual load of class j. Theorem 4's proof requires that this quantity
+// changes ONLY through class j's owner: when j generates, consumes, or
+// simulates a load decrease. Balancing operations and borrow conversions
+// must leave it untouched.
+func classVirtualTotal(s *System, j int) int {
+	total := 0
+	for p := 0; p < s.n; p++ {
+		total += s.d[p*s.n+j] + s.b[p*s.n+j]
+	}
+	return total
+}
+
+// TestClassVirtualLoadOnlyOwnerChanges is the central accounting property:
+// drive random operations and verify, op by op, that a class's virtual
+// total never changes unless its owner acted (directly or through a
+// simulated decrease, which the metrics expose).
+func TestClassVirtualLoadOnlyOwnerChanges(t *testing.T) {
+	const n = 8
+	r := rng.New(77)
+	s, err := NewSystem(n, Params{F: 1.2, Delta: 2, C: 3}, topology.NewGlobal(n), r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]int, n)
+	snapshot := func() {
+		for j := 0; j < n; j++ {
+			totals[j] = classVirtualTotal(s, j)
+		}
+	}
+	snapshot()
+	for op := 0; op < 6000; op++ {
+		i := r.Intn(n)
+		decBefore := s.Metrics().DecreaseSim + s.Metrics().ForcedSettle
+		generated := false
+		consumed := false
+		if r.Bernoulli(0.55) {
+			s.Generate(i)
+			generated = true
+		} else {
+			consumed = s.Consume(i)
+		}
+		decAfter := s.Metrics().DecreaseSim + s.Metrics().ForcedSettle
+		simulatedDecreases := decAfter > decBefore
+		for j := 0; j < n; j++ {
+			now := classVirtualTotal(s, j)
+			delta := now - totals[j]
+			totals[j] = now
+			if delta == 0 {
+				continue
+			}
+			// A class total may grow only by +1, for class i, when i
+			// generated a fresh packet (a generate that repays a borrow
+			// marker leaves every total unchanged).
+			if delta > 0 {
+				if !(j == i && generated && delta == 1) {
+					t.Fatalf("op %d: class %d virtual total grew by %d (i=%d generated=%v)", op, j, delta, i, generated)
+				}
+				continue
+			}
+			// A class total may shrink by 1 when its owner consumed an own
+			// packet, or by any amount through simulated decreases (remote
+			// borrow settlement, phantom clearing) in the same call.
+			if j == i && consumed && delta == -1 {
+				continue
+			}
+			if !simulatedDecreases {
+				t.Fatalf("op %d: class %d virtual total shrank by %d without a simulated decrease (i=%d consumed=%v)", op, j, -delta, i, consumed)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBalanceLeavesClassTotalsInvariant: a balancing operation must
+// conserve every class total exactly (both d and b matrices).
+func TestBalanceLeavesClassTotalsInvariant(t *testing.T) {
+	const n = 10
+	r := rng.New(88)
+	s, err := NewSystem(n, Params{F: 1.5, Delta: 3, C: 4}, topology.NewGlobal(n), r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build an uneven state.
+	for op := 0; op < 2000; op++ {
+		i := r.Intn(n)
+		if r.Bernoulli(0.6) {
+			s.Generate(i)
+		} else {
+			s.Consume(i)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		before := make([]int, n)
+		beforeB := make([]int, n)
+		for j := 0; j < n; j++ {
+			for p := 0; p < n; p++ {
+				before[j] += s.d[p*n+j]
+				beforeB[j] += s.b[p*n+j]
+			}
+		}
+		totalB := 0
+		for _, v := range beforeB {
+			totalB += v
+		}
+		init := r.Intn(n)
+		s.balance(init)
+		for j := 0; j < n; j++ {
+			after, afterB := 0, 0
+			for p := 0; p < n; p++ {
+				after += s.d[p*n+j]
+				afterB += s.b[p*n+j]
+			}
+			if after != before[j] {
+				t.Fatalf("trial %d: class %d real total %d -> %d across balance", trial, j, before[j], after)
+			}
+			// b totals may only shrink for classes whose markers landed on
+			// their owner (consumed there); never grow.
+			if afterB > beforeB[j] {
+				t.Fatalf("trial %d: class %d marker total grew %d -> %d", trial, j, beforeB[j], afterB)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBalancePostConditions: immediately after any balancing operation,
+// the participants' physical loads differ by at most 1 and every class is
+// within ±1 across participants. We observe this through n=δ+1 systems
+// where all processors participate in every balance.
+func TestBalancePostConditions(t *testing.T) {
+	const n = 4
+	r := rng.New(99)
+	s, err := NewSystem(n, Params{F: 1.3, Delta: 3, C: 4}, topology.NewGlobal(n), r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < 3000; op++ {
+		i := r.Intn(n)
+		opsBefore := s.Metrics().BalanceOps
+		if r.Bernoulli(0.6) {
+			s.Generate(i)
+		} else {
+			s.Consume(i)
+		}
+		if s.Metrics().BalanceOps == opsBefore {
+			continue // no balance this op
+		}
+		// δ = n−1: every balance includes all processors.
+		loads := s.Loads(nil)
+		lo, hi := loads[0], loads[0]
+		for _, v := range loads {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		// Between the balance and our observation the acting processor
+		// may have consumed/generated one packet.
+		if hi-lo > 2 {
+			t.Fatalf("op %d: post-balance loads %v spread %d", op, loads, hi-lo)
+		}
+		for j := 0; j < n; j++ {
+			cl, ch := s.D(0, j), s.D(0, j)
+			for p := 1; p < n; p++ {
+				v := s.D(p, j)
+				if v < cl {
+					cl = v
+				}
+				if v > ch {
+					ch = v
+				}
+			}
+			if ch-cl > 2 {
+				t.Fatalf("op %d: class %d spread %d across participants", op, j, ch-cl)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/topology"
+)
+
+// FuzzOpSequence drives a System with an arbitrary byte-encoded sequence
+// of operations and checks every structural invariant afterwards. Each
+// byte encodes (processor, op): op = b&1 (generate/consume), processor =
+// (b>>1) % n. Parameters derive from the first three bytes.
+func FuzzOpSequence(f *testing.F) {
+	f.Add([]byte{0x10, 0x20, 0x30, 0x01, 0x02, 0x03, 0xff, 0x80})
+	f.Add([]byte{0x00, 0x00, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0x00, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := 2 + int(data[0])%14
+		delta := 1 + int(data[1])%3
+		if delta > n-1 {
+			delta = n - 1
+		}
+		fv := 1.0 + float64(data[2]%90)/100.0 // 1.00..1.89
+		if fv >= float64(delta)+1 {
+			fv = float64(delta) + 0.9
+		}
+		c := 1 + int(data[3])%6
+		s, err := NewSystem(n, Params{F: fv, Delta: delta, C: c}, topology.NewGlobal(n), rng.New(uint64(len(data))))
+		if err != nil {
+			t.Fatalf("construction failed for derived params: %v", err)
+		}
+		for _, b := range data[4:] {
+			p := (int(b) >> 1) % n
+			if b&1 == 0 {
+				s.Generate(p)
+			} else {
+				s.Consume(p)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Loads are consistent with the snapshot API.
+		loads := s.Loads(nil)
+		total := 0
+		for i, v := range loads {
+			if v != s.Load(i) {
+				t.Fatalf("snapshot mismatch at %d", i)
+			}
+			total += v
+		}
+		if total != s.TotalLoad() {
+			t.Fatal("TotalLoad mismatch")
+		}
+	})
+}
+
+// FuzzSnakeDistribute checks the balanced-remainder distribution on
+// arbitrary class sequences: conservation, non-negativity, per-class ±1,
+// per-participant grand totals ±1.
+func FuzzSnakeDistribute(f *testing.F) {
+	f.Add([]byte{3, 1, 10, 20, 0, 7})
+	f.Add([]byte{8, 0, 255, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		m := 1 + int(data[0])%9
+		start := int(data[1])
+		cur := newSnakeCursor(m, start)
+		perProc := make([]int, m)
+		for _, b := range data[2:] {
+			total := int(b)
+			sum := 0
+			assigned := make([]int, m)
+			cur.distribute(total, func(p, cnt int) {
+				if cnt < 0 {
+					t.Fatalf("negative assignment %d", cnt)
+				}
+				assigned[p] = cnt
+				sum += cnt
+			})
+			if sum != total {
+				t.Fatalf("conservation: distributed %d of %d", sum, total)
+			}
+			lo, hi := assigned[0], assigned[0]
+			for _, v := range assigned {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				_ = v
+			}
+			if hi-lo > 1 {
+				t.Fatalf("per-class spread %d", hi-lo)
+			}
+			for p := range perProc {
+				perProc[p] += assigned[p]
+			}
+		}
+		lo, hi := perProc[0], perProc[0]
+		for _, v := range perProc {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("grand-total spread %d", hi-lo)
+		}
+	})
+}

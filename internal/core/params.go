@@ -1,0 +1,146 @@
+package core
+
+import "fmt"
+
+// Params are the three tunables of the load balancing algorithm. The paper
+// proves (Theorems 2–4) that they scale every quality/cost tradeoff:
+//
+//   - F: the trigger factor f. A balancing operation fires when a
+//     processor's self-generated load changes by this factor. Smaller F
+//     means better balance and more balancing operations.
+//   - Delta: the neighborhood size δ — how many partners join each
+//     balancing operation. Larger Delta means better balance and more
+//     migration per operation.
+//   - C: the borrow capacity — how many packets a processor may consume
+//     beyond its self-generated load before settling with the owning
+//     classes. Larger C loosens the Theorem 4 bound by an additive C but
+//     reduces settlement communication (paper Table 1).
+type Params struct {
+	F     float64
+	Delta int
+	C     int
+
+	// InitiatorOnlyReset selects the appendix-literal variant in which a
+	// balancing operation resets the trigger base l_old only on the
+	// initiating processor. The default (false) resets it on every
+	// participant, matching the §4 analysis where a balancing operation
+	// counts as a local-clock tick for all δ+1 processors involved. The
+	// ablation experiments measure the difference.
+	InitiatorOnlyReset bool
+}
+
+// DefaultParams returns the parameter set the paper's Table 1 experiments
+// use: f = 1.1, δ = 1, C = 4.
+func DefaultParams() Params {
+	return Params{F: 1.1, Delta: 1, C: 4}
+}
+
+// Validate checks the theory's preconditions: δ ≥ 1, C ≥ 1 and
+// 1 ≤ f < δ+1 (Theorems 1–4 all require the latter; at f ≥ δ+1 the
+// fixed-point bound δ/(δ+1−f) diverges and the balancing guarantee is
+// lost).
+func (p Params) Validate() error {
+	if p.Delta < 1 {
+		return fmt.Errorf("core: Delta = %d, need Delta >= 1", p.Delta)
+	}
+	if p.C < 1 {
+		return fmt.Errorf("core: C = %d, need C >= 1", p.C)
+	}
+	if p.F < 1 {
+		return fmt.Errorf("core: F = %v, need F >= 1", p.F)
+	}
+	if p.F >= float64(p.Delta)+1 {
+		return fmt.Errorf("core: F = %v violates F < Delta+1 = %d (Theorem 1 precondition)", p.F, p.Delta+1)
+	}
+	return nil
+}
+
+// Metrics counts the activity of the algorithm. The first four fields are
+// exactly the rows of the paper's Table 1; the rest support the cost
+// analyses of §6 and the ablation experiments.
+type Metrics struct {
+	// TotalBorrow is the number of initiated borrowing operations
+	// (Table 1 row "total borrow").
+	TotalBorrow int64
+	// RemoteBorrow is the number of operations in which a load packet of
+	// another processor was exchanged against a previously borrowed packet
+	// (Table 1 row "remote borrow").
+	RemoteBorrow int64
+	// BorrowFail is the number of initiations of the §4 recovery algorithm
+	// for a class whose owner had no real self packets
+	// (Table 1 row "borrow fail").
+	BorrowFail int64
+	// DecreaseSim is the number of initiated simulations of a load
+	// decrease to consume borrowed load packets
+	// (Table 1 row "decrease sim").
+	DecreaseSim int64
+
+	// BalanceOps is the number of balancing operations performed
+	// (full δ+1-way redistributions).
+	BalanceOps int64
+	// ClassBalanceOps is the number of single-class recovery balances.
+	ClassBalanceOps int64
+	// Migrations is the number of packets that changed processor during
+	// balancing operations (counted as packets received).
+	Migrations int64
+	// Generated and Consumed count successful generate/consume steps.
+	Generated int64
+	Consumed  int64
+	// ConsumeNoLoad counts consume attempts on an empty processor.
+	ConsumeNoLoad int64
+	// ForcedSettle counts force-cleared markers on the defensive fallback
+	// path (never hit under the paper's assumptions; see doc.go).
+	ForcedSettle int64
+}
+
+// Add accumulates other into m (used when aggregating runs).
+func (m *Metrics) Add(other Metrics) {
+	m.TotalBorrow += other.TotalBorrow
+	m.RemoteBorrow += other.RemoteBorrow
+	m.BorrowFail += other.BorrowFail
+	m.DecreaseSim += other.DecreaseSim
+	m.BalanceOps += other.BalanceOps
+	m.ClassBalanceOps += other.ClassBalanceOps
+	m.Migrations += other.Migrations
+	m.Generated += other.Generated
+	m.Consumed += other.Consumed
+	m.ConsumeNoLoad += other.ConsumeNoLoad
+	m.ForcedSettle += other.ForcedSettle
+}
+
+// Scale returns a copy of m with every counter divided by k, as float64s,
+// for per-run averages. It panics if k <= 0.
+func (m Metrics) Scale(k int) ScaledMetrics {
+	if k <= 0 {
+		panic("core: Metrics.Scale with k <= 0")
+	}
+	f := func(v int64) float64 { return float64(v) / float64(k) }
+	return ScaledMetrics{
+		TotalBorrow:     f(m.TotalBorrow),
+		RemoteBorrow:    f(m.RemoteBorrow),
+		BorrowFail:      f(m.BorrowFail),
+		DecreaseSim:     f(m.DecreaseSim),
+		BalanceOps:      f(m.BalanceOps),
+		ClassBalanceOps: f(m.ClassBalanceOps),
+		Migrations:      f(m.Migrations),
+		Generated:       f(m.Generated),
+		Consumed:        f(m.Consumed),
+		ConsumeNoLoad:   f(m.ConsumeNoLoad),
+		ForcedSettle:    f(m.ForcedSettle),
+	}
+}
+
+// ScaledMetrics are per-run averages of Metrics.
+type ScaledMetrics struct {
+	TotalBorrow     float64
+	RemoteBorrow    float64
+	BorrowFail      float64
+	DecreaseSim     float64
+	BalanceOps      float64
+	ClassBalanceOps float64
+	Migrations      float64
+	Generated       float64
+	Consumed        float64
+	ConsumeNoLoad   float64
+	ForcedSettle    float64
+}

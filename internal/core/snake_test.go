@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lmbalance/internal/rng"
+)
+
+func TestSnakeSingleClass(t *testing.T) {
+	cur := newSnakeCursor(4, 0)
+	got := make([]int, 4)
+	cur.distribute(10, func(p, cnt int) { got[p] = cnt })
+	// 10 over 4: base 2, extras at positions 0,1.
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distribute(10) = %v, want %v", got, want)
+		}
+	}
+	if cur.offset != 2 {
+		t.Fatalf("offset = %d, want 2", cur.offset)
+	}
+}
+
+func TestSnakeOffsetWraps(t *testing.T) {
+	cur := newSnakeCursor(3, 2)
+	got := make([]int, 3)
+	cur.distribute(4, func(p, cnt int) { got[p] = cnt })
+	// base 1, one extra at position 2.
+	if got[0] != 1 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if cur.offset != 0 {
+		t.Fatalf("offset = %d, want 0", cur.offset)
+	}
+}
+
+func TestSnakeZeroTotal(t *testing.T) {
+	cur := newSnakeCursor(3, 1)
+	got := []int{9, 9, 9}
+	cur.distribute(0, func(p, cnt int) { got[p] = cnt })
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("zero total must assign zeros, got %v", got)
+		}
+	}
+	if cur.offset != 1 {
+		t.Fatal("offset must not advance for zero remainder")
+	}
+}
+
+func TestSnakePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m=0 did not panic")
+		}
+	}()
+	newSnakeCursor(0, 0)
+}
+
+func TestSnakeNegativeTotalPanics(t *testing.T) {
+	cur := newSnakeCursor(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative total did not panic")
+		}
+	}()
+	cur.distribute(-1, func(p, cnt int) {})
+}
+
+// TestSnakeProperties verifies the two ±1 guarantees and conservation over
+// random multi-class sequences — the exact invariants §4 of the paper
+// demands from the "snake like distribution".
+func TestSnakeProperties(t *testing.T) {
+	r := rng.New(31)
+	prop := func(mRaw, classesRaw uint8, seed uint16) bool {
+		m := 2 + int(mRaw)%7              // 2..8 participants
+		classes := 1 + int(classesRaw)%20 // 1..20 classes
+		rr := rng.New(uint64(seed))
+		cur := newSnakeCursor(m, rr.Intn(m))
+		perProc := make([]int, m)
+		for c := 0; c < classes; c++ {
+			total := rr.Intn(40)
+			assigned := make([]int, m)
+			sum := 0
+			cur.distribute(total, func(p, cnt int) {
+				assigned[p] = cnt
+				sum += cnt
+			})
+			if sum != total {
+				return false // conservation violated
+			}
+			lo, hi := assigned[0], assigned[0]
+			for _, v := range assigned {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				if v < 0 {
+					return false
+				}
+			}
+			if hi-lo > 1 {
+				return false // per-class ±1 violated
+			}
+			for p := range perProc {
+				perProc[p] += assigned[p]
+			}
+		}
+		lo, hi := perProc[0], perProc[0]
+		for _, v := range perProc {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi-lo <= 1 // per-participant grand total ±1
+	}
+	_ = r
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/topology"
+)
+
+// System is the state of n processors running the Lüling–Monien load
+// balancing algorithm. It is driven step-by-step by a simulator calling
+// Generate and Consume; all balancing activity happens inside those calls,
+// exactly as in the appendix algorithm. A System is not safe for concurrent
+// use; the concurrent realization lives in internal/runtime.
+type System struct {
+	n      int
+	params Params
+	sel    topology.Selector
+	rng    *rng.RNG
+
+	d      []int // d[i*n+j]: real packets of class j on processor i
+	b      []int // b[i*n+j]: borrow markers of class j on processor i
+	l      []int // physical load, l[i] == Σ_j d[i*n+j]
+	bTot   []int // Σ_j b[i*n+j]
+	lOld   []int // d[i][i] at processor i's last balancing operation
+	localT []int // balancing operations processor i participated in
+
+	metrics Metrics
+
+	// scratch buffers reused across balancing operations
+	candBuf []int
+	setBuf  []int
+	oldL    []int
+	newL    []int
+	newBTot []int
+}
+
+// NewSystem creates a balanced-empty system of n processors. The selector
+// must be built for the same n. The RNG drives candidate selection and all
+// random choices of the algorithm.
+func NewSystem(n int, p Params, sel topology.Selector, r *rng.RNG) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need n >= 2 processors, got %d", n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if sel == nil || r == nil {
+		return nil, fmt.Errorf("core: selector and rng must be non-nil")
+	}
+	if sel.N() != n {
+		return nil, fmt.Errorf("core: selector built for %d processors, system has %d", sel.N(), n)
+	}
+	m := p.Delta + 2 // balancing set is at most δ+1, class recovery adds one
+	return &System{
+		n:       n,
+		params:  p,
+		sel:     sel,
+		rng:     r,
+		d:       make([]int, n*n),
+		b:       make([]int, n*n),
+		l:       make([]int, n),
+		bTot:    make([]int, n),
+		lOld:    make([]int, n),
+		localT:  make([]int, n),
+		candBuf: make([]int, 0, p.Delta),
+		setBuf:  make([]int, 0, m),
+		oldL:    make([]int, m),
+		newL:    make([]int, m),
+		newBTot: make([]int, m),
+	}, nil
+}
+
+// Name identifies the algorithm in experiment output.
+func (s *System) Name() string {
+	return fmt.Sprintf("LM(f=%g,δ=%d,C=%d,%s)", s.params.F, s.params.Delta, s.params.C, s.sel.Name())
+}
+
+// N returns the number of processors.
+func (s *System) N() int { return s.n }
+
+// Params returns the algorithm parameters.
+func (s *System) Params() Params { return s.params }
+
+// Load returns the physical load of processor i.
+func (s *System) Load(i int) int { return s.l[i] }
+
+// Loads appends the physical loads of all processors to dst and returns it.
+func (s *System) Loads(dst []int) []int { return append(dst[:0], s.l...) }
+
+// VirtualLoad returns l[i] + Σ_j b[i][j] — the load the analysis sees
+// (Theorem 4 works on virtual loads; physical load is at most C below it).
+func (s *System) VirtualLoad(i int) int { return s.l[i] + s.bTot[i] }
+
+// TotalLoad returns the number of packets in the system.
+func (s *System) TotalLoad() int {
+	sum := 0
+	for _, v := range s.l {
+		sum += v
+	}
+	return sum
+}
+
+// LocalTime returns the number of balancing operations processor i has
+// participated in — the paper's local clock t'.
+func (s *System) LocalTime(i int) int { return s.localT[i] }
+
+// TriggerBase returns l_old for processor i: its self-generated load at its
+// last balancing operation, against which the factor-f trigger compares.
+func (s *System) TriggerBase(i int) int { return s.lOld[i] }
+
+// Metrics returns a snapshot of the activity counters.
+func (s *System) Metrics() Metrics { return s.metrics }
+
+// D returns d[i][j] (real packets of class j on i); for tests and
+// experiment introspection.
+func (s *System) D(i, j int) int { return s.d[i*s.n+j] }
+
+// B returns b[i][j] (borrow markers of class j on i).
+func (s *System) B(i, j int) int { return s.b[i*s.n+j] }
+
+// Borrowed returns the number of outstanding borrow markers of processor i.
+func (s *System) Borrowed(i int) int { return s.bTot[i] }
+
+// Generate adds one self-generated packet to processor i. If i holds
+// borrow markers, the new packet repays a debt instead (appendix: the
+// marker's class receives the packet), leaving virtual loads unchanged.
+// May trigger a balancing operation.
+func (s *System) Generate(i int) {
+	if s.bTot[i] > 0 {
+		j := s.randClass(i, func(idx int) bool { return s.b[idx] > 0 })
+		s.b[i*s.n+j]--
+		s.bTot[i]--
+		s.d[i*s.n+j]++
+	} else {
+		s.d[i*s.n+i]++
+	}
+	s.l[i]++
+	s.metrics.Generated++
+	s.maybeBalance(i)
+}
+
+// Consume removes one packet from processor i, borrowing from a foreign
+// class if i has no self-generated packets left. It returns false if i has
+// no load at all. May trigger balancing operations (on i, or on a class
+// owner during borrow settlement).
+func (s *System) Consume(i int) bool {
+	if s.l[i] == 0 {
+		s.metrics.ConsumeNoLoad++
+		return false
+	}
+	if s.d[i*s.n+i] > 0 {
+		s.d[i*s.n+i]--
+		s.l[i]--
+		s.metrics.Consumed++
+		s.maybeBalance(i)
+		return true
+	}
+	// d[i][i] == 0 but l > 0: borrow. Each settlement clears at least one
+	// marker, so the loop terminates within C+2 rounds.
+	for attempt := 0; attempt <= s.params.C+2; attempt++ {
+		if s.l[i] == 0 {
+			// Settlement rebalancing may have migrated all load away.
+			s.metrics.ConsumeNoLoad++
+			return false
+		}
+		if s.d[i*s.n+i] > 0 {
+			// Settlement rebalancing gave i self packets back.
+			s.d[i*s.n+i]--
+			s.l[i]--
+			s.metrics.Consumed++
+			s.maybeBalance(i)
+			return true
+		}
+		if s.bTot[i] < s.params.C {
+			j := s.randClass(i, func(idx int) bool { return s.d[idx] > 0 && s.b[idx] == 0 })
+			if j >= 0 {
+				s.b[i*s.n+j]++
+				s.bTot[i]++
+				s.d[i*s.n+j]--
+				s.l[i]--
+				s.metrics.TotalBorrow++
+				s.metrics.Consumed++
+				return true
+			}
+		}
+		// No borrow slot: settle a random outstanding marker first.
+		j := s.randClass(i, func(idx int) bool { return s.b[idx] > 0 })
+		if j < 0 {
+			// No markers and no borrowable class would mean l == 0;
+			// unreachable, but fail safe rather than loop.
+			break
+		}
+		s.settle(i, j)
+	}
+	s.metrics.ConsumeNoLoad++
+	return false
+}
+
+// randClass picks a uniformly random class j for processor i among those
+// whose flattened index i*n+j satisfies pred, via reservoir sampling.
+// It returns -1 if no class qualifies.
+func (s *System) randClass(i int, pred func(idx int) bool) int {
+	base := i * s.n
+	pick := -1
+	count := 0
+	for j := 0; j < s.n; j++ {
+		if pred(base + j) {
+			count++
+			if s.rng.Intn(count) == 0 {
+				pick = j
+			}
+		}
+	}
+	return pick
+}
+
+// maybeBalance fires a balancing operation if processor i's self-generated
+// load has changed by at least the factor f since its last balancing
+// operation. The strict-change guard (d != lOld) keeps the lOld == 0 case
+// from firing continuously (see doc.go).
+func (s *System) maybeBalance(i int) {
+	d := s.d[i*s.n+i]
+	old := s.lOld[i]
+	f := s.params.F
+	if d > old && float64(d) >= f*float64(old) {
+		s.balance(i)
+		return
+	}
+	if d < old && float64(d)*f <= float64(old) {
+		s.balance(i)
+	}
+}
+
+// balance performs a full balancing operation initiated by processor init:
+// δ random partners are selected and all 2n class vectors of the δ+1
+// participants are snake-redistributed. Every participant's local clock
+// ticks, lOld resets, and own-class borrow markers are cleared (simulated
+// decrease).
+func (s *System) balance(init int) {
+	s.candBuf = s.sel.Select(init, s.params.Delta, s.rng, s.candBuf)
+	s.setBuf = append(s.setBuf[:0], init)
+	s.setBuf = append(s.setBuf, s.candBuf...)
+	set := s.setBuf
+	s.metrics.BalanceOps++
+	s.redistribute(set)
+	for _, p := range set {
+		if !s.params.InitiatorOnlyReset || p == init {
+			s.lOld[p] = s.d[p*s.n+p]
+		}
+		s.localT[p]++
+	}
+	for _, p := range set {
+		if own := s.b[p*s.n+p]; own > 0 {
+			// The owner consumes its own phantoms: simulated decrease.
+			s.bTot[p] -= own
+			s.b[p*s.n+p] = 0
+			s.metrics.DecreaseSim++
+		}
+	}
+}
+
+// redistribute snake-distributes all d classes followed by all b classes
+// of the participant set, maintaining l and bTot and counting migrations.
+func (s *System) redistribute(set []int) {
+	m := len(set)
+	oldL := s.oldL[:m]
+	newL := s.newL[:m]
+	newBTot := s.newBTot[:m]
+	for k, p := range set {
+		oldL[k] = s.l[p]
+		newL[k] = 0
+		newBTot[k] = 0
+	}
+	cur := newSnakeCursor(m, s.rng.Intn(m))
+	for j := 0; j < s.n; j++ {
+		total := 0
+		for _, p := range set {
+			total += s.d[p*s.n+j]
+		}
+		if total == 0 {
+			continue // cursor need not advance for empty classes
+		}
+		cur.distribute(total, func(k, cnt int) {
+			s.d[set[k]*s.n+j] = cnt
+			newL[k] += cnt
+		})
+	}
+	for j := 0; j < s.n; j++ {
+		total := 0
+		for _, p := range set {
+			total += s.b[p*s.n+j]
+		}
+		if total == 0 {
+			continue
+		}
+		cur.distribute(total, func(k, cnt int) {
+			s.b[set[k]*s.n+j] = cnt
+			newBTot[k] += cnt
+		})
+	}
+	for k, p := range set {
+		s.l[p] = newL[k]
+		s.bTot[p] = newBTot[k]
+		if recv := newL[k] - oldL[k]; recv > 0 {
+			s.metrics.Migrations += int64(recv)
+		}
+	}
+}
+
+// CheckInvariants verifies the structural invariants documented in doc.go:
+// non-negative counts, l[i] == Σ_j d[i][j], bTot[i] == Σ_j b[i][j], and
+// exact packet conservation (TotalLoad == Generated − Consumed). It is
+// O(n²) and intended for tests.
+func (s *System) CheckInvariants() error {
+	var totalLoad int64
+	for i := 0; i < s.n; i++ {
+		sumD, sumB := 0, 0
+		for j := 0; j < s.n; j++ {
+			dv, bv := s.d[i*s.n+j], s.b[i*s.n+j]
+			if dv < 0 {
+				return fmt.Errorf("core: d[%d][%d] = %d < 0", i, j, dv)
+			}
+			if bv < 0 {
+				return fmt.Errorf("core: b[%d][%d] = %d < 0", i, j, bv)
+			}
+			sumD += dv
+			sumB += bv
+		}
+		if s.l[i] != sumD {
+			return fmt.Errorf("core: l[%d] = %d but Σd = %d", i, s.l[i], sumD)
+		}
+		if s.bTot[i] != sumB {
+			return fmt.Errorf("core: bTot[%d] = %d but Σb = %d", i, s.bTot[i], sumB)
+		}
+		totalLoad += int64(s.l[i])
+	}
+	if want := s.metrics.Generated - s.metrics.Consumed; totalLoad != want {
+		return fmt.Errorf("core: total load %d but generated−consumed = %d", totalLoad, want)
+	}
+	return nil
+}
+
+// settle resolves one outstanding borrow marker b[i][j] (see doc.go for
+// the three cases).
+func (s *System) settle(i, j int) {
+	if j == i {
+		// The owner clears its own phantoms: simulated decrease.
+		s.bTot[i] -= s.b[i*s.n+i]
+		s.b[i*s.n+i] = 0
+		s.metrics.DecreaseSim++
+		return
+	}
+	if s.d[j*s.n+j] > 0 {
+		s.exchange(i, j)
+		return
+	}
+	// Borrow fail: the class owner has no real self packets. Run the §4
+	// recovery — a class-j-only balancing over j, δ random candidates and
+	// i — then settle if it produced packets at j.
+	s.metrics.BorrowFail++
+	s.classBalance(j, i)
+	if s.b[i*s.n+j] == 0 {
+		// The marker migrated away (another participant now carries the
+		// debt); i is free to borrow again.
+		return
+	}
+	if s.d[j*s.n+j] > 0 {
+		s.exchange(i, j)
+		return
+	}
+	// Class j has no real packets among the participants: force-clear the
+	// marker with a simulated decrease accounted to class j. Unreachable
+	// under the paper's assumptions; kept for progress under adversarial
+	// schedules.
+	s.b[i*s.n+j]--
+	s.bTot[i]--
+	s.metrics.ForcedSettle++
+	s.metrics.DecreaseSim++
+}
+
+// exchange performs the paper's remote-borrow settlement: processor j
+// migrates one real class-j packet to i, i clears its class-j marker, and
+// j treats the loss as a simulated workload decrease (which may trigger a
+// balancing operation on j).
+func (s *System) exchange(i, j int) {
+	s.d[j*s.n+j]--
+	s.l[j]--
+	s.d[i*s.n+j]++
+	s.l[i]++
+	s.b[i*s.n+j]--
+	s.bTot[i]--
+	s.metrics.RemoteBorrow++
+	s.metrics.DecreaseSim++
+	s.maybeBalance(j)
+}
+
+// classBalance redistributes only class cls over the owner, δ random
+// candidates of the owner, and the extra processor (the borrower), leaving
+// every other class untouched. Markers of class cls arriving at the owner
+// are consumed (the paper: "at least one processor migrates its borrowed
+// packet to j where it is also consumed").
+func (s *System) classBalance(owner, extra int) {
+	cls := owner // the class being balanced is the owner's own class
+	s.metrics.ClassBalanceOps++
+	s.candBuf = s.sel.Select(owner, s.params.Delta, s.rng, s.candBuf)
+	s.setBuf = append(s.setBuf[:0], owner)
+	for _, c := range s.candBuf {
+		if c != extra {
+			s.setBuf = append(s.setBuf, c)
+		}
+	}
+	if extra != owner {
+		s.setBuf = append(s.setBuf, extra)
+	}
+	set := s.setBuf
+	m := len(set)
+
+	totalD, totalB := 0, 0
+	for _, p := range set {
+		totalD += s.d[p*s.n+cls]
+		totalB += s.b[p*s.n+cls]
+	}
+	cur := newSnakeCursor(m, s.rng.Intn(m))
+	cur.distribute(totalD, func(k, cnt int) {
+		p := set[k]
+		delta := cnt - s.d[p*s.n+cls]
+		s.d[p*s.n+cls] = cnt
+		s.l[p] += delta
+		if delta > 0 {
+			s.metrics.Migrations += int64(delta)
+		}
+	})
+	cur.distribute(totalB, func(k, cnt int) {
+		p := set[k]
+		delta := cnt - s.b[p*s.n+cls]
+		s.b[p*s.n+cls] = cnt
+		s.bTot[p] += delta
+	})
+	// Markers of the class that landed on the owner are consumed there.
+	if own := s.b[owner*s.n+cls]; own > 0 {
+		s.bTot[owner] -= own
+		s.b[owner*s.n+cls] = 0
+		s.metrics.DecreaseSim++
+	}
+}

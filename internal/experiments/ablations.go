@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lmbalance/internal/core"
+	"lmbalance/internal/rng"
+	"lmbalance/internal/sim"
+	"lmbalance/internal/topology"
+	"lmbalance/internal/trace"
+	"lmbalance/internal/workload"
+)
+
+// AblationRow is the quality/cost summary of one variant.
+type AblationRow struct {
+	Name           string
+	MeanSpreadTail float64
+	BalanceOps     float64
+	Migrations     float64
+}
+
+// CSweepRow is one borrow-capacity measurement.
+type CSweepRow struct {
+	C              int
+	MeanSpreadTail float64
+	RemoteBorrow   float64 // per processor per run
+	DecreaseSim    float64 // per processor per run
+}
+
+// AblationsResult collects the design-choice studies of DESIGN.md §6:
+// the (δ, f) tradeoff sweep, locality-restricted candidate selection,
+// the initiator-only trigger-reset variant, and the borrow-capacity
+// sweep isolating the §7 claim that "a larger parameter C increases the
+// load imbalance … but decreases the number of operations to borrow load
+// from remote processors".
+type AblationsResult struct {
+	ParamSweep []AblationRow
+	Topology   []AblationRow
+	Reset      []AblationRow
+	CSweep     []CSweepRow
+	Runs       int
+}
+
+// Ablations runs all ablation studies under the paper's §7 workload.
+func Ablations(scale Scale, seed uint64) (*AblationsResult, error) {
+	out := &AblationsResult{Runs: scale.runs()}
+
+	run := func(name string, params core.Params, sel func() topology.Selector, seed uint64) (AblationRow, error) {
+		cfg := sim.Config{
+			N: PaperN, Steps: PaperSteps, Runs: out.Runs, Seed: seed,
+			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
+				return core.NewSystem(PaperN, params, sel(), r)
+			},
+			NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+				return workload.NewPhases(PaperN, PaperWorkload(), r)
+			},
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("ablation %s: %w", name, err)
+		}
+		row := AblationRow{Name: name}
+		start := PaperSteps * 3 / 4
+		for s := start; s < PaperSteps; s++ {
+			row.MeanSpreadTail += res.Spread.At(s).Mean()
+		}
+		row.MeanSpreadTail /= float64(PaperSteps - start)
+		m := res.CoreMetrics.Scale(out.Runs)
+		row.BalanceOps, row.Migrations = m.BalanceOps, m.Migrations
+		return row, nil
+	}
+	global := func() topology.Selector { return topology.NewGlobal(PaperN) }
+
+	// 1. The central (δ, f) tradeoff sweep.
+	seedOff := seed
+	for _, delta := range []int{1, 2, 4, 8} {
+		for _, f := range []float64{1.1, 1.2, 1.4, 1.8} {
+			p := core.Params{F: f, Delta: delta, C: 4}
+			if p.Validate() != nil {
+				continue
+			}
+			row, err := run(fmt.Sprintf("δ=%d f=%g", delta, f), p, global, seedOff)
+			if err != nil {
+				return nil, err
+			}
+			out.ParamSweep = append(out.ParamSweep, row)
+			seedOff++
+		}
+	}
+
+	// 2. Locality-restricted candidate selection (the paper's "further
+	// research" item): δ=4 so each neighborhood offers enough candidates.
+	p4 := core.Params{F: 1.1, Delta: 4, C: 4}
+	topos := []struct {
+		name string
+		mk   func() topology.Selector
+	}{
+		{"global (paper)", global},
+		{"ring64", func() topology.Selector { return topology.NewNeighborhood(topology.Ring(PaperN)) }},
+		{"torus8x8", func() topology.Selector { return topology.NewNeighborhood(topology.Torus2D(8, 8)) }},
+		{"hypercube6", func() topology.Selector { return topology.NewNeighborhood(topology.Hypercube(6)) }},
+		{"debruijn6", func() topology.Selector { return topology.NewNeighborhood(topology.DeBruijn(6)) }},
+	}
+	for _, tp := range topos {
+		row, err := run(tp.name, p4, tp.mk, seedOff)
+		if err != nil {
+			return nil, err
+		}
+		out.Topology = append(out.Topology, row)
+		seedOff++
+	}
+
+	// 3. Borrow capacity sweep (wider than Table 1, adding the quality
+	// side of the tradeoff).
+	for _, c := range []int{1, 2, 4, 8, 16, 32, 64} {
+		params := core.Params{F: 1.1, Delta: 1, C: c}
+		cfg := sim.Config{
+			N: PaperN, Steps: PaperSteps, Runs: out.Runs, Seed: seedOff,
+			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
+				return core.NewSystem(PaperN, params, topology.NewGlobal(PaperN), r)
+			},
+			NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+				return workload.NewPhases(PaperN, PaperWorkload(), r)
+			},
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation C=%d: %w", c, err)
+		}
+		row := CSweepRow{C: c}
+		start := PaperSteps * 3 / 4
+		for s := start; s < PaperSteps; s++ {
+			row.MeanSpreadTail += res.Spread.At(s).Mean()
+		}
+		row.MeanSpreadTail /= float64(PaperSteps - start)
+		m := res.CoreMetrics.Scale(out.Runs * PaperN)
+		row.RemoteBorrow, row.DecreaseSim = m.RemoteBorrow, m.DecreaseSim
+		out.CSweep = append(out.CSweep, row)
+		seedOff++
+	}
+
+	// 4. Trigger-base reset discipline.
+	for _, v := range []struct {
+		name string
+		p    core.Params
+	}{
+		{"reset all participants (default)", core.Params{F: 1.1, Delta: 1, C: 4}},
+		{"reset initiator only (appendix literal)", core.Params{F: 1.1, Delta: 1, C: 4, InitiatorOnlyReset: true}},
+	} {
+		row, err := run(v.name, v.p, global, seedOff)
+		if err != nil {
+			return nil, err
+		}
+		out.Reset = append(out.Reset, row)
+		seedOff++
+	}
+	return out, nil
+}
+
+// Render writes the three ablation tables.
+func (r *AblationsResult) Render(w io.Writer) error {
+	if err := header(w, fmt.Sprintf("Ablations (§7 workload, %d runs)", r.Runs)); err != nil {
+		return err
+	}
+	emit := func(title string, rows []AblationRow) error {
+		tb := trace.NewTable(title, "variant", "spread(tail)", "balance ops/run", "migrations/run")
+		for _, row := range rows {
+			tb.AddRow(row.Name, row.MeanSpreadTail, row.BalanceOps, row.Migrations)
+		}
+		if err := tb.WriteText(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := emit("quality/cost tradeoff over (δ, f)", r.ParamSweep); err != nil {
+		return err
+	}
+	if err := emit("candidate selection locality (δ=4, f=1.1)", r.Topology); err != nil {
+		return err
+	}
+	if err := emit("trigger-base reset discipline (δ=1, f=1.1)", r.Reset); err != nil {
+		return err
+	}
+	ct := trace.NewTable("borrow capacity C: quality vs settlement communication (f=1.1, δ=1; per-processor per-run)",
+		"C", "spread(tail)", "remote borrow", "decrease sim")
+	for _, row := range r.CSweep {
+		ct.AddRow(row.C, row.MeanSpreadTail, row.RemoteBorrow, row.DecreaseSim)
+	}
+	return ct.WriteText(w)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lmbalance/internal/theory"
+	"lmbalance/internal/trace"
+)
+
+// DecreaseCase is one configuration of the §6 decrease-cost study.
+type DecreaseCase struct {
+	N     int
+	Delta int
+	F     float64
+	X, C  int
+}
+
+// DecreaseCases sweep the parameters the paper discusses: f (strong
+// effect), δ and n (weak effect), and c/x scaling.
+var DecreaseCases = []DecreaseCase{
+	{64, 1, 1.1, 1000, 500},
+	{64, 1, 1.2, 1000, 500},
+	{64, 1, 1.4, 1000, 500},
+	{64, 1, 1.8, 1000, 500},
+	{64, 2, 1.1, 1000, 500},
+	{64, 4, 1.1, 1000, 500},
+	{16, 1, 1.1, 1000, 500},
+	{256, 1, 1.1, 1000, 500},
+	{64, 1, 1.1, 2000, 1000}, // same c/x as the first row
+	{64, 1, 1.1, 1000, 200},
+}
+
+// DecreaseRow is the bounds-vs-simulation comparison for one case.
+type DecreaseRow struct {
+	Case     DecreaseCase
+	Lower    int     // Lemma 5 lower bound
+	Upper    int     // Lemma 5 upper bound
+	UpperOK  bool    // Lemma 5 upper bound precondition held
+	Improved int     // Lemma 6 improved upper bound (-1: n/a)
+	SimMean  float64 // measured balancing operations
+	SimStd   float64
+}
+
+// DecreaseCostResult is the §6 reproduction: "we simulated the algorithm
+// and measured the number of iterations to reduce the load … and compared
+// it with the lower and the two upper bounds."
+type DecreaseCostResult struct {
+	Rows []DecreaseRow
+	Runs int
+}
+
+// DecreaseCost runs the decrease benchmark for every case.
+func DecreaseCost(scale Scale, seed uint64) *DecreaseCostResult {
+	out := &DecreaseCostResult{Runs: scale.runs() * 5}
+	for i, c := range DecreaseCases {
+		upper, ok := theory.Lemma5Upper(c.N, c.Delta, c.F, c.X, c.C)
+		mean, std := theory.DecreaseProcess(c.N, c.Delta, c.F, float64(c.X), float64(c.C), out.Runs, seed+uint64(i))
+		out.Rows = append(out.Rows, DecreaseRow{
+			Case:     c,
+			Lower:    theory.Lemma5Lower(c.N, c.Delta, c.F, c.X, c.C),
+			Upper:    upper,
+			UpperOK:  ok,
+			Improved: theory.Lemma6Upper(c.N, c.Delta, c.F, c.X, c.C, 1_000_000),
+			SimMean:  mean,
+			SimStd:   std,
+		})
+	}
+	return out
+}
+
+// Render writes the bounds-vs-measurement table.
+func (r *DecreaseCostResult) Render(w io.Writer) error {
+	if err := header(w, fmt.Sprintf("§6 decrease cost: Lemma 5/6 bounds vs simulation (%d runs)", r.Runs)); err != nil {
+		return err
+	}
+	tb := trace.NewTable("balancing operations to simulate a decrease of c packets from x",
+		"n", "δ", "f", "x", "c", "lower(L5)", "upper(L5)", "improved(L6)", "simulated")
+	for _, row := range r.Rows {
+		upper := "-"
+		if row.UpperOK {
+			upper = fmt.Sprintf("%d", row.Upper)
+		}
+		improved := "-"
+		if row.Improved >= 0 {
+			improved = fmt.Sprintf("%d", row.Improved)
+		}
+		tb.AddRow(row.Case.N, row.Case.Delta, row.Case.F, row.Case.X, row.Case.C,
+			row.Lower, upper, improved, fmt.Sprintf("%.2f±%.2f", row.SimMean, row.SimStd))
+	}
+	return tb.WriteText(w)
+}

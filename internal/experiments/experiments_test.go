@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment harnesses are integration tests of the whole stack; they
+// run at ScaleQuick here and assert the paper's qualitative claims.
+
+func TestFig6QuickShape(t *testing.T) {
+	res, err := Fig6(ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate combo indices.
+	idx := func(delta int, f float64) int {
+		for i, c := range res.Combos {
+			if c.Delta == delta && c.F == f {
+				return i
+			}
+		}
+		t.Fatalf("combo δ=%d f=%g missing", delta, f)
+		return -1
+	}
+	lastN := len(res.Ns) - 1
+	// Paper claims: VD small in general; larger δ → lower VD; larger f →
+	// higher VD.
+	d1f11 := res.Final(idx(1, 1.1), lastN)
+	d4f11 := res.Final(idx(4, 1.1), lastN)
+	d1f12 := res.Final(idx(1, 1.2), lastN)
+	if d1f11 <= 0 || d1f11 > 1 {
+		t.Fatalf("VD(δ=1,f=1.1) = %v not small-positive", d1f11)
+	}
+	if d4f11 >= d1f11 {
+		t.Fatalf("δ=4 VD %v not below δ=1 VD %v", d4f11, d1f11)
+	}
+	if d1f12 <= d1f11 {
+		t.Fatalf("f=1.2 VD %v not above f=1.1 VD %v", d1f12, d1f11)
+	}
+	// Infeasible cells (δ > n−1) are nil: δ=2 needs n≥3, δ=4 needs n≥5.
+	if res.VD[idx(2, 1.1)][0] != nil {
+		t.Fatal("δ=2, n=2 should be infeasible")
+	}
+	if res.VD[idx(4, 1.1)][2] != nil {
+		t.Fatal("δ=4, n=4 should be infeasible")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	res, err := Fig78(Fig7Configs, "7", ScaleQuick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 2 {
+		t.Fatal("expected 2 panels")
+	}
+	// Load accumulates: the average at the end must exceed the start.
+	for _, p := range res.Panels {
+		if p.Result.Avg.At(PaperSteps-1).Mean() <= p.Result.Avg.At(10).Mean() {
+			t.Fatalf("δ=%d f=%g: load did not accumulate", p.Config.Delta, p.Config.F)
+		}
+	}
+	// f=1.1 balances at least as well as f=1.8 (δ=1): smaller tail spread.
+	if s11, s18 := res.MeanSpreadTail(0), res.MeanSpreadTail(1); s11 > s18 {
+		t.Fatalf("f=1.1 spread %v worse than f=1.8 spread %v", s11, s18)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig8BetterThanFig7(t *testing.T) {
+	f7, err := Fig78(Fig7Configs, "7", ScaleQuick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig78(Fig8Configs, "8", ScaleQuick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline observation: δ=4 balances much better than
+	// δ=1 at the same f.
+	if f8.MeanSpreadTail(0) >= f7.MeanSpreadTail(0) {
+		t.Fatalf("δ=4 spread %v not below δ=1 spread %v",
+			f8.MeanSpreadTail(0), f7.MeanSpreadTail(0))
+	}
+}
+
+func TestFig910Quick(t *testing.T) {
+	res, err := Fig910(Fig8Configs[:1], "10", ScaleQuick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 1 {
+		t.Fatal("expected 1 panel")
+	}
+	for _, s := range Fig910SnapshotSteps {
+		if res.EnvelopeWidth(0, s) < 0 {
+			t.Fatal("negative envelope")
+		}
+		accs := res.Panels[0].Result.Snapshots[s-1]
+		if len(accs) != PaperN {
+			t.Fatalf("snapshot at %d has %d processors", s, len(accs))
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig910DeltaImpact(t *testing.T) {
+	// Fig. 9 vs Fig. 10: "the large impact of parameter δ on the balancing
+	// quality": envelopes shrink dramatically from δ=1 to δ=4 at f=1.1.
+	f9, err := Fig910(Fig7Configs[:1], "9", ScaleQuick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := Fig910(Fig8Configs[:1], "10", ScaleQuick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.EnvelopeWidth(0, 400) >= f9.EnvelopeWidth(0, 400) {
+		t.Fatalf("δ=4 envelope %v not below δ=1 envelope %v",
+			f10.EnvelopeWidth(0, 400), f9.EnvelopeWidth(0, 400))
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	res, err := Table1(ScaleQuick, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != len(Table1Cs) {
+		t.Fatal("missing columns")
+	}
+	// Paper Table 1 shape: total borrow roughly constant in C; remote
+	// borrow falls steeply with C.
+	first, last := res.Metrics[0], res.Metrics[len(res.Metrics)-1]
+	if first.TotalBorrow <= 0 {
+		t.Fatal("no borrowing recorded")
+	}
+	if last.RemoteBorrow > first.RemoteBorrow {
+		t.Fatalf("remote borrow did not fall with C: C=4→%v C=32→%v",
+			first.RemoteBorrow, last.RemoteBorrow)
+	}
+	ratio := last.TotalBorrow / first.TotalBorrow
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("total borrow should be roughly C-independent, got ratio %v", ratio)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTheoremCheckQuick(t *testing.T) {
+	res, err := TheoremCheck(ScaleQuick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(TheoremCases) {
+		t.Fatal("missing rows")
+	}
+	for _, row := range res.Rows {
+		// Measured ratio must respect the sampled bound f·FIX with Monte
+		// Carlo slack, and must exceed ~1 (the generator is never below
+		// average).
+		if row.MeasuredRatio > row.SampledBound*1.25 {
+			t.Fatalf("n=%d δ=%d f=%g: measured %v above bound %v",
+				row.Case.N, row.Case.Delta, row.Case.F, row.MeasuredRatio, row.SampledBound)
+		}
+		if row.MeasuredRatio < 0.8 {
+			t.Fatalf("generator ratio %v implausibly low", row.MeasuredRatio)
+		}
+		if row.Fix > row.Limit+1e-9 {
+			t.Fatalf("FIX %v exceeds n→∞ limit %v", row.Fix, row.Limit)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecreaseCostQuick(t *testing.T) {
+	res := DecreaseCost(ScaleQuick, 8)
+	if len(res.Rows) != len(DecreaseCases) {
+		t.Fatal("missing rows")
+	}
+	for _, row := range res.Rows {
+		if float64(row.Lower) > row.SimMean*1.5+3 {
+			t.Fatalf("%+v: sim %v below lower bound %d", row.Case, row.SimMean, row.Lower)
+		}
+		if row.UpperOK && row.SimMean > float64(row.Upper)*1.5+3 {
+			t.Fatalf("%+v: sim %v above upper bound %d", row.Case, row.SimMean, row.Upper)
+		}
+	}
+	// f-sensitivity: iterations fall as f grows (rows 0..3 share x,c).
+	if !(res.Rows[3].SimMean < res.Rows[0].SimMean) {
+		t.Fatalf("f=1.8 (%v) not cheaper than f=1.1 (%v)",
+			res.Rows[3].SimMean, res.Rows[0].SimMean)
+	}
+	// c/x invariance: rows 0 and 8.
+	a, b := res.Rows[0].SimMean, res.Rows[8].SimMean
+	if a > 0 && (b < a*0.7 || b > a*1.3) {
+		t.Fatalf("c/x invariance violated: %v vs %v", a, b)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineComparisonQuick(t *testing.T) {
+	res, err := BaselineComparison(ScaleQuick, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BaselineRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	lm := byName["LM(f=1.1,δ=1)"]
+	nob := byName["nobalance"]
+	scat := byName["randomscatter"]
+	if lm.MeanSpreadTail >= nob.MeanSpreadTail {
+		t.Fatalf("LM spread %v not below no-balance %v", lm.MeanSpreadTail, nob.MeanSpreadTail)
+	}
+	// §5's point: the scatter strawman has very high variation-like
+	// spread despite equal expected loads.
+	if scat.MeanSpreadTail <= lm.MeanSpreadTail*2 {
+		t.Fatalf("scatter spread %v suspiciously close to LM %v", scat.MeanSpreadTail, lm.MeanSpreadTail)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	res, err := Ablations(ScaleQuick, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ParamSweep) == 0 || len(res.Topology) != 5 || len(res.Reset) != 2 || len(res.CSweep) != 7 {
+		t.Fatalf("missing rows: %d/%d/%d/%d", len(res.ParamSweep), len(res.Topology), len(res.Reset), len(res.CSweep))
+	}
+	// The §7 C claim: settlement communication falls steeply with C.
+	if res.CSweep[0].RemoteBorrow <= res.CSweep[len(res.CSweep)-1].RemoteBorrow {
+		t.Fatalf("remote borrow did not fall with C: C=1→%v C=64→%v",
+			res.CSweep[0].RemoteBorrow, res.CSweep[len(res.CSweep)-1].RemoteBorrow)
+	}
+	// Within the sweep: for fixed f=1.1, spread shrinks with δ.
+	spread := map[string]float64{}
+	for _, row := range res.ParamSweep {
+		spread[row.Name] = row.MeanSpreadTail
+	}
+	if spread["δ=8 f=1.1"] >= spread["δ=1 f=1.1"] {
+		t.Fatalf("δ=8 spread %v not below δ=1 spread %v", spread["δ=8 f=1.1"], spread["δ=1 f=1.1"])
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Fatal("render missing title")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lmbalance/internal/sim"
+	"lmbalance/internal/trace"
+)
+
+// Fig78Config is one panel of the paper's Figures 7 and 8: the balancing
+// quality over 500 time steps on 64 processors under the §7 synthetic
+// workload, for one (δ, f) pair.
+type Fig78Config struct {
+	Delta int
+	F     float64
+}
+
+// Fig7Configs are Figure 7's panels (δ=1, f ∈ {1.1, 1.8}).
+var Fig7Configs = []Fig78Config{{1, 1.1}, {1, 1.8}}
+
+// Fig8Configs are Figure 8's panels (δ=4, f ∈ {1.1, 1.8}).
+var Fig8Configs = []Fig78Config{{4, 1.1}, {4, 1.8}}
+
+// Fig78Panel is the measured data of one panel.
+type Fig78Panel struct {
+	Config Fig78Config
+	Result *sim.Result
+}
+
+// Fig78Result aggregates the panels of one figure.
+type Fig78Result struct {
+	Figure string // "7" or "8"
+	Panels []Fig78Panel
+	N      int
+	Steps  int
+	Runs   int
+}
+
+// Fig78 reproduces Figure 7 (δ=1) or Figure 8 (δ=4): avg/min/max processor
+// load per global time step, over the paper's workload, averaged over the
+// runs dictated by scale.
+func Fig78(configs []Fig78Config, figure string, scale Scale, seed uint64) (*Fig78Result, error) {
+	out := &Fig78Result{Figure: figure, N: PaperN, Steps: PaperSteps, Runs: scale.runs()}
+	for i, c := range configs {
+		cfg := sim.LMConfig(PaperN, PaperSteps, out.Runs, PaperParams(c.F, c.Delta), PaperWorkload(), seed+uint64(i))
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig%s δ=%d f=%g: %w", figure, c.Delta, c.F, err)
+		}
+		out.Panels = append(out.Panels, Fig78Panel{Config: c, Result: res})
+	}
+	return out, nil
+}
+
+// Render writes one table per panel, sampling the series every 25 steps.
+func (r *Fig78Result) Render(w io.Writer) error {
+	if err := header(w, fmt.Sprintf("Figure %s: balancing quality, %d processors, %d runs", r.Figure, r.N, r.Runs)); err != nil {
+		return err
+	}
+	for _, p := range r.Panels {
+		tb := trace.NewTable(
+			fmt.Sprintf("δ=%d f=%g C=4: load per time step (mean over runs; min/max ever observed)", p.Config.Delta, p.Config.F),
+			"step", "avg", "min", "max", "spread")
+		for step := 24; step < r.Steps; step += 25 {
+			tb.AddRow(step+1,
+				p.Result.Avg.At(step).Mean(),
+				p.Result.Min.At(step).Min(),
+				p.Result.Max.At(step).Max(),
+				p.Result.Spread.At(step).Mean(),
+			)
+		}
+		if err := tb.WriteText(w); err != nil {
+			return err
+		}
+		const width = 60
+		if _, err := fmt.Fprintf(w, "avg    %s\nspread %s\n\n",
+			trace.Sparkline(trace.Downsample(p.Result.Avg.Means(), width)),
+			trace.Sparkline(trace.Downsample(p.Result.Spread.Means(), width))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeanSpreadTail returns the average load spread over the last quarter of
+// the run for panel i — the scalar quality number the ablations compare.
+func (r *Fig78Result) MeanSpreadTail(i int) float64 {
+	start := r.Steps * 3 / 4
+	sum, cnt := 0.0, 0
+	for s := start; s < r.Steps; s++ {
+		sum += r.Panels[i].Result.Spread.At(s).Mean()
+		cnt++
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lmbalance/internal/sim"
+	"lmbalance/internal/trace"
+)
+
+// Fig910SnapshotSteps are the global time steps at which Figures 9 and 10
+// show the per-processor load distribution.
+var Fig910SnapshotSteps = []int{50, 200, 400}
+
+// Fig910Result holds the distribution snapshots for the (δ, f) panels of
+// Figure 9 (δ=1) or Figure 10 (δ=4).
+type Fig910Result struct {
+	Figure string
+	Panels []Fig78Panel
+	N      int
+	Runs   int
+}
+
+// Fig910 reproduces Figure 9 (δ=1) or Figure 10 (δ=4): the expected,
+// minimal and maximal load of each of the 64 processors at time steps 50,
+// 200 and 400, over the runs dictated by scale.
+func Fig910(configs []Fig78Config, figure string, scale Scale, seed uint64) (*Fig910Result, error) {
+	out := &Fig910Result{Figure: figure, N: PaperN, Runs: scale.runs()}
+	for i, c := range configs {
+		cfg := sim.LMConfig(PaperN, PaperSteps, out.Runs, PaperParams(c.F, c.Delta), PaperWorkload(), seed+uint64(i))
+		// Snapshot steps are 1-based in the paper's axis; record at the
+		// end of steps 50/200/400 (0-based indices 49/199/399).
+		cfg.SnapshotAt = make([]int, len(Fig910SnapshotSteps))
+		for k, s := range Fig910SnapshotSteps {
+			cfg.SnapshotAt[k] = s - 1
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig%s δ=%d f=%g: %w", figure, c.Delta, c.F, err)
+		}
+		out.Panels = append(out.Panels, Fig78Panel{Config: c, Result: res})
+	}
+	return out, nil
+}
+
+// Render writes, per panel, a per-processor table (expected/min/max load at
+// each snapshot step) plus a summary envelope row.
+func (r *Fig910Result) Render(w io.Writer) error {
+	if err := header(w, fmt.Sprintf("Figure %s: per-processor load distribution, %d runs", r.Figure, r.Runs)); err != nil {
+		return err
+	}
+	for _, p := range r.Panels {
+		headers := []string{"proc"}
+		for _, s := range Fig910SnapshotSteps {
+			headers = append(headers,
+				fmt.Sprintf("E@%d", s), fmt.Sprintf("min@%d", s), fmt.Sprintf("max@%d", s))
+		}
+		tb := trace.NewTable(fmt.Sprintf("δ=%d f=%g C=4", p.Config.Delta, p.Config.F), headers...)
+		for proc := 0; proc < r.N; proc++ {
+			row := make([]any, 0, len(headers))
+			row = append(row, proc)
+			for _, s := range Fig910SnapshotSteps {
+				acc := p.Result.Snapshots[s-1][proc]
+				row = append(row, acc.Mean(), acc.Min(), acc.Max())
+			}
+			tb.AddRow(row...)
+		}
+		if err := tb.WriteText(w); err != nil {
+			return err
+		}
+
+		// Summary: the spread of expected loads across processors — the
+		// visual "height of the band" in the paper's plots.
+		sum := trace.NewTable("distribution envelope (across processors)",
+			"step", "E(load) min..max", "abs min", "abs max")
+		for _, s := range Fig910SnapshotSteps {
+			accs := p.Result.Snapshots[s-1]
+			loE, hiE := accs[0].Mean(), accs[0].Mean()
+			lo, hi := accs[0].Min(), accs[0].Max()
+			for _, a := range accs[1:] {
+				if m := a.Mean(); m < loE {
+					loE = m
+				} else if m > hiE {
+					hiE = m
+				}
+				if a.Min() < lo {
+					lo = a.Min()
+				}
+				if a.Max() > hi {
+					hi = a.Max()
+				}
+			}
+			sum.AddRow(s, fmt.Sprintf("%.2f..%.2f", loE, hiE), lo, hi)
+		}
+		if err := sum.WriteText(w); err != nil {
+			return err
+		}
+		// Heat rows: per-processor expected load, one row per snapshot,
+		// scaled over the whole panel so darkening rows show growth and
+		// uniform shading shows balance.
+		var lo, hi float64
+		first := true
+		for _, s := range Fig910SnapshotSteps {
+			for _, a := range p.Result.Snapshots[s-1] {
+				m := a.Mean()
+				if first {
+					lo, hi, first = m, m, false
+					continue
+				}
+				if m < lo {
+					lo = m
+				}
+				if m > hi {
+					hi = m
+				}
+			}
+		}
+		for _, s := range Fig910SnapshotSteps {
+			vals := make([]float64, r.N)
+			for i, a := range p.Result.Snapshots[s-1] {
+				vals[i] = a.Mean()
+			}
+			if _, err := fmt.Fprintf(w, "t=%-4d %s\n", s, trace.HeatRow(vals, lo, hi)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnvelopeWidth returns max−min of per-processor expected loads at
+// snapshot step s (1-based paper axis) for panel i — the scalar the
+// δ-impact claim is judged by.
+func (r *Fig910Result) EnvelopeWidth(i int, s int) float64 {
+	accs := r.Panels[i].Result.Snapshots[s-1]
+	lo, hi := accs[0].Mean(), accs[0].Mean()
+	for _, a := range accs[1:] {
+		m := a.Mean()
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	return hi - lo
+}

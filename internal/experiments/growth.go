@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lmbalance/internal/theory"
+	"lmbalance/internal/trace"
+)
+
+// GrowthCase is one configuration of the §6 distribution-cost benchmark
+// ("only one processor generates load and distributes it evenly").
+type GrowthCase struct {
+	N     int
+	Delta int
+	F     float64
+	M     float64 // packets to generate and distribute
+}
+
+// GrowthCases sweep f (strong effect), δ and n.
+var GrowthCases = []GrowthCase{
+	{64, 1, 1.1, 5000},
+	{64, 1, 1.2, 5000},
+	{64, 1, 1.4, 5000},
+	{64, 1, 1.8, 5000},
+	{64, 2, 1.1, 5000},
+	{64, 4, 1.1, 5000},
+	{16, 1, 1.1, 5000},
+	{256, 1, 1.1, 5000},
+}
+
+// GrowthRow compares the reconstructed Lemma 4 closed form against the
+// simulated process.
+type GrowthRow struct {
+	Case      GrowthCase
+	Predicted int     // OpsToGenerate closed form
+	SimMean   float64 // simulated balancing operations
+	SimStd    float64
+}
+
+// GrowthCostResult is the distribution-cost reproduction (the paper's
+// Lemma 4, whose statement is damaged in the proceedings scan; DESIGN.md
+// documents the reconstruction).
+type GrowthCostResult struct {
+	Rows []GrowthRow
+	Runs int
+}
+
+// GrowthCost runs the growth benchmark for every case.
+func GrowthCost(scale Scale, seed uint64) *GrowthCostResult {
+	out := &GrowthCostResult{Runs: scale.runs() * 5}
+	for i, c := range GrowthCases {
+		mean, std := theory.GrowthProcess(c.N, c.Delta, c.F, c.M, out.Runs, seed+uint64(i))
+		out.Rows = append(out.Rows, GrowthRow{
+			Case:      c,
+			Predicted: theory.OpsToGenerate(c.N, c.Delta, c.F, float64(c.N), c.M),
+			SimMean:   mean,
+			SimStd:    std,
+		})
+	}
+	return out
+}
+
+// Render writes the closed-form-vs-simulation table.
+func (r *GrowthCostResult) Render(w io.Writer) error {
+	if err := header(w, fmt.Sprintf("§6 growth cost (Lemma 4 reconstruction): balancing ops to distribute m packets (%d runs)", r.Runs)); err != nil {
+		return err
+	}
+	tb := trace.NewTable("one-processor-generator distribution cost",
+		"n", "δ", "f", "m", "closed form", "simulated")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Case.N, row.Case.Delta, row.Case.F, row.Case.M,
+			row.Predicted, fmt.Sprintf("%.1f±%.1f", row.SimMean, row.SimStd))
+	}
+	return tb.WriteText(w)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lmbalance/internal/netsim"
+	"lmbalance/internal/topology"
+	"lmbalance/internal/trace"
+)
+
+// NetCostRow is one configuration's communication measurement.
+type NetCostRow struct {
+	Name        string
+	Spread      int
+	MsgsPerOp   float64
+	AbortedFrac float64
+}
+
+// NetCostResult measures the real communication cost of the
+// message-passing realization: messages per completed balancing
+// operation and the abort rate of the freeze protocol, across δ and
+// partner topologies. The paper argues balancing cost is dominated by
+// organization, not data volume — this harness counts the organization.
+type NetCostResult struct {
+	Rows  []NetCostRow
+	N     int
+	Steps int
+}
+
+// NetCost runs the sweep. Scale controls nothing here (single runs; the
+// protocol counters are high-volume already), but is accepted for
+// interface uniformity.
+func NetCost(scale Scale, seed uint64) (*NetCostResult, error) {
+	const n = 64
+	const steps = 3000
+	out := &NetCostResult{N: n, Steps: steps}
+	gen := make([]float64, n)
+	con := make([]float64, n)
+	for i := range gen {
+		if i < n/4 {
+			gen[i], con[i] = 0.9, 0.1
+		} else {
+			gen[i], con[i] = 0.1, 0.3
+		}
+	}
+	type cfg struct {
+		name  string
+		delta int
+		graph *topology.Graph
+	}
+	configs := []cfg{
+		{"global δ=1", 1, nil},
+		{"global δ=2", 2, nil},
+		{"global δ=4", 4, nil},
+		{"torus8x8 δ=2", 2, topology.Torus2D(8, 8)},
+		{"hypercube6 δ=2", 2, topology.Hypercube(6)},
+		{"debruijn6 δ=2", 2, topology.DeBruijn(6)},
+	}
+	for i, c := range configs {
+		res, err := netsim.Run(netsim.Config{
+			N: n, Delta: c.delta, F: 1.2, Steps: steps,
+			GenP: gen, ConP: con, Seed: seed + uint64(i), Graph: c.graph,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netcost %s: %w", c.name, err)
+		}
+		var initiated, completed int64
+		for _, nd := range res.Nodes {
+			initiated += nd.Initiated
+			completed += nd.Completed
+		}
+		row := NetCostRow{Name: c.name, Spread: res.Spread()}
+		if completed > 0 {
+			row.MsgsPerOp = float64(res.Messages()) / float64(completed)
+		}
+		if initiated > 0 {
+			row.AbortedFrac = float64(initiated-completed) / float64(initiated)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the communication-cost table.
+func (r *NetCostResult) Render(w io.Writer) error {
+	if err := header(w, fmt.Sprintf("Message-passing communication cost (%d nodes, %d steps)", r.N, r.Steps)); err != nil {
+		return err
+	}
+	tb := trace.NewTable("freeze/ack/transfer protocol costs",
+		"configuration", "final spread", "msgs per completed op", "abort fraction")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Name, row.Spread, row.MsgsPerOp, row.AbortedFrac)
+	}
+	return tb.WriteText(w)
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNetCostQuick(t *testing.T) {
+	res, err := NetCost(ScaleQuick, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(res.Rows))
+	}
+	byName := map[string]NetCostRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+		if row.MsgsPerOp <= 0 {
+			t.Fatalf("%s: no messages per op", row.Name)
+		}
+		if row.AbortedFrac < 0 || row.AbortedFrac >= 1 {
+			t.Fatalf("%s: abort fraction %v", row.Name, row.AbortedFrac)
+		}
+	}
+	// Message cost grows with δ: each op needs 2δ protocol messages plus
+	// transfers.
+	if byName["global δ=4"].MsgsPerOp <= byName["global δ=1"].MsgsPerOp {
+		t.Fatalf("msgs/op did not grow with δ: %v vs %v",
+			byName["global δ=1"].MsgsPerOp, byName["global δ=4"].MsgsPerOp)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "communication cost") {
+		t.Fatal("render missing title")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"lmbalance/internal/core"
+	"lmbalance/internal/rng"
+	"lmbalance/internal/sim"
+	"lmbalance/internal/theory"
+	"lmbalance/internal/topology"
+	"lmbalance/internal/trace"
+	"lmbalance/internal/workload"
+)
+
+// ScalingNs are the network sizes of the size-independence study.
+var ScalingNs = []int{16, 64, 256, 1024}
+
+// ScalingRow is one network size's measurement.
+type ScalingRow struct {
+	N int
+	// RatioOneProducer is the measured E(l₁)/E(lᵢ) in the
+	// one-processor-generator model.
+	RatioOneProducer float64
+	// Fix and Limit are the corresponding closed forms.
+	Fix, Limit float64
+	// SpreadMixed is the tail load spread under the uniform mixed
+	// workload, normalized per processor count below in Render.
+	SpreadMixed float64
+	// BalanceOpsPerProcStep is balancing operations per processor per
+	// step under the mixed workload — the per-node organizational cost.
+	BalanceOpsPerProcStep float64
+}
+
+// ScalingResult is the Theorem 2 headline reproduction: the balancing
+// quality of the purely local algorithm does not degrade with network
+// size, and the per-processor cost stays flat.
+type ScalingResult struct {
+	Rows  []ScalingRow
+	Steps int
+	Runs  int
+}
+
+// Scaling measures the expected-load ratio (one-producer model) and the
+// mixed-workload spread across network sizes 16..1024.
+func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
+	out := &ScalingResult{Runs: scale.runs()}
+	params := core.Params{F: 1.1, Delta: 1, C: 4}
+	for i, n := range ScalingNs {
+		n := n
+		// Scale the horizon with n so the per-processor load is large
+		// enough (≈8 packets) that the ±1 integer granularity does not
+		// swamp the expectation the theory speaks about.
+		steps := 2000
+		if 8*n > steps {
+			steps = 8 * n
+		}
+		out.Steps = steps
+		// One-producer ratio.
+		cfg := sim.Config{
+			N: n, Steps: steps, Runs: out.Runs, Seed: seed + uint64(i),
+			SnapshotAt: []int{steps - 1},
+			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
+				return core.NewSystem(n, params, topology.NewGlobal(n), r)
+			},
+			NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+				return workload.OneProducer{}, nil
+			},
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scaling n=%d producer: %w", n, err)
+		}
+		accs := res.Snapshots[steps-1]
+		gen := accs[0].Mean()
+		others := 0.0
+		for _, a := range accs[1:] {
+			others += a.Mean()
+		}
+		others /= float64(n - 1)
+
+		// Mixed workload spread.
+		mixed := sim.Config{
+			N: n, Steps: 500, Runs: out.Runs, Seed: seed + 1000 + uint64(i),
+			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
+				return core.NewSystem(n, params, topology.NewGlobal(n), r)
+			},
+			NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+				return workload.Uniform{GenP: 0.5, ConP: 0.4}, nil
+			},
+		}
+		mres, err := sim.Run(mixed)
+		if err != nil {
+			return nil, fmt.Errorf("scaling n=%d mixed: %w", n, err)
+		}
+		spread := 0.0
+		for s := 375; s < 500; s++ {
+			spread += mres.Spread.At(s).Mean()
+		}
+		spread /= 125
+		perProcStep := float64(mres.CoreMetrics.BalanceOps) / float64(out.Runs) / float64(n) / 500
+
+		out.Rows = append(out.Rows, ScalingRow{
+			N:                     n,
+			RatioOneProducer:      gen / others,
+			Fix:                   theory.FIX(n, params.Delta, params.F),
+			Limit:                 theory.FixLimit(params.Delta, params.F),
+			SpreadMixed:           spread,
+			BalanceOpsPerProcStep: perProcStep,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the size-independence table.
+func (r *ScalingResult) Render(w io.Writer) error {
+	if err := header(w, fmt.Sprintf("Theorem 2 scaling: network-size independence (f=1.1, δ=1, %d runs)", r.Runs)); err != nil {
+		return err
+	}
+	tb := trace.NewTable("balance quality and per-node cost vs network size",
+		"n", "ratio (1-producer)", "FIX", "δ/(δ+1−f)", "spread (mixed)", "balance ops/proc/step")
+	for _, row := range r.Rows {
+		tb.AddRow(row.N, row.RatioOneProducer, row.Fix, row.Limit,
+			row.SpreadMixed, row.BalanceOpsPerProcStep)
+	}
+	return tb.WriteText(w)
+}

@@ -1,0 +1,269 @@
+// Package knapsack implements 0/1 knapsack branch & bound — the second
+// application of the task-pool API, exercising a maximization search with
+// a fractional-relaxation bound (where TSP in internal/bnb exercises a
+// minimization with an edge bound). Together they demonstrate that the
+// Lüling–Monien pool is application-agnostic, as the paper claims for the
+// algorithmic principle.
+package knapsack
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+)
+
+// Instance is a 0/1 knapsack instance. Items are stored sorted by value
+// density (value/weight, descending), which the bound requires.
+type Instance struct {
+	Values   []int64
+	Weights  []int64
+	Capacity int64
+	// perm[i] is the original index of sorted item i, so solutions can be
+	// reported in the caller's order.
+	perm []int
+}
+
+// NewInstance builds an instance from parallel value/weight slices.
+// All weights and values must be positive and capacity non-negative.
+func NewInstance(values, weights []int64, capacity int64) (*Instance, error) {
+	if len(values) != len(weights) {
+		return nil, fmt.Errorf("knapsack: %d values vs %d weights", len(values), len(weights))
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("knapsack: empty instance")
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("knapsack: negative capacity")
+	}
+	for i := range values {
+		if values[i] <= 0 || weights[i] <= 0 {
+			return nil, fmt.Errorf("knapsack: non-positive item %d", i)
+		}
+	}
+	n := len(values)
+	ins := &Instance{
+		Values:   make([]int64, n),
+		Weights:  make([]int64, n),
+		Capacity: capacity,
+		perm:     make([]int, n),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		// densities v[a]/w[a] > v[b]/w[b] without division
+		return values[idx[a]]*weights[idx[b]] > values[idx[b]]*weights[idx[a]]
+	})
+	for i, o := range idx {
+		ins.Values[i] = values[o]
+		ins.Weights[i] = weights[o]
+		ins.perm[i] = o
+	}
+	return ins, nil
+}
+
+// RandomInstance draws n items with weights in [1,100] and values
+// positively correlated with weight (the classic "weakly correlated"
+// family), and capacity equal to half the total weight.
+func RandomInstance(n int, r *rng.RNG) *Instance {
+	if n < 1 {
+		panic("knapsack: need at least one item")
+	}
+	values := make([]int64, n)
+	weights := make([]int64, n)
+	var totalW int64
+	for i := 0; i < n; i++ {
+		w := int64(r.IntRange(1, 100))
+		v := w + int64(r.IntRange(1, 40)) - 20
+		if v < 1 {
+			v = 1
+		}
+		values[i], weights[i] = v, w
+		totalW += w
+	}
+	ins, err := NewInstance(values, weights, totalW/2)
+	if err != nil {
+		panic(err) // unreachable: inputs constructed valid
+	}
+	return ins
+}
+
+// HardInstance draws the "strongly correlated" family (v = w + k with a
+// constant surplus k): near-identical densities defeat the Dantzig bound,
+// making these the classic hard instances for knapsack branch & bound.
+func HardInstance(n int, r *rng.RNG) *Instance {
+	if n < 1 {
+		panic("knapsack: need at least one item")
+	}
+	values := make([]int64, n)
+	weights := make([]int64, n)
+	var totalW int64
+	for i := 0; i < n; i++ {
+		w := int64(r.IntRange(1, 1000))
+		values[i], weights[i] = w+100, w
+		totalW += w
+	}
+	ins, err := NewInstance(values, weights, totalW/2)
+	if err != nil {
+		panic(err) // unreachable: inputs constructed valid
+	}
+	return ins
+}
+
+// N returns the number of items.
+func (ins *Instance) N() int { return len(ins.Values) }
+
+// upperBound returns the fractional-relaxation bound on the best total
+// value achievable from sorted item idx onward, given the value and
+// remaining capacity accumulated so far. Items are density-sorted, so
+// greedy filling plus a fractional last item is optimal for the
+// relaxation (Dantzig bound), stated in integer arithmetic scaled by the
+// last item's weight to stay exact.
+func (ins *Instance) upperBound(idx int, value, room int64) float64 {
+	bound := float64(value)
+	for i := idx; i < len(ins.Values); i++ {
+		if ins.Weights[i] <= room {
+			room -= ins.Weights[i]
+			bound += float64(ins.Values[i])
+			continue
+		}
+		bound += float64(ins.Values[i]) * float64(room) / float64(ins.Weights[i])
+		break
+	}
+	return bound
+}
+
+// Result is the outcome of a solve. Taken is indexed by the caller's
+// original item order.
+type Result struct {
+	Value int64
+	Taken []bool
+	Nodes int64
+}
+
+// Value reports use int64; incumbents are shared across workers.
+type incumbent struct {
+	mu    sync.Mutex
+	value atomic.Int64
+	taken []bool // sorted order
+}
+
+func (inc *incumbent) offer(taken []bool, value int64) {
+	if value <= inc.value.Load() {
+		return
+	}
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if value > inc.value.Load() {
+		inc.value.Store(value)
+		inc.taken = append(inc.taken[:0], taken...)
+	}
+}
+
+func (inc *incumbent) snapshot() ([]bool, int64) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return append([]bool(nil), inc.taken...), inc.value.Load()
+}
+
+// SolveSequential finds the optimal packing by depth-first branch &
+// bound with the Dantzig bound.
+func SolveSequential(ins *Instance) Result {
+	inc := &incumbent{taken: make([]bool, ins.N())}
+	var nodes int64
+	taken := make([]bool, ins.N())
+	seqDFS(ins, inc, &nodes, taken, 0, 0, ins.Capacity)
+	return finish(ins, inc, nodes)
+}
+
+// finish converts the incumbent (sorted order) into a caller-order Result.
+func finish(ins *Instance, inc *incumbent, nodes int64) Result {
+	takenSorted, value := inc.snapshot()
+	taken := make([]bool, ins.N())
+	for i, v := range takenSorted {
+		if v {
+			taken[ins.perm[i]] = true
+		}
+	}
+	return Result{Value: value, Taken: taken, Nodes: nodes}
+}
+
+// seqDFS explores include-first (density order makes inclusion the
+// promising branch).
+func seqDFS(ins *Instance, inc *incumbent, nodes *int64, taken []bool, idx int, value, room int64) {
+	*nodes++
+	if idx == ins.N() {
+		inc.offer(taken, value)
+		return
+	}
+	if ins.upperBound(idx, value, room) <= float64(inc.value.Load()) {
+		return
+	}
+	if ins.Weights[idx] <= room {
+		taken[idx] = true
+		seqDFS(ins, inc, nodes, taken, idx+1, value+ins.Values[idx], room-ins.Weights[idx])
+		taken[idx] = false
+	}
+	seqDFS(ins, inc, nodes, taken, idx+1, value, room)
+}
+
+// SolveBestFirst solves the instance on the best-first priority pool:
+// open subproblems are tasks with priority −upperBound (the pool is a
+// min-queue; higher bound = more promising). Subtrees below the first
+// spawnDepth item decisions run sequentially inside a task.
+func SolveBestFirst(ins *Instance, p *pool.PriorityPool, spawnDepth int) Result {
+	if spawnDepth < 1 {
+		spawnDepth = 1
+	}
+	inc := &incumbent{taken: make([]bool, ins.N())}
+	var nodes atomic.Int64
+	var wg sync.WaitGroup
+
+	var makeTask func(taken []bool, idx int, value, room int64) pool.PriorityTask
+	makeTask = func(taken []bool, idx int, value, room int64) pool.PriorityTask {
+		bound := ins.upperBound(idx, value, room)
+		return pool.PriorityTask{
+			// Scale to keep fractional bounds distinct as integers.
+			Priority: -int64(bound * 1024),
+			Run: func(w *pool.PriorityWorker) {
+				defer wg.Done()
+				if idx == ins.N() {
+					nodes.Add(1)
+					inc.offer(taken, value)
+					return
+				}
+				if bound <= float64(inc.value.Load()) {
+					nodes.Add(1)
+					return
+				}
+				if idx >= spawnDepth {
+					var local int64
+					local = 0
+					buf := append([]bool(nil), taken...)
+					seqDFS(ins, inc, &local, buf, idx, value, room)
+					nodes.Add(local)
+					return
+				}
+				nodes.Add(1)
+				if ins.Weights[idx] <= room {
+					with := append([]bool(nil), taken...)
+					with[idx] = true
+					wg.Add(1)
+					w.Submit(makeTask(with, idx+1, value+ins.Values[idx], room-ins.Weights[idx]))
+				}
+				without := append([]bool(nil), taken...)
+				wg.Add(1)
+				w.Submit(makeTask(without, idx+1, value, room))
+			},
+		}
+	}
+	wg.Add(1)
+	p.Submit(makeTask(make([]bool, ins.N()), 0, 0, ins.Capacity))
+	wg.Wait()
+	return finish(ins, inc, nodes.Load())
+}

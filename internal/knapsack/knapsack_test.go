@@ -1,0 +1,232 @@
+package knapsack
+
+import (
+	"testing"
+
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+)
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance([]int64{1}, []int64{1, 2}, 5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewInstance(nil, nil, 5); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	if _, err := NewInstance([]int64{1}, []int64{1}, -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := NewInstance([]int64{0}, []int64{1}, 5); err == nil {
+		t.Fatal("zero value accepted")
+	}
+	if _, err := NewInstance([]int64{1}, []int64{0}, 5); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestDensitySorting(t *testing.T) {
+	ins, err := NewInstance([]int64{10, 30, 20}, []int64{10, 10, 10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by density: 30, 20, 10.
+	if ins.Values[0] != 30 || ins.Values[1] != 20 || ins.Values[2] != 10 {
+		t.Fatalf("not density-sorted: %v", ins.Values)
+	}
+	// perm maps sorted back to original positions 1, 2, 0.
+	if ins.perm[0] != 1 || ins.perm[1] != 2 || ins.perm[2] != 0 {
+		t.Fatalf("perm wrong: %v", ins.perm)
+	}
+}
+
+func TestSolveKnownInstance(t *testing.T) {
+	// Items (v,w): (60,10) (100,20) (120,30), capacity 50 → classic
+	// answer 220 (items 2 and 3).
+	ins, err := NewInstance([]int64{60, 100, 120}, []int64{10, 20, 30}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SolveSequential(ins)
+	if res.Value != 220 {
+		t.Fatalf("value %d, want 220", res.Value)
+	}
+	if res.Taken[0] || !res.Taken[1] || !res.Taken[2] {
+		t.Fatalf("taken %v, want [false true true]", res.Taken)
+	}
+}
+
+func TestTakenRespectsCapacityAndValue(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		ins := RandomInstance(16, r)
+		res := SolveSequential(ins)
+		var value, weight int64
+		for i, take := range res.Taken {
+			if take {
+				// Map back to sorted arrays to check: find sorted position.
+				for s, o := range ins.perm {
+					if o == i {
+						value += ins.Values[s]
+						weight += ins.Weights[s]
+					}
+				}
+			}
+		}
+		if weight > ins.Capacity {
+			t.Fatalf("trial %d: packed weight %d exceeds capacity %d", trial, weight, ins.Capacity)
+		}
+		if value != res.Value {
+			t.Fatalf("trial %d: taken sums to %d but Value=%d", trial, value, res.Value)
+		}
+	}
+}
+
+// bruteForce enumerates all subsets (n <= 20).
+func bruteForce(ins *Instance) int64 {
+	n := ins.N()
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		var v, w int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += ins.Values[i]
+				w += ins.Weights[i]
+			}
+		}
+		if w <= ins.Capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestSequentialMatchesBruteForce(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 8; trial++ {
+		ins := RandomInstance(14, r)
+		want := bruteForce(ins)
+		got := SolveSequential(ins)
+		if got.Value != want {
+			t.Fatalf("trial %d: B&B %d, brute force %d", trial, got.Value, want)
+		}
+	}
+}
+
+func TestBestFirstMatchesSequential(t *testing.T) {
+	p, err := pool.NewPriority(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	r := rng.New(5)
+	for trial := 0; trial < 5; trial++ {
+		ins := RandomInstance(22, r)
+		seq := SolveSequential(ins)
+		par := SolveBestFirst(ins, p, 6)
+		if par.Value != seq.Value {
+			t.Fatalf("trial %d: parallel %d != sequential %d", trial, par.Value, seq.Value)
+		}
+		// The reported packing must be feasible and worth its value.
+		var value, weight int64
+		for i, take := range par.Taken {
+			if take {
+				for s, o := range ins.perm {
+					if o == i {
+						value += ins.Values[s]
+						weight += ins.Weights[s]
+					}
+				}
+			}
+		}
+		if weight > ins.Capacity || value != par.Value {
+			t.Fatalf("trial %d: infeasible or inconsistent packing", trial)
+		}
+	}
+}
+
+func TestBestFirstSpawnDepthClamp(t *testing.T) {
+	p, err := pool.NewPriority(pool.Config{Workers: 2, F: 1.5, Delta: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ins := RandomInstance(12, rng.New(6))
+	if SolveBestFirst(ins, p, 0).Value != SolveSequential(ins).Value {
+		t.Fatal("clamped spawn depth broke optimality")
+	}
+}
+
+func TestHardInstanceMatchesBruteForce(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 4; trial++ {
+		ins := HardInstance(14, r)
+		want := bruteForce(ins)
+		got := SolveSequential(ins)
+		if got.Value != want {
+			t.Fatalf("trial %d: B&B %d, brute force %d", trial, got.Value, want)
+		}
+	}
+}
+
+func TestHardInstanceIsHarder(t *testing.T) {
+	r := rng.New(10)
+	easy := SolveSequential(RandomInstance(20, r)).Nodes
+	hard := SolveSequential(HardInstance(20, r)).Nodes
+	if hard <= easy {
+		t.Logf("note: hard %d nodes vs easy %d — families can overlap on small n", hard, easy)
+	}
+	if hard <= 0 || easy <= 0 {
+		t.Fatal("degenerate node counts")
+	}
+}
+
+func TestHardInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 did not panic")
+		}
+	}()
+	HardInstance(0, rng.New(1))
+}
+
+func TestRandomInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 did not panic")
+		}
+	}()
+	RandomInstance(0, rng.New(1))
+}
+
+func TestUpperBoundIsAdmissible(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		ins := RandomInstance(12, r)
+		opt := SolveSequential(ins).Value
+		if ub := ins.upperBound(0, 0, ins.Capacity); ub < float64(opt) {
+			t.Fatalf("trial %d: root bound %v below optimum %d", trial, ub, opt)
+		}
+	}
+}
+
+func BenchmarkSequentialKnapsack24(b *testing.B) {
+	ins := RandomInstance(24, rng.New(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveSequential(ins)
+	}
+}
+
+func BenchmarkBestFirstKnapsack24(b *testing.B) {
+	ins := RandomInstance(24, rng.New(42))
+	p, err := pool.NewPriority(pool.Config{Workers: 4, F: 1.3, Delta: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveBestFirst(ins, p, 6)
+	}
+}

@@ -1,0 +1,477 @@
+// Package netsim is the share-nothing, message-passing realization of the
+// Lüling–Monien algorithm: every processor is a goroutine owning its load
+// counter, and balancing operations are a small request/reply protocol
+// over channels — no shared memory, mirroring the distributed-memory
+// transputer systems the paper targets (its [13]).
+//
+// # Protocol
+//
+// A processor whose load has changed by the factor f since its last
+// balancing operation initiates:
+//
+//  1. it sends freezeReq to δ random partners and stops doing workload
+//     steps (it keeps serving its inbox);
+//  2. a partner that is not engaged freezes (stops workload steps) and
+//     replies freezeAck carrying its load; an engaged partner replies
+//     freezeBusy;
+//  3. when all δ replies are in: if any was busy the initiator releases
+//     the frozen partners and aborts (the trigger stays armed, so it
+//     retries on the next load change); otherwise it computes the ±1
+//     equal shares and sends each partner a transfer with the difference,
+//     unfreezing it.
+//
+// Deadlock freedom: nobody ever blocks on a send while refusing to drain
+// its inbox — every node's event loop keeps receiving while frozen or
+// mid-protocol, and freeze conflicts are resolved by abort-and-retry
+// rather than waiting. Shutdown is two-phase: nodes first finish their
+// workload steps and drain to a quiet state (serving, refusing new
+// freezes), and the coordinator closes quit only after every node has
+// reported idle, so no message is ever sent to a terminated node.
+//
+// The packet counters model fungible load units; the full per-class
+// virtual-load machinery (borrowing etc.) lives in internal/core — this
+// package demonstrates the balancing geometry and trigger discipline
+// under true message passing and measures its communication cost.
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/topology"
+)
+
+type msgKind uint8
+
+const (
+	freezeReq msgKind = iota
+	freezeAck
+	freezeBusy
+	transfer
+	releaseMsg
+)
+
+// message is the only thing nodes exchange.
+type message struct {
+	kind   msgKind
+	from   int
+	load   int // freezeAck: sender's current load
+	amount int // transfer: delta to apply (may be negative)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// N is the number of processor goroutines (>= 2).
+	N int
+	// Delta and F are the algorithm parameters (1 <= Delta < N, F > 1).
+	Delta int
+	F     float64
+	// Steps is the number of workload steps each node performs.
+	Steps int
+	// GenP[i] and ConP[i] are node i's per-step generate/consume
+	// probabilities (both may fire in one step, as in the paper's §7
+	// model). Length N, or length 1 to apply to all nodes.
+	GenP, ConP []float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Graph, if non-nil, restricts balancing partners to each node's
+	// graph neighborhood (the paper's locality extension); it must have N
+	// vertices and every node needs at least one neighbor. Nil selects
+	// partners uniformly from all nodes (the paper's model).
+	Graph *topology.Graph
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("netsim: N = %d, need >= 2", c.N)
+	case c.Delta < 1 || c.Delta >= c.N:
+		return fmt.Errorf("netsim: Delta = %d, need 1 <= Delta < N", c.Delta)
+	case c.F <= 1:
+		return fmt.Errorf("netsim: F = %v, need > 1", c.F)
+	case c.Steps < 1:
+		return fmt.Errorf("netsim: Steps = %d, need >= 1", c.Steps)
+	}
+	for _, ps := range [][]float64{c.GenP, c.ConP} {
+		if len(ps) != 1 && len(ps) != c.N {
+			return fmt.Errorf("netsim: probability slice length %d, need 1 or %d", len(ps), c.N)
+		}
+		for _, p := range ps {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("netsim: probability %v outside [0,1]", p)
+			}
+		}
+	}
+	if c.Graph != nil {
+		if c.Graph.N() != c.N {
+			return fmt.Errorf("netsim: graph has %d vertices, config says %d", c.Graph.N(), c.N)
+		}
+		for v := 0; v < c.N; v++ {
+			if c.Graph.Degree(v) == 0 {
+				return fmt.Errorf("netsim: node %d has no neighbors to balance with", v)
+			}
+		}
+	}
+	return nil
+}
+
+func probAt(ps []float64, i int) float64 {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return ps[i]
+}
+
+// NodeStats is one node's activity summary.
+type NodeStats struct {
+	FinalLoad    int
+	Generated    int64
+	Consumed     int64
+	Initiated    int64 // balancing protocols started
+	Completed    int64 // balancing protocols that transferred load
+	Aborted      int64 // protocols aborted due to a busy partner
+	MessagesSent int64
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Nodes []NodeStats
+}
+
+// TotalLoad returns the sum of final loads.
+func (r *Result) TotalLoad() int {
+	sum := 0
+	for _, n := range r.Nodes {
+		sum += n.FinalLoad
+	}
+	return sum
+}
+
+// Spread returns max−min of final loads.
+func (r *Result) Spread() int {
+	lo, hi := r.Nodes[0].FinalLoad, r.Nodes[0].FinalLoad
+	for _, n := range r.Nodes[1:] {
+		if n.FinalLoad < lo {
+			lo = n.FinalLoad
+		}
+		if n.FinalLoad > hi {
+			hi = n.FinalLoad
+		}
+	}
+	return hi - lo
+}
+
+// Messages returns the total number of messages exchanged.
+func (r *Result) Messages() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.MessagesSent
+	}
+	return sum
+}
+
+// node is the per-goroutine state; only its own goroutine touches it.
+type node struct {
+	id    int
+	cfg   *Config
+	rng   *rng.RNG
+	inbox chan message
+	peers []chan message
+	idle  *sync.WaitGroup // signaled once when first quiet after stepping
+	quit  chan struct{}
+
+	load int
+	lOld int
+
+	// initiator-side protocol state
+	inflight   bool
+	awaiting   int // replies still expected
+	sawBusy    bool
+	ackedFrom  []int // partners that froze for us
+	ackedLoads []int
+
+	// partner-side state
+	frozen   bool
+	frozenBy int
+
+	stepsDone int
+	signaled  bool
+	backoff   int // steps to skip initiating after an aborted protocol
+	stats     NodeStats
+	candBuf   []int
+}
+
+// Run executes the distributed simulation and returns per-node statistics.
+// It blocks until every node finished its steps and the network is quiet.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.GenP) == 0 {
+		cfg.GenP = []float64{0.5}
+	}
+	if len(cfg.ConP) == 0 {
+		cfg.ConP = []float64{0.4}
+	}
+	master := rng.New(cfg.Seed)
+	inboxes := make([]chan message, cfg.N)
+	for i := range inboxes {
+		// Generous buffering: a node can be the target of at most N-1
+		// concurrent freeze requests plus protocol traffic.
+		inboxes[i] = make(chan message, 4*cfg.N)
+	}
+	var idle sync.WaitGroup
+	var done sync.WaitGroup
+	quit := make(chan struct{})
+	nodes := make([]*node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &node{
+			id:    i,
+			cfg:   &cfg,
+			rng:   master.Split(),
+			inbox: inboxes[i],
+			peers: inboxes,
+			idle:  &idle,
+			quit:  quit,
+		}
+		idle.Add(1)
+		done.Add(1)
+	}
+	for _, n := range nodes {
+		go func(n *node) {
+			defer done.Done()
+			n.run()
+		}(n)
+	}
+	idle.Wait() // every node finished stepping and is quiet
+	close(quit) // release the serving loops
+	done.Wait()
+
+	res := &Result{Nodes: make([]NodeStats, cfg.N)}
+	for i, n := range nodes {
+		n.stats.FinalLoad = n.load
+		res.Nodes[i] = n.stats
+	}
+	return res, nil
+}
+
+// send delivers m to peer id (counted).
+func (n *node) send(to int, m message) {
+	m.from = n.id
+	n.stats.MessagesSent++
+	n.peers[to] <- m
+}
+
+// run is the node's event loop.
+func (n *node) run() {
+	defer n.finalDrain()
+	for {
+		// Serve everything already queued.
+		for {
+			select {
+			case m := <-n.inbox:
+				n.handle(m)
+				continue
+			default:
+			}
+			break
+		}
+		switch {
+		case n.inflight || n.frozen:
+			// Mid-protocol: block on the inbox (no workload progress),
+			// still draining so nobody deadlocks on a send to us.
+			select {
+			case m := <-n.inbox:
+				n.handle(m)
+			case <-n.quit:
+				return
+			}
+		case n.stepsDone < n.cfg.Steps:
+			n.step()
+			// Yield so nodes interleave even on a single CPU; without
+			// this a node could burn through all its steps inside one
+			// scheduler timeslice and starve the protocol of partners.
+			runtime.Gosched()
+		default:
+			// Drain mode: report idle once, then keep serving as a
+			// balancing partner until quit.
+			if !n.signaled {
+				n.signaled = true
+				n.idle.Done()
+			}
+			select {
+			case m := <-n.inbox:
+				n.handle(m)
+			case <-n.quit:
+				return
+			}
+		}
+	}
+}
+
+// finalDrain applies any messages still buffered at shutdown. The only
+// messages that can be in flight once every node reported idle are
+// transfers and releases from a just-resolved protocol; applying them
+// keeps packet conservation exact. (A freezeReq cannot be pending — a
+// pending request implies an initiator that has not reported idle.)
+func (n *node) finalDrain() {
+	for {
+		select {
+		case m := <-n.inbox:
+			switch m.kind {
+			case transfer:
+				n.load += m.amount
+				n.frozen = false
+			case releaseMsg:
+				n.frozen = false
+			}
+		default:
+			return
+		}
+	}
+}
+
+// step performs one workload step and fires the trigger if needed.
+func (n *node) step() {
+	n.stepsDone++
+	if n.rng.Bernoulli(probAt(n.cfg.GenP, n.id)) {
+		n.load++
+		n.stats.Generated++
+	}
+	if n.rng.Bernoulli(probAt(n.cfg.ConP, n.id)) && n.load > 0 {
+		n.load--
+		n.stats.Consumed++
+	}
+	if n.backoff > 0 {
+		n.backoff--
+		return
+	}
+	if n.trigger() {
+		n.initiate()
+	}
+}
+
+// trigger is the factor-f condition with the strict-change guard.
+func (n *node) trigger() bool {
+	if n.load > n.lOld && float64(n.load) >= n.cfg.F*float64(n.lOld) {
+		return true
+	}
+	return n.load < n.lOld && float64(n.load)*n.cfg.F <= float64(n.lOld)
+}
+
+// initiate starts a balancing protocol with δ random partners (drawn
+// from the whole network, or from the node's graph neighborhood when a
+// topology is configured).
+func (n *node) initiate() {
+	if g := n.cfg.Graph; g != nil {
+		ns := g.Neighbors(n.id)
+		if n.cfg.Delta >= len(ns) {
+			n.candBuf = append(n.candBuf[:0], ns...)
+		} else {
+			idx := n.rng.SampleDistinct(len(ns), n.cfg.Delta, -1, nil)
+			n.candBuf = n.candBuf[:0]
+			for _, i := range idx {
+				n.candBuf = append(n.candBuf, ns[i])
+			}
+		}
+	} else {
+		n.candBuf = n.rng.SampleDistinct(n.cfg.N, n.cfg.Delta, n.id, n.candBuf)
+	}
+	n.inflight = true
+	n.awaiting = len(n.candBuf)
+	n.sawBusy = false
+	n.ackedFrom = n.ackedFrom[:0]
+	n.ackedLoads = n.ackedLoads[:0]
+	n.stats.Initiated++
+	for _, c := range n.candBuf {
+		n.send(c, message{kind: freezeReq})
+	}
+}
+
+// handle processes one incoming message.
+func (n *node) handle(m message) {
+	switch m.kind {
+	case freezeReq:
+		// Refuse while engaged in any role. Nodes that finished their
+		// steps still participate as partners — only initiators drive the
+		// shutdown, so the network quiesces once all steppers are done.
+		if n.inflight || n.frozen {
+			n.send(m.from, message{kind: freezeBusy})
+			return
+		}
+		n.frozen = true
+		n.frozenBy = m.from
+		n.send(m.from, message{kind: freezeAck, load: n.load})
+
+	case freezeAck:
+		if !n.inflight {
+			// Stale ack after an abort we already resolved: release the
+			// partner immediately. (Cannot happen with the current
+			// resolve-only-when-all-replies-in rule, but keep the node
+			// robust.)
+			n.send(m.from, message{kind: releaseMsg})
+			return
+		}
+		n.awaiting--
+		n.ackedFrom = append(n.ackedFrom, m.from)
+		n.ackedLoads = append(n.ackedLoads, m.load)
+		if n.awaiting == 0 {
+			n.resolve()
+		}
+
+	case freezeBusy:
+		if !n.inflight {
+			return
+		}
+		n.awaiting--
+		n.sawBusy = true
+		if n.awaiting == 0 {
+			n.resolve()
+		}
+
+	case transfer:
+		n.load += m.amount
+		n.lOld = n.load
+		n.frozen = false
+
+	case releaseMsg:
+		n.frozen = false
+	}
+}
+
+// resolve finishes the initiator's protocol once all replies are in.
+func (n *node) resolve() {
+	n.inflight = false
+	if n.sawBusy {
+		for _, p := range n.ackedFrom {
+			n.send(p, message{kind: releaseMsg})
+		}
+		n.stats.Aborted++
+		// Randomized backoff: retrying on the very next step while every
+		// neighbor is also retrying leads to an abort storm.
+		n.backoff = 1 + n.rng.Intn(8)
+		return
+	}
+	total := n.load
+	for _, l := range n.ackedLoads {
+		total += l
+	}
+	m := len(n.ackedFrom) + 1
+	base, rem := total/m, total%m
+	// The initiator takes the first share; extras go to the first rem
+	// participants (the partner order is already random).
+	share := func(idx int) int {
+		if idx < rem {
+			return base + 1
+		}
+		return base
+	}
+	n.load = share(0)
+	n.lOld = n.load
+	for i, p := range n.ackedFrom {
+		n.send(p, message{kind: transfer, amount: share(i+1) - n.ackedLoads[i]})
+	}
+	n.stats.Completed++
+}

@@ -1,0 +1,251 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"lmbalance/internal/topology"
+)
+
+// runWithTimeout guards against protocol deadlocks: the whole point of
+// the message-passing realization is that it quiesces by itself.
+func runWithTimeout(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(cfg)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		return o.res
+	case <-time.After(60 * time.Second):
+		t.Fatal("netsim.Run deadlocked")
+		return nil
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []Config{
+		{N: 1, Delta: 1, F: 1.5, Steps: 10},
+		{N: 4, Delta: 0, F: 1.5, Steps: 10},
+		{N: 4, Delta: 4, F: 1.5, Steps: 10},
+		{N: 4, Delta: 1, F: 1.0, Steps: 10},
+		{N: 4, Delta: 1, F: 1.5, Steps: 0},
+		{N: 4, Delta: 1, F: 1.5, Steps: 10, GenP: []float64{0.5, 0.5}},
+		{N: 4, Delta: 1, F: 1.5, Steps: 10, GenP: []float64{1.5}},
+	}
+	for i, c := range cases {
+		if _, err := Run(c); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	res := runWithTimeout(t, Config{
+		N: 8, Delta: 1, F: 1.2, Steps: 2000,
+		GenP: []float64{0.5}, ConP: []float64{0.4}, Seed: 1,
+	})
+	var gen, con int64
+	for _, n := range res.Nodes {
+		gen += n.Generated
+		con += n.Consumed
+	}
+	if int64(res.TotalLoad()) != gen-con {
+		t.Fatalf("conservation violated: %d final vs %d generated − %d consumed",
+			res.TotalLoad(), gen, con)
+	}
+}
+
+func TestProtocolCountersConsistent(t *testing.T) {
+	res := runWithTimeout(t, Config{
+		N: 16, Delta: 2, F: 1.1, Steps: 1000,
+		GenP: []float64{0.6}, ConP: []float64{0.3}, Seed: 2,
+	})
+	var initiated, completed, aborted int64
+	for _, n := range res.Nodes {
+		initiated += n.Initiated
+		completed += n.Completed
+		aborted += n.Aborted
+	}
+	if initiated == 0 {
+		t.Fatal("no balancing protocols ran")
+	}
+	if completed+aborted != initiated {
+		t.Fatalf("initiated %d != completed %d + aborted %d", initiated, completed, aborted)
+	}
+	if completed == 0 {
+		t.Fatal("every protocol aborted — freeze conflicts are not resolving")
+	}
+	if res.Messages() == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+// TestHotspotSpreads: a single producing node; balancing must spread the
+// load across the network despite pure message passing.
+func TestHotspotSpreads(t *testing.T) {
+	gen := make([]float64, 16)
+	gen[0] = 0.9
+	res := runWithTimeout(t, Config{
+		N: 16, Delta: 1, F: 1.2, Steps: 3000,
+		GenP: gen, ConP: []float64{0}, Seed: 3,
+	})
+	total := res.TotalLoad()
+	if total < 2000 {
+		t.Fatalf("implausibly low total %d", total)
+	}
+	// Node 0 must not hold more than a few multiples of the fair share.
+	fair := total / 16
+	if res.Nodes[0].FinalLoad > fair*3 {
+		t.Fatalf("hotspot kept %d of %d (fair share %d)", res.Nodes[0].FinalLoad, total, fair)
+	}
+	// Everybody got something.
+	for i, n := range res.Nodes {
+		if n.FinalLoad == 0 {
+			t.Fatalf("node %d ended with zero load; loads=%v", i, res.Nodes)
+		}
+	}
+}
+
+// TestSpreadBeatsUnbalanced: with balancing, the final spread under a
+// heterogeneous workload is far below the no-balancing expectation.
+func TestSpreadBeatsUnbalanced(t *testing.T) {
+	gen := make([]float64, 8)
+	con := make([]float64, 8)
+	for i := range gen {
+		if i < 4 {
+			gen[i], con[i] = 0.8, 0.1
+		} else {
+			gen[i], con[i] = 0.1, 0.3
+		}
+	}
+	res := runWithTimeout(t, Config{
+		N: 8, Delta: 2, F: 1.1, Steps: 4000,
+		GenP: gen, ConP: con, Seed: 4,
+	})
+	// Without balancing, producers would hold ≈ 0.7·4000 = 2800 and
+	// consumers ≈ 0; spread ≈ 2800. With balancing it must collapse.
+	if s := res.Spread(); s > 500 {
+		t.Fatalf("spread %d too large; loads: %+v", s, res.Nodes)
+	}
+}
+
+// TestManyNodesNoDeadlock stresses freeze-conflict resolution: many nodes,
+// large δ, frequent triggers.
+func TestManyNodesNoDeadlock(t *testing.T) {
+	res := runWithTimeout(t, Config{
+		N: 64, Delta: 4, F: 1.05, Steps: 500,
+		GenP: []float64{0.7}, ConP: []float64{0.5}, Seed: 5,
+	})
+	var aborted, initiated int64
+	for _, n := range res.Nodes {
+		aborted += n.Aborted
+		initiated += n.Initiated
+	}
+	t.Logf("64 nodes: %d initiated, %d aborted (%.1f%%), %d messages",
+		initiated, aborted, 100*float64(aborted)/float64(initiated+1), res.Messages())
+}
+
+// TestDelta1MinimalConfig: the smallest network.
+func TestDelta1MinimalConfig(t *testing.T) {
+	res := runWithTimeout(t, Config{
+		N: 2, Delta: 1, F: 1.5, Steps: 500,
+		GenP: []float64{0.5, 0}, ConP: []float64{0}, Seed: 6,
+	})
+	if d := res.Nodes[0].FinalLoad - res.Nodes[1].FinalLoad; d < -300 || d > 300 {
+		t.Fatalf("two-node balance failed: loads %d vs %d",
+			res.Nodes[0].FinalLoad, res.Nodes[1].FinalLoad)
+	}
+}
+
+// TestMessageCostScalesWithDelta: each completed protocol exchanges
+// 2δ+transfer messages; larger δ costs proportionally more.
+func TestMessageCostScalesWithDelta(t *testing.T) {
+	run := func(delta int) (perOp float64) {
+		res := runWithTimeout(t, Config{
+			N: 32, Delta: delta, F: 1.2, Steps: 1500,
+			GenP: []float64{0.6}, ConP: []float64{0.4}, Seed: 7,
+		})
+		var completed int64
+		for _, n := range res.Nodes {
+			completed += n.Completed
+		}
+		if completed == 0 {
+			t.Fatal("no completed protocols")
+		}
+		return float64(res.Messages()) / float64(completed)
+	}
+	m1, m4 := run(1), run(4)
+	if m4 <= m1 {
+		t.Fatalf("messages per op should grow with δ: δ=1→%.1f δ=4→%.1f", m1, m4)
+	}
+}
+
+func TestGraphValidationNetsim(t *testing.T) {
+	g := topology.Ring(8)
+	if _, err := Run(Config{N: 16, Delta: 1, F: 1.2, Steps: 10, GenP: []float64{0.5}, ConP: []float64{0.1}, Graph: g}); err == nil {
+		t.Fatal("graph size mismatch accepted")
+	}
+}
+
+// TestGraphRestrictedBalancing: with a torus topology, balancing still
+// spreads a hotspot's load across the whole network. Light consumption
+// everywhere matters: a transfer resets the receiver's trigger base, so
+// forwarding beyond one hop is driven by the *decrease* trigger of
+// consuming receivers — without consumers, locality-restricted balancing
+// legitimately stalls at the hotspot's neighborhood (the global model
+// does not have this issue because everyone eventually balances with the
+// hotspot directly).
+func TestGraphRestrictedBalancing(t *testing.T) {
+	g := topology.Torus2D(4, 4)
+	gen := make([]float64, 16)
+	gen[0] = 0.9
+	con := make([]float64, 16)
+	for i := range con {
+		con[i] = 0.05
+	}
+	res := runWithTimeout(t, Config{
+		N: 16, Delta: 2, F: 1.2, Steps: 5000,
+		GenP: gen, ConP: con, Seed: 9, Graph: g,
+	})
+	var gensum, consum int64
+	for _, n := range res.Nodes {
+		gensum += n.Generated
+		consum += n.Consumed
+	}
+	if int64(res.TotalLoad()) != gensum-consum {
+		t.Fatalf("conservation violated: %d vs %d−%d", res.TotalLoad(), gensum, consum)
+	}
+	// Work must have reached every node: everyone consumed something.
+	for i, n := range res.Nodes {
+		if i != 0 && n.Consumed == 0 {
+			t.Fatalf("node %d never consumed anything; loads %+v", i, res.Nodes)
+		}
+	}
+	// The hotspot must not hoard.
+	if res.Nodes[0].FinalLoad > res.TotalLoad()*3/4 {
+		t.Fatalf("hotspot kept %d of %d under torus balancing", res.Nodes[0].FinalLoad, res.TotalLoad())
+	}
+}
+
+func BenchmarkNetsimRun(b *testing.B) {
+	cfg := Config{
+		N: 32, Delta: 1, F: 1.2, Steps: 1000,
+		GenP: []float64{0.5}, ConP: []float64{0.4},
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package pool is the concurrent realization of the Lüling–Monien load
+// balancing algorithm: a dynamic task pool in which every worker goroutine
+// plays the role of one processor, tasks are the load packets, and the
+// factor-f trigger drives real δ+1-way balancing operations between
+// workers. This is the "downstream user" API of the repository — the same
+// algorithmic principle the authors deployed for branch & bound, Prolog
+// and graphics workloads.
+//
+// A classic random work-stealing pool (StealingPool) is provided as the
+// practical baseline for the benchmark harness.
+//
+// # Mapping from the paper
+//
+// The paper's model balances on changes of the self-generated load per
+// class; a real task pool cannot afford per-class bookkeeping per packet,
+// so — like the authors' own application systems [7,8] — the concurrent
+// variant triggers on the factor-f change of the local queue length and
+// balances whole queues (the ±1 snake split over δ+1 participants).
+// Workers that run dry initiate a balancing operation themselves, which is
+// the "workload decrease" trigger of the model. The simulator in
+// internal/core keeps the exact per-class algorithm; this package keeps
+// its balancing geometry and trigger discipline.
+//
+// Deadlock freedom: a balancing operation locks the participating workers'
+// queues in ascending id order, and no lock is held while a task executes.
+package pool
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lmbalance/internal/rng"
+)
+
+// Task is one unit of work. Tasks may submit further tasks through the
+// worker they run on (dynamic workload generation).
+type Task func(w *Worker)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Workers is the number of worker goroutines (processors). >= 2.
+	Workers int
+	// F is the balancing trigger factor (> 1): a worker initiates a
+	// balancing operation when its queue length has grown or shrunk by
+	// this factor since its last balancing operation.
+	F float64
+	// Delta is the number of partners per balancing operation (>= 1,
+	// < Workers).
+	Delta int
+	// Seed drives the per-worker candidate selection streams.
+	Seed uint64
+	// IdleSleep is how long a dry worker sleeps between balance attempts;
+	// 0 selects a sensible default (50µs).
+	IdleSleep time.Duration
+}
+
+func (c *Config) validate() error {
+	if c.Workers < 2 {
+		return fmt.Errorf("pool: Workers = %d, need >= 2", c.Workers)
+	}
+	if c.F <= 1 {
+		return fmt.Errorf("pool: F = %v, need > 1", c.F)
+	}
+	if c.Delta < 1 || c.Delta >= c.Workers {
+		return fmt.Errorf("pool: Delta = %d, need 1 <= Delta < Workers", c.Delta)
+	}
+	return nil
+}
+
+// Stats is a snapshot of pool activity.
+type Stats struct {
+	// Executed[i] is the number of tasks worker i completed.
+	Executed []int64
+	// Balances is the number of balancing operations performed.
+	Balances int64
+	// Migrated is the number of tasks that changed workers during
+	// balancing.
+	Migrated int64
+	// Submitted is the total number of tasks submitted.
+	Submitted int64
+}
+
+// Spread returns max−min of Executed — the work-distribution quality.
+func (s Stats) Spread() int64 {
+	if len(s.Executed) == 0 {
+		return 0
+	}
+	lo, hi := s.Executed[0], s.Executed[0]
+	for _, v := range s.Executed[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Worker is one processor of the pool. Tasks receive their worker so that
+// dynamically generated subtasks enter the local queue, as in the model.
+type Worker struct {
+	id   int
+	pool *Pool
+
+	mu    sync.Mutex
+	queue []Task
+	lOld  int // queue length at the last balancing operation
+
+	executed atomic.Int64
+}
+
+// ID returns the worker's index in [0, Workers).
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the owning pool.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// Submit enqueues a task on this worker's own queue (local generation).
+func (w *Worker) Submit(t Task) {
+	w.pool.pending.Add(1)
+	w.pool.submitted.Add(1)
+	w.mu.Lock()
+	w.queue = append(w.queue, t)
+	qlen := len(w.queue)
+	lOld := w.lOld
+	w.mu.Unlock()
+	if trigger(qlen, lOld, w.pool.cfg.F) {
+		w.pool.balance(w)
+	}
+}
+
+// pop removes and returns the newest local task (LIFO: depth-first for
+// tree-shaped computations, the branch & bound regime), or nil.
+func (w *Worker) pop() Task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.queue)
+	if n == 0 {
+		return nil
+	}
+	t := w.queue[n-1]
+	w.queue[n-1] = nil
+	w.queue = w.queue[:n-1]
+	return t
+}
+
+// Pool runs tasks over a fixed set of workers with Lüling–Monien
+// balancing. Create with New, feed with Submit, then Wait and Close.
+type Pool struct {
+	cfg     Config
+	workers []*Worker
+
+	pending   sync.WaitGroup // outstanding tasks
+	submitted atomic.Int64
+	balances  atomic.Int64
+	migrated  atomic.Int64
+
+	quit chan struct{}
+	done sync.WaitGroup // worker goroutines
+	ext  atomic.Uint64  // round-robin cursor for external submits
+
+	// rng drives candidate selection for balancing operations; it is
+	// shared because a balance can be initiated from any goroutine that
+	// submits (external callers included), so per-worker streams would
+	// race.
+	rngMu sync.Mutex
+	rng   *rng.RNG
+}
+
+// New creates and starts a pool.
+func New(cfg Config) (*Pool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IdleSleep == 0 {
+		cfg.IdleSleep = 50 * time.Microsecond
+	}
+	p := &Pool{cfg: cfg, quit: make(chan struct{}), rng: rng.New(cfg.Seed)}
+	p.workers = make([]*Worker, cfg.Workers)
+	for i := range p.workers {
+		p.workers[i] = &Worker{id: i, pool: p}
+	}
+	for _, w := range p.workers {
+		p.done.Add(1)
+		go p.run(w)
+	}
+	return p, nil
+}
+
+// Submit enqueues a task from outside the pool; tasks are spread
+// round-robin across workers (arrival at arbitrary processors).
+func (p *Pool) Submit(t Task) {
+	i := int(p.ext.Add(1)-1) % len(p.workers)
+	p.workers[i].Submit(t)
+}
+
+// Wait blocks until every submitted task (including recursively generated
+// ones) has finished executing.
+func (p *Pool) Wait() { p.pending.Wait() }
+
+// Close stops the workers. It must not be called while tasks are still
+// outstanding (Wait first); remaining queued tasks would be lost.
+func (p *Pool) Close() {
+	close(p.quit)
+	p.done.Wait()
+}
+
+// Stats returns a snapshot of activity counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Executed:  make([]int64, len(p.workers)),
+		Balances:  p.balances.Load(),
+		Migrated:  p.migrated.Load(),
+		Submitted: p.submitted.Load(),
+	}
+	for i, w := range p.workers {
+		s.Executed[i] = w.executed.Load()
+	}
+	return s
+}
+
+// Workers returns the number of workers.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// trigger is the factor-f condition on queue lengths, with the same
+// strict-change guard as the simulator (see core/doc.go).
+func trigger(qlen, lOld int, f float64) bool {
+	if qlen > lOld && float64(qlen) >= f*float64(lOld) {
+		return true
+	}
+	return qlen < lOld && float64(qlen)*f <= float64(lOld)
+}
+
+// run is the worker main loop.
+func (p *Pool) run(w *Worker) {
+	defer p.done.Done()
+	for {
+		t := w.pop()
+		if t == nil {
+			select {
+			case <-p.quit:
+				return
+			default:
+			}
+			// Dry worker: a shrink trigger (qlen 0 vs lOld > 0) or plain
+			// starvation; initiate a balancing operation to acquire work.
+			p.balance(w)
+			if t = w.pop(); t == nil {
+				time.Sleep(p.cfg.IdleSleep)
+				continue
+			}
+		}
+		t(w)
+		w.executed.Add(1)
+		p.pending.Done()
+		w.mu.Lock()
+		qlen := len(w.queue)
+		lOld := w.lOld
+		w.mu.Unlock()
+		if trigger(qlen, lOld, p.cfg.F) {
+			p.balance(w)
+		}
+	}
+}
+
+// balance performs one δ+1-way balancing operation initiated by w:
+// participants' queues are concatenated and re-split into ±1 equal parts.
+func (p *Pool) balance(init *Worker) {
+	p.rngMu.Lock()
+	ids := p.rng.SampleDistinct(len(p.workers), p.cfg.Delta, init.id, nil)
+	p.rngMu.Unlock()
+	ids = append(ids, init.id)
+	sort.Ints(ids)
+	parts := make([]*Worker, len(ids))
+	for i, id := range ids {
+		parts[i] = p.workers[id]
+		parts[i].mu.Lock()
+	}
+	defer func() {
+		for _, w := range parts {
+			w.mu.Unlock()
+		}
+	}()
+	total := 0
+	for _, w := range parts {
+		total += len(w.queue)
+	}
+	m := len(parts)
+	base, rem := total/m, total%m
+	// Short-circuit: nothing to move if all queues already within ±1.
+	balanced := true
+	for i, w := range parts {
+		want := base
+		if i < rem {
+			want++
+		}
+		if len(w.queue) != want {
+			balanced = false
+			break
+		}
+	}
+	if balanced {
+		for _, w := range parts {
+			w.lOld = len(w.queue)
+		}
+		return
+	}
+	all := make([]Task, 0, total)
+	for _, w := range parts {
+		all = append(all, w.queue...)
+	}
+	p.balances.Add(1)
+	pos := 0
+	for i, w := range parts {
+		want := base
+		if i < rem {
+			want++
+		}
+		if grown := want - len(w.queue); grown > 0 {
+			p.migrated.Add(int64(grown))
+		}
+		w.queue = append(w.queue[:0], all[pos:pos+want]...)
+		w.lOld = want
+		pos += want
+	}
+}

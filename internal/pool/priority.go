@@ -1,0 +1,269 @@
+package pool
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lmbalance/internal/rng"
+)
+
+// PriorityPool is the best-first variant of the Lüling–Monien task pool:
+// every worker keeps its tasks in a min-heap ordered by priority (lower =
+// more promising, e.g. a branch & bound lower bound), executes the most
+// promising task first, and balancing operations deal the merged tasks
+// out round-robin in priority order — so after a balance every
+// participant holds an equally good mix of promising and unpromising
+// work. This mirrors the authors' distributed best-first branch & bound
+// systems ([7], [8]), where it is not enough for every processor to have
+// *some* work: they must all work on *good* subproblems, or speedup
+// collapses from searching parts of the tree the sequential algorithm
+// would prune.
+type PriorityPool struct {
+	cfg     Config
+	workers []*PriorityWorker
+
+	pending   sync.WaitGroup
+	submitted atomic.Int64
+	balances  atomic.Int64
+	migrated  atomic.Int64
+
+	quit chan struct{}
+	done sync.WaitGroup
+	ext  atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rng.RNG
+}
+
+// PriorityTask is one unit of work with a priority (lower runs first).
+type PriorityTask struct {
+	Priority int64
+	Run      func(w *PriorityWorker)
+}
+
+// taskHeap is a min-heap of PriorityTask.
+type taskHeap []PriorityTask
+
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i].Priority < h[j].Priority }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(PriorityTask)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = PriorityTask{}
+	*h = old[:n-1]
+	return t
+}
+
+// PriorityWorker is one processor of the priority pool.
+type PriorityWorker struct {
+	id   int
+	pool *PriorityPool
+
+	mu    sync.Mutex
+	queue taskHeap
+	lOld  int
+
+	executed atomic.Int64
+}
+
+// ID returns the worker's index.
+func (w *PriorityWorker) ID() int { return w.id }
+
+// Pool returns the owning pool.
+func (w *PriorityWorker) Pool() *PriorityPool { return w.pool }
+
+// Submit enqueues a task on this worker's own heap (local generation).
+func (w *PriorityWorker) Submit(t PriorityTask) {
+	if t.Run == nil {
+		panic("pool: PriorityTask with nil Run")
+	}
+	w.pool.pending.Add(1)
+	w.pool.submitted.Add(1)
+	w.mu.Lock()
+	heap.Push(&w.queue, t)
+	qlen := len(w.queue)
+	lOld := w.lOld
+	w.mu.Unlock()
+	if trigger(qlen, lOld, w.pool.cfg.F) {
+		w.pool.balance(w)
+	}
+}
+
+// pop removes and returns the most promising local task, or ok=false.
+func (w *PriorityWorker) pop() (PriorityTask, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.queue) == 0 {
+		return PriorityTask{}, false
+	}
+	return heap.Pop(&w.queue).(PriorityTask), true
+}
+
+// NewPriority creates and starts a best-first pool.
+func NewPriority(cfg Config) (*PriorityPool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IdleSleep == 0 {
+		cfg.IdleSleep = 50 * time.Microsecond
+	}
+	p := &PriorityPool{cfg: cfg, quit: make(chan struct{}), rng: rng.New(cfg.Seed)}
+	p.workers = make([]*PriorityWorker, cfg.Workers)
+	for i := range p.workers {
+		p.workers[i] = &PriorityWorker{id: i, pool: p}
+	}
+	for _, w := range p.workers {
+		p.done.Add(1)
+		go p.run(w)
+	}
+	return p, nil
+}
+
+// Submit enqueues a task from outside, round-robin across workers.
+func (p *PriorityPool) Submit(t PriorityTask) {
+	i := int(p.ext.Add(1)-1) % len(p.workers)
+	p.workers[i].Submit(t)
+}
+
+// Wait blocks until every submitted task has finished executing.
+func (p *PriorityPool) Wait() { p.pending.Wait() }
+
+// Close stops the workers; call only after Wait.
+func (p *PriorityPool) Close() {
+	close(p.quit)
+	p.done.Wait()
+}
+
+// Workers returns the number of workers.
+func (p *PriorityPool) Workers() int { return len(p.workers) }
+
+// Stats returns a snapshot of activity counters.
+func (p *PriorityPool) Stats() Stats {
+	s := Stats{
+		Executed:  make([]int64, len(p.workers)),
+		Balances:  p.balances.Load(),
+		Migrated:  p.migrated.Load(),
+		Submitted: p.submitted.Load(),
+	}
+	for i, w := range p.workers {
+		s.Executed[i] = w.executed.Load()
+	}
+	return s
+}
+
+// run is the worker main loop.
+func (p *PriorityPool) run(w *PriorityWorker) {
+	defer p.done.Done()
+	for {
+		t, ok := w.pop()
+		if !ok {
+			select {
+			case <-p.quit:
+				return
+			default:
+			}
+			p.balance(w)
+			if t, ok = w.pop(); !ok {
+				time.Sleep(p.cfg.IdleSleep)
+				continue
+			}
+		}
+		t.Run(w)
+		w.executed.Add(1)
+		p.pending.Done()
+		w.mu.Lock()
+		qlen := len(w.queue)
+		lOld := w.lOld
+		w.mu.Unlock()
+		if trigger(qlen, lOld, p.cfg.F) {
+			p.balance(w)
+		}
+	}
+}
+
+// balance merges the participants' heaps and deals the tasks back out
+// round-robin in priority order, so counts are ±1 equal AND the quality
+// mix is even.
+func (p *PriorityPool) balance(init *PriorityWorker) {
+	p.rngMu.Lock()
+	ids := p.rng.SampleDistinct(len(p.workers), p.cfg.Delta, init.id, nil)
+	p.rngMu.Unlock()
+	ids = append(ids, init.id)
+	sort.Ints(ids)
+	parts := make([]*PriorityWorker, len(ids))
+	for i, id := range ids {
+		parts[i] = p.workers[id]
+		parts[i].mu.Lock()
+	}
+	defer func() {
+		for _, w := range parts {
+			w.mu.Unlock()
+		}
+	}()
+	total := 0
+	for _, w := range parts {
+		total += len(w.queue)
+	}
+	m := len(parts)
+	base, rem := total/m, total%m
+	balanced := true
+	for i, w := range parts {
+		want := base
+		if i < rem {
+			want++
+		}
+		if len(w.queue) != want {
+			balanced = false
+			break
+		}
+	}
+	if balanced {
+		for _, w := range parts {
+			w.lOld = len(w.queue)
+		}
+		return
+	}
+	all := make([]PriorityTask, 0, total)
+	for _, w := range parts {
+		all = append(all, w.queue...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Priority < all[j].Priority })
+	p.balances.Add(1)
+	for i, w := range parts {
+		before := len(w.queue)
+		w.queue = w.queue[:0]
+		// Deal round-robin: participant i receives tasks i, i+m, i+2m, …
+		// — everyone gets the same spectrum of priorities.
+		for k := i; k < total; k += m {
+			w.queue = append(w.queue, all[k])
+		}
+		heap.Init(&w.queue)
+		w.lOld = len(w.queue)
+		if grown := len(w.queue) - before; grown > 0 {
+			p.migrated.Add(int64(grown))
+		}
+	}
+}
+
+// BestPriority returns the most promising queued priority across all
+// workers, or ok=false if every queue is empty. For monitoring.
+func (p *PriorityPool) BestPriority() (int64, bool) {
+	best := int64(0)
+	found := false
+	for _, w := range p.workers {
+		w.mu.Lock()
+		if len(w.queue) > 0 {
+			if v := w.queue[0].Priority; !found || v < best {
+				best, found = v, true
+			}
+		}
+		w.mu.Unlock()
+	}
+	return best, found
+}

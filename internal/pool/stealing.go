@@ -1,0 +1,188 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lmbalance/internal/rng"
+)
+
+// StealingPool is the classic random work-stealing pool (the strategy of
+// Cilk-style runtimes): workers execute from their own queue LIFO and, when
+// dry, steal the oldest half of a uniformly random victim's queue. It
+// serves as the practical baseline against the Lüling–Monien pool in the
+// benchmark harness.
+type StealingPool struct {
+	workers []*stealWorker
+
+	pending   sync.WaitGroup
+	submitted atomic.Int64
+	steals    atomic.Int64
+	migrated  atomic.Int64
+
+	quit      chan struct{}
+	done      sync.WaitGroup
+	ext       atomic.Uint64
+	idleSleep time.Duration
+}
+
+type stealWorker struct {
+	id   int
+	pool *StealingPool
+	rng  *rng.RNG
+
+	mu    sync.Mutex
+	queue []StealTask
+
+	executed atomic.Int64
+}
+
+// StealTask is a unit of work for the stealing pool.
+type StealTask func(w *StealWorkerRef)
+
+// StealWorkerRef is the execution context handed to tasks, allowing local
+// submission of subtasks.
+type StealWorkerRef struct {
+	w *stealWorker
+}
+
+// ID returns the executing worker's index.
+func (r *StealWorkerRef) ID() int { return r.w.id }
+
+// Submit enqueues a subtask on the executing worker's queue.
+func (r *StealWorkerRef) Submit(t StealTask) { r.w.submit(t) }
+
+// NewStealing creates and starts a work-stealing pool with the given
+// number of workers.
+func NewStealing(workers int, seed uint64, idleSleep time.Duration) (*StealingPool, error) {
+	if workers < 2 {
+		return nil, fmt.Errorf("pool: stealing pool needs >= 2 workers, got %d", workers)
+	}
+	if idleSleep == 0 {
+		idleSleep = 50 * time.Microsecond
+	}
+	p := &StealingPool{quit: make(chan struct{}), idleSleep: idleSleep}
+	master := rng.New(seed)
+	p.workers = make([]*stealWorker, workers)
+	for i := range p.workers {
+		p.workers[i] = &stealWorker{id: i, pool: p, rng: master.Split()}
+	}
+	for _, w := range p.workers {
+		p.done.Add(1)
+		go p.run(w)
+	}
+	return p, nil
+}
+
+func (w *stealWorker) submit(t StealTask) {
+	w.pool.pending.Add(1)
+	w.pool.submitted.Add(1)
+	w.mu.Lock()
+	w.queue = append(w.queue, t)
+	w.mu.Unlock()
+}
+
+func (w *stealWorker) pop() StealTask {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.queue)
+	if n == 0 {
+		return nil
+	}
+	t := w.queue[n-1]
+	w.queue[n-1] = nil
+	w.queue = w.queue[:n-1]
+	return t
+}
+
+// Submit enqueues a task from outside, round-robin across workers.
+func (p *StealingPool) Submit(t StealTask) {
+	i := int(p.ext.Add(1)-1) % len(p.workers)
+	p.workers[i].submit(t)
+}
+
+// Wait blocks until all tasks (including spawned subtasks) finished.
+func (p *StealingPool) Wait() { p.pending.Wait() }
+
+// Close stops the workers; call only after Wait.
+func (p *StealingPool) Close() {
+	close(p.quit)
+	p.done.Wait()
+}
+
+// Stats returns a snapshot of activity counters (Balances counts steals).
+func (p *StealingPool) Stats() Stats {
+	s := Stats{
+		Executed:  make([]int64, len(p.workers)),
+		Balances:  p.steals.Load(),
+		Migrated:  p.migrated.Load(),
+		Submitted: p.submitted.Load(),
+	}
+	for i, w := range p.workers {
+		s.Executed[i] = w.executed.Load()
+	}
+	return s
+}
+
+// Workers returns the number of workers.
+func (p *StealingPool) Workers() int { return len(p.workers) }
+
+func (p *StealingPool) run(w *stealWorker) {
+	defer p.done.Done()
+	ref := &StealWorkerRef{w: w}
+	for {
+		t := w.pop()
+		if t == nil {
+			select {
+			case <-p.quit:
+				return
+			default:
+			}
+			if !p.steal(w) {
+				time.Sleep(p.idleSleep)
+				continue
+			}
+			if t = w.pop(); t == nil {
+				continue
+			}
+		}
+		t(ref)
+		w.executed.Add(1)
+		p.pending.Done()
+	}
+}
+
+// steal moves the oldest half of a random victim's queue to w. It reports
+// whether anything was stolen.
+func (p *StealingPool) steal(w *stealWorker) bool {
+	victimID := w.rng.Intn(len(p.workers) - 1)
+	if victimID >= w.id {
+		victimID++
+	}
+	victim := p.workers[victimID]
+	// Lock ordering by id prevents deadlock between concurrent steals.
+	first, second := w, victim
+	if victim.id < w.id {
+		first, second = victim, w
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	defer first.mu.Unlock()
+	n := len(victim.queue)
+	if n == 0 {
+		return false
+	}
+	k := (n + 1) / 2
+	w.queue = append(w.queue, victim.queue[:k]...)
+	rest := copy(victim.queue, victim.queue[k:])
+	for i := rest; i < n; i++ {
+		victim.queue[i] = nil
+	}
+	victim.queue = victim.queue[:rest]
+	p.steals.Add(1)
+	p.migrated.Add(int64(k))
+	return true
+}

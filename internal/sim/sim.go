@@ -1,0 +1,300 @@
+// Package sim is the discrete-time simulation engine that drives a load
+// balancing algorithm under a workload pattern, reproducing the paper's
+// timing model (§2/§4): one global clock tick lets every processor
+// generate one packet, consume one packet, or idle; balancing operations
+// happen inside those actions (event-driven algorithms such as the paper's)
+// or at the end of the tick (periodic baselines).
+//
+// The engine records the per-step observables the paper's figures plot —
+// average, minimum and maximum processor load — and aggregates them over
+// many independent runs with a parallel worker pool (one goroutine per CPU,
+// each with its own deterministic RNG stream split from the master seed).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lmbalance/internal/core"
+	"lmbalance/internal/rng"
+	"lmbalance/internal/stats"
+	"lmbalance/internal/topology"
+	"lmbalance/internal/workload"
+)
+
+// Balancer is what the engine drives: the core algorithm, a baseline, or
+// anything else exposing per-processor generate/consume plus load
+// introspection. core.System satisfies it directly; baseline algorithms
+// add a Tick hook via the optional Ticker interface.
+type Balancer interface {
+	Name() string
+	N() int
+	Generate(i int)
+	Consume(i int) bool
+	Load(i int) int
+	Loads(dst []int) []int
+}
+
+// Ticker is implemented by balancers that act at end-of-step (periodic
+// baselines). The engine calls Tick exactly once per global time step.
+type Ticker interface {
+	Tick(t int)
+}
+
+// Config describes one simulation.
+type Config struct {
+	// N is the number of processors.
+	N int
+	// Steps is the number of global time steps.
+	Steps int
+	// Seed is the master seed; all randomness (workload, algorithm,
+	// per-run streams) derives from it.
+	Seed uint64
+	// Runs is the number of independent repetitions (>= 1).
+	Runs int
+	// SnapshotAt lists global time steps at which full per-processor load
+	// vectors are recorded (for the paper's Fig. 9/10 distribution plots).
+	SnapshotAt []int
+	// NewBalancer constructs the algorithm under test for one run.
+	NewBalancer func(run int, r *rng.RNG) (Balancer, error)
+	// NewPattern constructs the workload for one run. Patterns are
+	// per-run because the paper redraws the random phase plans each run.
+	NewPattern func(run int, r *rng.RNG) (workload.Pattern, error)
+	// Observe, if non-nil, is called after every global time step with
+	// the run index, the step, and the balancer. Runs execute in
+	// parallel, so Observe is called concurrently for different run
+	// indices — implementations must partition their state by run. The
+	// balancer must not be retained.
+	Observe func(run, t int, bal Balancer)
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("sim: N = %d, need >= 2", c.N)
+	case c.Steps < 1:
+		return fmt.Errorf("sim: Steps = %d, need >= 1", c.Steps)
+	case c.Runs < 1:
+		return fmt.Errorf("sim: Runs = %d, need >= 1", c.Runs)
+	case c.NewBalancer == nil:
+		return fmt.Errorf("sim: NewBalancer is nil")
+	case c.NewPattern == nil:
+		return fmt.Errorf("sim: NewPattern is nil")
+	}
+	for _, s := range c.SnapshotAt {
+		if s < 0 || s >= c.Steps {
+			return fmt.Errorf("sim: snapshot step %d outside [0,%d)", s, c.Steps)
+		}
+	}
+	return nil
+}
+
+// LMConfig is a convenience constructor for a Config that runs the core
+// Lüling–Monien algorithm with the paper's uniform random candidate
+// selection under a per-run random phase workload.
+func LMConfig(n, steps, runs int, params core.Params, bounds workload.PhaseBounds, seed uint64) Config {
+	return Config{
+		N:     n,
+		Steps: steps,
+		Seed:  seed,
+		Runs:  runs,
+		NewBalancer: func(run int, r *rng.RNG) (Balancer, error) {
+			return core.NewSystem(n, params, topology.NewGlobal(n), r)
+		},
+		NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+			return workload.NewPhases(n, bounds, r)
+		},
+	}
+}
+
+// Result aggregates the observables over all runs.
+type Result struct {
+	// Avg, Min, Max are per-step accumulators over runs of the average,
+	// minimum and maximum processor load at that step — the three curves
+	// of the paper's Fig. 7/8.
+	Avg, Min, Max *stats.Series
+	// Spread is the per-step accumulator of (max−min) processor load.
+	Spread *stats.Series
+	// Snapshots[t][i] accumulates processor i's load at snapshot step t
+	// over runs — mean/min/max per processor, the paper's Fig. 9/10.
+	Snapshots map[int][]stats.Accumulator
+	// CoreMetrics is the sum of core.Metrics over runs when the balancer
+	// is a *core.System (zero otherwise); divide by Runs for Table 1 rows.
+	CoreMetrics core.Metrics
+	// Runs echoes the number of runs aggregated.
+	Runs int
+	// FinalLoadVD is the variation density of the final per-processor
+	// loads pooled over all runs.
+	FinalLoadVD float64
+
+	finalLoads stats.Accumulator
+}
+
+// runResult is one run's partial aggregate, merged into Result.
+type runResult struct {
+	avg, min, max, spread *stats.Series
+	snapshots             map[int][]float64
+	metrics               core.Metrics
+	finalLoads            []float64
+	err                   error
+}
+
+// Run executes the configured number of independent runs (in parallel) and
+// returns the merged result. The aggregation is deterministic for a fixed
+// Config: each run's RNG stream depends only on (Seed, run index) and
+// accumulator merging is order-independent for the statistics reported.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]runResult, cfg.Runs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range next {
+				results[run] = oneRun(cfg, run)
+			}
+		}()
+	}
+	for run := 0; run < cfg.Runs; run++ {
+		next <- run
+	}
+	close(next)
+	wg.Wait()
+
+	res := &Result{
+		Avg:       stats.NewSeries(cfg.Steps),
+		Min:       stats.NewSeries(cfg.Steps),
+		Max:       stats.NewSeries(cfg.Steps),
+		Spread:    stats.NewSeries(cfg.Steps),
+		Snapshots: make(map[int][]stats.Accumulator, len(cfg.SnapshotAt)),
+		Runs:      cfg.Runs,
+	}
+	for _, t := range cfg.SnapshotAt {
+		res.Snapshots[t] = make([]stats.Accumulator, cfg.N)
+	}
+	for run := range results {
+		r := &results[run]
+		if r.err != nil {
+			return nil, fmt.Errorf("sim: run %d: %w", run, r.err)
+		}
+		res.Avg.Merge(r.avg)
+		res.Min.Merge(r.min)
+		res.Max.Merge(r.max)
+		res.Spread.Merge(r.spread)
+		for t, loads := range r.snapshots {
+			accs := res.Snapshots[t]
+			for i, v := range loads {
+				accs[i].Add(v)
+			}
+		}
+		res.CoreMetrics.Add(r.metrics)
+		for _, v := range r.finalLoads {
+			res.finalLoads.Add(v)
+		}
+	}
+	res.FinalLoadVD = res.finalLoads.VariationDensity()
+	return res, nil
+}
+
+// oneRun executes a single simulation run.
+func oneRun(cfg Config, run int) runResult {
+	// Derive independent deterministic streams: one for the workload, one
+	// for the algorithm, one for the engine's per-step processor order.
+	master := rng.New(cfg.Seed + uint64(run)*0x9e3779b97f4a7c15)
+	patternRNG := master.Split()
+	balancerRNG := master.Split()
+	orderRNG := master.Split()
+
+	out := runResult{
+		avg:       stats.NewSeries(cfg.Steps),
+		min:       stats.NewSeries(cfg.Steps),
+		max:       stats.NewSeries(cfg.Steps),
+		spread:    stats.NewSeries(cfg.Steps),
+		snapshots: make(map[int][]float64, len(cfg.SnapshotAt)),
+	}
+	bal, err := cfg.NewBalancer(run, balancerRNG)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if bal.N() != cfg.N {
+		out.err = fmt.Errorf("balancer built for %d processors, config says %d", bal.N(), cfg.N)
+		return out
+	}
+	pattern, err := cfg.NewPattern(run, patternRNG)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	snapshotWanted := make(map[int]bool, len(cfg.SnapshotAt))
+	for _, t := range cfg.SnapshotAt {
+		snapshotWanted[t] = true
+	}
+
+	order := make([]int, cfg.N)
+	for i := range order {
+		order[i] = i
+	}
+	loads := make([]int, 0, cfg.N)
+	for t := 0; t < cfg.Steps; t++ {
+		// Random processor order per step removes the systematic bias a
+		// fixed order would give early processors in balancing decisions.
+		orderRNG.ShuffleInts(order)
+		for _, i := range order {
+			switch pattern.Step(i, t, patternRNG) {
+			case workload.Generate:
+				bal.Generate(i)
+			case workload.Consume:
+				bal.Consume(i)
+			case workload.GenerateAndConsume:
+				bal.Generate(i)
+				bal.Consume(i)
+			}
+		}
+		if tk, ok := bal.(Ticker); ok {
+			tk.Tick(t)
+		}
+		loads = bal.Loads(loads)
+		lo, hi := stats.MinMaxInts(loads)
+		sum := 0
+		for _, v := range loads {
+			sum += v
+		}
+		out.avg.Add(t, float64(sum)/float64(cfg.N))
+		out.min.Add(t, float64(lo))
+		out.max.Add(t, float64(hi))
+		out.spread.Add(t, float64(hi-lo))
+		if snapshotWanted[t] {
+			snap := make([]float64, cfg.N)
+			for i, v := range loads {
+				snap[i] = float64(v)
+			}
+			out.snapshots[t] = snap
+		}
+		if cfg.Observe != nil {
+			cfg.Observe(run, t, bal)
+		}
+	}
+	if sys, ok := bal.(*core.System); ok {
+		out.metrics = sys.Metrics()
+		if err := sys.CheckInvariants(); err != nil {
+			out.err = fmt.Errorf("invariant violation after run: %w", err)
+			return out
+		}
+	}
+	out.finalLoads = make([]float64, cfg.N)
+	for i, v := range loads {
+		out.finalLoads[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package stats provides the small statistical toolkit used by the
+// simulator and the experiment harnesses: streaming accumulators (Welford),
+// mergeable across parallel simulation runs; per-time-step series; integer
+// histograms; and quantile helpers.
+//
+// The experiments in the paper report, for each configuration, the average,
+// minimum and maximum load observed over 100 independent runs, plus the
+// variation density VD(X) = sqrt(Var X)/E X (paper §5). Everything here is
+// written so those aggregates can be computed in one pass and combined from
+// per-run partial results without storing raw samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator is a streaming mean/variance/min/max accumulator using
+// Welford's algorithm. The zero value is an empty accumulator ready to use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddN incorporates the same observation x, n times (n >= 0).
+func (a *Accumulator) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	var other Accumulator
+	other.n = n
+	other.mean = x
+	other.min, other.max = x, x
+	a.Merge(&other)
+}
+
+// Merge combines another accumulator into a (parallel-runs reduction) using
+// Chan et al.'s pairwise update. After Merge, a summarizes the union of both
+// sample sets; b is unchanged.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	delta := b.mean - a.mean
+	total := a.n + b.n
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(total)
+	a.mean += delta * float64(b.n) / float64(total)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = total
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the population variance (dividing by n), or 0 when n < 1.
+func (a *Accumulator) Var() float64 {
+	if a.n < 1 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// SampleVar returns the unbiased sample variance (dividing by n-1), or 0
+// when n < 2.
+func (a *Accumulator) SampleVar() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the population standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest observation, or 0 for an empty accumulator.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest observation, or 0 for an empty accumulator.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// VariationDensity returns Std/Mean, the paper's §5 quality measure, or 0
+// when the mean is 0.
+func (a *Accumulator) VariationDensity() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return a.Std() / a.mean
+}
+
+// String formats the accumulator for logs and experiment tables.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f max=%.4f",
+		a.n, a.Mean(), a.Std(), a.Min(), a.Max())
+}
+
+// Series is a fixed-length vector of accumulators indexed by time step,
+// aggregating one observation per step per run. It is the backbone of the
+// Fig. 7/8 reproduction (average/min/max load per global time step over 100
+// runs).
+type Series struct {
+	acc []Accumulator
+}
+
+// NewSeries returns a Series with the given number of time steps.
+func NewSeries(steps int) *Series {
+	return &Series{acc: make([]Accumulator, steps)}
+}
+
+// Len returns the number of time steps.
+func (s *Series) Len() int { return len(s.acc) }
+
+// Add incorporates observation x at time step t.
+func (s *Series) Add(t int, x float64) { s.acc[t].Add(x) }
+
+// At returns the accumulator for time step t.
+func (s *Series) At(t int) *Accumulator { return &s.acc[t] }
+
+// Merge combines another series of the same length into s.
+// It panics if the lengths differ.
+func (s *Series) Merge(o *Series) {
+	if len(s.acc) != len(o.acc) {
+		panic("stats: merging series of different lengths")
+	}
+	for i := range s.acc {
+		s.acc[i].Merge(&o.acc[i])
+	}
+}
+
+// Means returns the per-step means as a slice.
+func (s *Series) Means() []float64 {
+	out := make([]float64, len(s.acc))
+	for i := range s.acc {
+		out[i] = s.acc[i].Mean()
+	}
+	return out
+}
+
+// Mins returns the per-step minima.
+func (s *Series) Mins() []float64 {
+	out := make([]float64, len(s.acc))
+	for i := range s.acc {
+		out[i] = s.acc[i].Min()
+	}
+	return out
+}
+
+// Maxs returns the per-step maxima.
+func (s *Series) Maxs() []float64 {
+	out := make([]float64, len(s.acc))
+	for i := range s.acc {
+		out[i] = s.acc[i].Max()
+	}
+	return out
+}
+
+// Histogram counts integer-valued observations. Buckets are the integers
+// themselves; out-of-range values extend the histogram.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add counts one observation of value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations of value v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Support returns the sorted list of observed values.
+func (h *Histogram) Support() []int {
+	vals := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// Mean returns the mean of the histogram, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the histogram using the
+// nearest-rank method, or 0 if the histogram is empty.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, v := range h.Support() {
+		cum += h.counts[v]
+		if cum >= rank {
+			return v
+		}
+	}
+	// Unreachable: cum reaches total.
+	s := h.Support()
+	return s[len(s)-1]
+}
+
+// Quantile returns the q-quantile of the float64 slice xs (0<=q<=1) by
+// linear interpolation between closest ranks. It returns 0 for empty input.
+// The input slice is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MeanOf returns the mean of xs, or 0 for empty input.
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMaxInts returns the minimum and maximum of xs. It panics on empty
+// input.
+func MinMaxInts(xs []int) (min, max int) {
+	if len(xs) == 0 {
+		panic("stats: MinMaxInts of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// SpreadInts returns max-min of xs — the load imbalance measure used in the
+// balancing-quality plots. It panics on empty input.
+func SpreadInts(xs []int) int {
+	min, max := MinMaxInts(xs)
+	return max - min
+}

@@ -1,0 +1,121 @@
+package theory
+
+import (
+	"math"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/stats"
+)
+
+// This file covers the first §6 benchmark: "the situation that only one
+// processor generates load and distributes it evenly onto the network."
+// The paper's Lemma 4 (its statement is partly lost in the proceedings
+// scan; only the conclusion "…ing steps the expected number of workload
+// packets generated and distributed on the network is ≥ m" survives)
+// lower-bounds the load generated within a number of balancing steps —
+// i.e. it quantifies the distribution cost of the algorithm.
+//
+// Derivation of the closed form used here: write l₁ for the generator's
+// post-balance load and T for the system total. In the steady state of
+// Theorem 1 the generator exceeds the other processors by the factor
+// FIX(n,δ,f), so it holds the fraction
+//
+//	r(n,δ,f) = FIX / (n−1+FIX)
+//
+// of the total. Per balancing operation the generator produces
+// (f−1)·l₁ = (f−1)·r·T new packets (its self load must grow by the factor
+// f to fire the trigger), after which balancing only redistributes. The
+// total therefore multiplies by
+//
+//	M(n,δ,f) = 1 + (f−1)·r(n,δ,f)
+//
+// per operation, and the generated volume after t operations from an
+// initial total T₀ is T₀·(M^t − 1). Note the n-dependence: unlike the
+// decrease cost of Lemma 5/6 (nearly n-free), evenly distributing load
+// from a single source is inherently Θ(n) per doubling — each packet can
+// only leave the source through a δ+1-way balance. GrowthProcess verifies
+// the closed form by simulating the random-candidate process.
+
+// GeneratorShare returns r(n,δ,f) = FIX/(n−1+FIX): the fraction of the
+// system's total load held by the generating processor in the steady
+// state of the one-processor-generator model.
+func GeneratorShare(n, delta int, f float64) float64 {
+	fix := FIX(n, delta, f)
+	return fix / (float64(n-1) + fix)
+}
+
+// GrowthMultiplier returns M(n,δ,f) = 1 + (f−1)·r(n,δ,f), the
+// steady-state factor by which the system's total load grows per
+// balancing operation in the one-processor-generator model.
+func GrowthMultiplier(n, delta int, f float64) float64 {
+	return 1 + (f-1)*GeneratorShare(n, delta, f)
+}
+
+// GeneratedAfter returns the expected number of packets generated within
+// t balancing operations of the one-processor-generator model in steady
+// state, starting from a system total of t0 packets — the Lemma 4
+// quantity.
+func GeneratedAfter(n, delta int, f float64, t0 float64, t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	m := GrowthMultiplier(n, delta, f)
+	return t0 * (math.Pow(m, float64(t)) - 1)
+}
+
+// OpsToGenerate returns the expected number of balancing operations needed
+// to generate and distribute at least m packets, starting from a system
+// total of t0 packets in steady state (the inverse of GeneratedAfter).
+func OpsToGenerate(n, delta int, f float64, t0, m float64) int {
+	if m <= 0 {
+		return 0
+	}
+	mult := GrowthMultiplier(n, delta, f)
+	if mult <= 1 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(math.Log(1+m/t0) / math.Log(mult)))
+}
+
+// GrowthProcess simulates the one-processor-generator model in the
+// expected-value dynamics (randomness: candidate choices) and returns the
+// mean and standard deviation of the number of balancing operations until
+// m packets have been generated, starting from a balanced state of 1
+// packet per processor.
+func GrowthProcess(n, delta int, f float64, m float64, runs int, seed uint64) (mean, std float64) {
+	if runs < 1 {
+		runs = 1
+	}
+	r := rng.New(seed)
+	var acc stats.Accumulator
+	for run := 0; run < runs; run++ {
+		rr := r.Split()
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		generated := 0.0
+		ops := 0
+		for generated < m && ops < 10000000 {
+			// Generate until the trigger: self load grows by factor f.
+			generated += w[0] * (f - 1)
+			w[0] *= f
+			if generated >= m {
+				break
+			}
+			cands := rr.SampleDistinct(n, delta, 0, nil)
+			sum := w[0]
+			for _, c := range cands {
+				sum += w[c]
+			}
+			avg := sum / float64(delta+1)
+			w[0] = avg
+			for _, c := range cands {
+				w[c] = avg
+			}
+			ops++
+		}
+		acc.Add(float64(ops))
+	}
+	return acc.Mean(), acc.Std()
+}

@@ -1,0 +1,122 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorShare(t *testing.T) {
+	// The generator holds slightly more than 1/n of the total.
+	for _, tc := range []struct {
+		n, delta int
+		f        float64
+	}{{64, 1, 1.1}, {64, 4, 1.1}, {16, 2, 1.5}, {1024, 1, 1.8}} {
+		r := GeneratorShare(tc.n, tc.delta, tc.f)
+		if r <= 1/float64(tc.n) {
+			t.Fatalf("n=%d δ=%d f=%v: share %v not above 1/n", tc.n, tc.delta, tc.f, r)
+		}
+		// The share is bounded by FIX/(n−1) < FixLimit·(1+ε)/(n−1).
+		if r > FixLimit(tc.delta, tc.f)*1.01/float64(tc.n-1) {
+			t.Fatalf("share %v above FIX-based bound", r)
+		}
+	}
+}
+
+func TestGrowthMultiplierAboveOne(t *testing.T) {
+	for _, tc := range []struct {
+		n, delta int
+		f        float64
+	}{{64, 1, 1.1}, {64, 4, 1.1}, {16, 2, 1.5}, {1024, 1, 1.8}} {
+		m := GrowthMultiplier(tc.n, tc.delta, tc.f)
+		if m <= 1 {
+			t.Fatalf("n=%d δ=%d f=%v: multiplier %v <= 1", tc.n, tc.delta, tc.f, m)
+		}
+		if m >= tc.f {
+			t.Fatalf("multiplier %v should be below f=%v", m, tc.f)
+		}
+	}
+}
+
+func TestGeneratedAfterMonotone(t *testing.T) {
+	prev := 0.0
+	for _, steps := range []int{1, 2, 5, 10, 50, 100} {
+		g := GeneratedAfter(64, 1, 1.1, 64, steps)
+		if g <= prev {
+			t.Fatalf("GeneratedAfter not increasing at t=%d: %v <= %v", steps, g, prev)
+		}
+		prev = g
+	}
+	if GeneratedAfter(64, 1, 1.1, 64, 0) != 0 {
+		t.Fatal("t=0 should generate nothing")
+	}
+}
+
+func TestOpsToGenerateInvertsGeneratedAfter(t *testing.T) {
+	n, delta, f, t0 := 64, 1, 1.1, 64.0
+	for _, target := range []float64{5, 50, 500, 5000} {
+		ops := OpsToGenerate(n, delta, f, t0, target)
+		if ops < 1 {
+			t.Fatalf("target %v: non-positive ops %d", target, ops)
+		}
+		if got := GeneratedAfter(n, delta, f, t0, ops); got < target {
+			t.Fatalf("target %v: %d ops generate only %v", target, ops, got)
+		}
+		if ops > 1 {
+			if got := GeneratedAfter(n, delta, f, t0, ops-1); got >= target {
+				t.Fatalf("target %v: already reached at %d ops (%v)", target, ops-1, got)
+			}
+		}
+	}
+	if OpsToGenerate(64, 1, 1.1, 64, 0) != 0 {
+		t.Fatal("target 0 needs 0 ops")
+	}
+}
+
+// TestGrowthLogarithmicInVolume: ops grow logarithmically in the volume.
+func TestGrowthLogarithmicInVolume(t *testing.T) {
+	ops1k := OpsToGenerate(64, 1, 1.1, 64, 1000)
+	ops1m := OpsToGenerate(64, 1, 1.1, 64, 1000000)
+	if ops1m > ops1k*4 {
+		t.Fatalf("ops grew super-logarithmically: %d for 1e3, %d for 1e6", ops1k, ops1m)
+	}
+}
+
+// TestGrowthLinearInN: unlike the decrease cost, distribution from a
+// single source is inherently ~linear in n per doubling of the total.
+func TestGrowthLinearInN(t *testing.T) {
+	ops64 := OpsToGenerate(64, 1, 1.1, 64, 10000)
+	ops256 := OpsToGenerate(256, 1, 1.1, 256, 40000) // same per-proc volume
+	ratio := float64(ops256) / float64(ops64)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("expected ~4x ops at 4x n, got %d vs %d (ratio %.2f)", ops256, ops64, ratio)
+	}
+}
+
+// TestGrowthProcessMatchesClosedForm: the Monte Carlo simulation of the
+// actual random-candidate process lands near the steady-state prediction.
+func TestGrowthProcessMatchesClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		n, delta int
+		f        float64
+	}{{64, 1, 1.1}, {64, 4, 1.1}, {32, 2, 1.4}} {
+		target := 5000.0
+		mean, std := GrowthProcess(tc.n, tc.delta, tc.f, target, 60, 31)
+		predicted := float64(OpsToGenerate(tc.n, tc.delta, tc.f, float64(tc.n), target))
+		t.Logf("n=%d δ=%d f=%v: simulated %.1f±%.1f ops, closed form %v",
+			tc.n, tc.delta, tc.f, mean, std, predicted)
+		if math.Abs(mean-predicted) > 0.2*predicted+10 {
+			t.Fatalf("simulated %.1f far from predicted %v", mean, predicted)
+		}
+	}
+}
+
+// TestGrowthFasterWithLargerF: larger f distributes a load volume with
+// fewer balancing operations — the §6 cost/quality tradeoff from the
+// growth side.
+func TestGrowthFasterWithLargerF(t *testing.T) {
+	slow, _ := GrowthProcess(64, 1, 1.1, 10000, 50, 32)
+	fast, _ := GrowthProcess(64, 1, 1.8, 10000, 50, 33)
+	if fast >= slow {
+		t.Fatalf("f=1.8 (%v ops) not cheaper than f=1.1 (%v ops)", fast, slow)
+	}
+}

@@ -1,0 +1,135 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/stats"
+)
+
+func TestVDProducerConsumerValidation(t *testing.T) {
+	if _, err := VDProducerConsumer(1, 1, 1.1, 0.5, 10); err == nil {
+		t.Fatal("bad n accepted")
+	}
+	if _, err := VDProducerConsumer(8, 1, 1.1, 1.5, 10); err == nil {
+		t.Fatal("pGrow > 1 accepted")
+	}
+	if _, err := VDProducerConsumer(8, 1, 1.1, -0.1, 10); err == nil {
+		t.Fatal("pGrow < 0 accepted")
+	}
+}
+
+func TestVDProducerConsumerPureGrowthMatches(t *testing.T) {
+	// pGrow = 1 must coincide with the generator-only recursion.
+	a, err := VDProducerConsumer(20, 2, 1.2, 1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := VDExactMoments(VDConfig{N: 20, Delta: 2, F: 1.2, Steps: 80, Mode: VDTrue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 80; s++ {
+		if math.Abs(a.VD[s]-b.VD[s]) > 1e-12 {
+			t.Fatalf("step %d: %v vs %v", s+1, a.VD[s], b.VD[s])
+		}
+		if math.Abs(a.Ratio[s]-b.Ratio[s]) > 1e-12 {
+			t.Fatalf("step %d: ratio %v vs %v", s+1, a.Ratio[s], b.Ratio[s])
+		}
+	}
+}
+
+// mcProducerConsumer simulates the random grow/shrink model directly.
+func mcProducerConsumer(n, delta int, f, pGrow float64, steps, runs int, seed uint64) (vd, ratio []float64) {
+	master := rng.New(seed)
+	accObs := make([]stats.Accumulator, steps)
+	accGen := make([]stats.Accumulator, steps)
+	w := make([]float64, n)
+	for run := 0; run < runs; run++ {
+		r := master.Split()
+		for i := range w {
+			w[i] = 1
+		}
+		for t := 0; t < steps; t++ {
+			if r.Bernoulli(pGrow) {
+				w[0] *= f
+			} else {
+				w[0] /= f
+			}
+			cands := r.SampleDistinct(n, delta, 0, nil)
+			sum := w[0]
+			for _, c := range cands {
+				sum += w[c]
+			}
+			avg := sum / float64(delta+1)
+			w[0] = avg
+			for _, c := range cands {
+				w[c] = avg
+			}
+			accObs[t].Add(w[1])
+			accGen[t].Add(w[0])
+		}
+	}
+	vd = make([]float64, steps)
+	ratio = make([]float64, steps)
+	for t := range accObs {
+		vd[t] = accObs[t].VariationDensity()
+		ratio[t] = accGen[t].Mean() / accObs[t].Mean()
+	}
+	return vd, ratio
+}
+
+// TestVDProducerConsumerMatchesMC: the exact recursion must agree with
+// direct Monte Carlo over both coin flips and candidate choices.
+func TestVDProducerConsumerMatchesMC(t *testing.T) {
+	n, delta, f, p := 16, 1, 1.3, 0.6
+	steps := 50
+	exact, err := VDProducerConsumer(n, delta, f, p, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcVD, mcRatio := mcProducerConsumer(n, delta, f, p, steps, 200000, 55)
+	for _, s := range []int{4, 19, 49} {
+		if math.Abs(exact.VD[s]-mcVD[s]) > 0.01+0.05*exact.VD[s] {
+			t.Fatalf("step %d: VD %v vs MC %v", s+1, exact.VD[s], mcVD[s])
+		}
+		if math.Abs(exact.Ratio[s]-mcRatio[s]) > 0.01*exact.Ratio[s]+0.005 {
+			t.Fatalf("step %d: ratio %v vs MC %v", s+1, exact.Ratio[s], mcRatio[s])
+		}
+	}
+}
+
+// TestVDProducerConsumerSandwich: the stationary expected-load ratio of
+// the mixed model lies inside the Theorem 3 sandwich
+// [FIX(n,δ,1/f), FIX(n,δ,f)].
+func TestVDProducerConsumerSandwich(t *testing.T) {
+	n, delta, f := 64, 1, 1.4
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		res, err := VDProducerConsumer(n, delta, f, p, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.Ratio[2999]
+		lo, hi := FIX(n, delta, 1/f), FIX(n, delta, f)
+		if ratio < lo-1e-9 || ratio > hi+1e-9 {
+			t.Fatalf("pGrow=%v: stationary ratio %v outside [%v, %v]", p, ratio, lo, hi)
+		}
+	}
+}
+
+// TestVDProducerConsumerSymmetric: at pGrow = 0.5 the mean growth factor
+// (f+1/f)/2 exceeds 1, so loads grow, but the ratio settles strictly
+// between the pure-growth and pure-shrink fixed points.
+func TestVDProducerConsumerSymmetric(t *testing.T) {
+	res, err := VDProducerConsumer(64, 1, 1.2, 0.5, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Ratio[4999]
+	grow := FIX(64, 1, 1.2)
+	shrink := FIX(64, 1, 1/1.2)
+	if !(final > shrink && final < grow) {
+		t.Fatalf("ratio %v not strictly inside (%v, %v)", final, shrink, grow)
+	}
+}

@@ -1,0 +1,178 @@
+package theory
+
+import (
+	"fmt"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/stats"
+)
+
+// This file reproduces §5 of the paper: the variation density
+// VD(l_{i,t}) = sqrt(E(l²)−E(l)²)/E(l) of the load of a NON-generating
+// processor i > 1 after t balancing steps of the one-processor-generator
+// model.
+//
+// The paper derives an O(p²t³) recursion over "computation graphs" (the
+// random sequence of balancing candidates); its published bookkeeping is
+// under-specified, so this package computes the same quantity two other
+// ways (documented as a substitution in DESIGN.md):
+//
+//   - VDExact: exact enumeration of all (n−1)^t candidate sequences for
+//     δ = 1 — the ground truth the paper's recursion also computes.
+//   - VDMonteCarlo: simulation over random computation graphs, usable at
+//     the full Fig. 6 scale (n up to 35, t up to 150, δ up to 4), for both
+//     the true δ-candidate operation and the paper's "relaxed" δ>1 variant
+//     (δ consecutive pairwise balances).
+//
+// Both work on the expected-value dynamics between balancing steps: the
+// generator's load grows by the factor f, then the participant loads are
+// averaged — exactly the v_t = ½·v_i + (f/2)·v_{t−1} recurrence of the
+// paper's computation graphs (generalized to δ > 1).
+
+// VDMode selects how a balancing step with δ > 1 is performed.
+type VDMode int
+
+const (
+	// VDTrue balances the generator with δ candidates simultaneously
+	// (the algorithm as analyzed in §3).
+	VDTrue VDMode = iota
+	// VDRelaxed performs δ consecutive pairwise balances (the paper's §5
+	// relaxation that makes the exact recursion tractable for δ > 1).
+	VDRelaxed
+)
+
+// VDConfig parameterizes a variation density computation.
+type VDConfig struct {
+	N     int     // processors (>= 2)
+	Delta int     // δ >= 1; must be < N-1 for VDTrue... <= N-1 candidates available
+	F     float64 // growth factor per balancing step (> 1)
+	Steps int     // balancing steps t (>= 1)
+	Mode  VDMode
+}
+
+// Validate checks the configuration.
+func (c VDConfig) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("theory: VD with N=%d < 2", c.N)
+	case c.Delta < 1 || c.Delta > c.N-1:
+		return fmt.Errorf("theory: VD with Delta=%d outside [1,%d]", c.Delta, c.N-1)
+	case c.F <= 1:
+		return fmt.Errorf("theory: VD with F=%v <= 1", c.F)
+	case c.Steps < 1:
+		return fmt.Errorf("theory: VD with Steps=%d < 1", c.Steps)
+	}
+	return nil
+}
+
+// VDMonteCarlo estimates the variation density of the observed (fixed,
+// non-generating) processor's load after each balancing step 1..Steps,
+// averaging over runs random computation graphs. The returned slice has
+// length Steps; entry t-1 is VD(l_{obs, t}).
+func VDMonteCarlo(cfg VDConfig, runs int, seed uint64) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("theory: VDMonteCarlo with runs=%d < 1", runs)
+	}
+	const obs = 1 // any fixed processor > 0; all are exchangeable
+	master := rng.New(seed)
+	acc := make([]stats.Accumulator, cfg.Steps)
+	w := make([]float64, cfg.N)
+	for run := 0; run < runs; run++ {
+		r := master.Split()
+		for i := range w {
+			w[i] = 1 // balanced start, as in Theorem 1
+		}
+		for t := 0; t < cfg.Steps; t++ {
+			w[0] *= cfg.F
+			step(cfg, r, w)
+			acc[t].Add(w[obs])
+		}
+	}
+	out := make([]float64, cfg.Steps)
+	for t := range acc {
+		out[t] = acc[t].VariationDensity()
+	}
+	return out, nil
+}
+
+// step performs one balancing operation on the expected-value loads.
+func step(cfg VDConfig, r *rng.RNG, w []float64) {
+	switch cfg.Mode {
+	case VDTrue:
+		cands := r.SampleDistinct(cfg.N, cfg.Delta, 0, nil)
+		sum := w[0]
+		for _, c := range cands {
+			sum += w[c]
+		}
+		avg := sum / float64(cfg.Delta+1)
+		w[0] = avg
+		for _, c := range cands {
+			w[c] = avg
+		}
+	case VDRelaxed:
+		for k := 0; k < cfg.Delta; k++ {
+			c := 1 + r.Intn(cfg.N-1)
+			avg := (w[0] + w[c]) / 2
+			w[0] = avg
+			w[c] = avg
+		}
+	default:
+		panic("theory: unknown VDMode")
+	}
+}
+
+// VDExactFull computes, exactly and for δ = 1, the variation density and
+// the expected load of the observed non-generating processor after each
+// balancing step 1..steps, by enumerating all (n−1)^steps candidate
+// sequences (each equally likely). Practical for (n−1)^steps up to ~10⁷;
+// it exists to validate VDMonteCarlo and to cross-check the operator G.
+func VDExactFull(n int, f float64, steps int) (vd, mean []float64, err error) {
+	cfg := VDConfig{N: n, Delta: 1, F: f, Steps: steps, Mode: VDTrue}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	total := 1.0
+	for i := 0; i < steps; i++ {
+		total *= float64(n - 1)
+		if total > 2e7 {
+			return nil, nil, fmt.Errorf("theory: VDExactFull instance too large ((n-1)^t > 2e7)")
+		}
+	}
+	const obs = 1
+	acc := make([]stats.Accumulator, steps)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	var dfs func(depth int)
+	dfs = func(depth int) {
+		if depth == steps {
+			return
+		}
+		for c := 1; c < n; c++ {
+			w0, wc := w[0], w[c]
+			avg := (w0*f + wc) / 2
+			w[0], w[c] = avg, avg
+			acc[depth].Add(w[obs])
+			dfs(depth + 1)
+			w[0], w[c] = w0, wc
+		}
+	}
+	dfs(0)
+	vd = make([]float64, steps)
+	mean = make([]float64, steps)
+	for t := range acc {
+		vd[t] = acc[t].VariationDensity()
+		mean[t] = acc[t].Mean()
+	}
+	return vd, mean, nil
+}
+
+// VDExact returns only the variation density trajectory of VDExactFull.
+func VDExact(n int, f float64, steps int) ([]float64, error) {
+	vd, _, err := VDExactFull(n, f, steps)
+	return vd, err
+}

@@ -1,0 +1,211 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVDConfigValidate(t *testing.T) {
+	good := VDConfig{N: 8, Delta: 2, F: 1.1, Steps: 10, Mode: VDTrue}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []VDConfig{
+		{N: 1, Delta: 1, F: 1.1, Steps: 10},
+		{N: 8, Delta: 0, F: 1.1, Steps: 10},
+		{N: 8, Delta: 8, F: 1.1, Steps: 10},
+		{N: 8, Delta: 1, F: 1.0, Steps: 10},
+		{N: 8, Delta: 1, F: 1.1, Steps: 0},
+	}
+	for i, c := range cases {
+		if c.Validate() == nil {
+			t.Fatalf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestVDMonteCarloArgs(t *testing.T) {
+	if _, err := VDMonteCarlo(VDConfig{N: 1, Delta: 1, F: 1.1, Steps: 5}, 10, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := VDMonteCarlo(VDConfig{N: 8, Delta: 1, F: 1.1, Steps: 5}, 0, 1); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+}
+
+func TestVDExactSmallCase(t *testing.T) {
+	// n=2, δ=1, one step: the only candidate is processor 1, so the load
+	// is deterministic: w = (1·f + 1)/2 and VD = 0.
+	vd, mean, err := VDExactFull(2, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, v := range vd {
+		if v > 1e-12 {
+			t.Fatalf("n=2 VD at step %d = %v, want 0 (deterministic)", s, v)
+		}
+	}
+	// Step 1: (1.5+1)/2 = 1.25.
+	if math.Abs(mean[0]-1.25) > 1e-12 {
+		t.Fatalf("n=2 mean after 1 step = %v, want 1.25", mean[0])
+	}
+}
+
+func TestVDExactTooLarge(t *testing.T) {
+	if _, err := VDExact(36, 1.1, 50); err == nil {
+		t.Fatal("huge enumeration accepted")
+	}
+}
+
+// TestVDMonteCarloMatchesExact is the key validation of the Fig. 6
+// substitution: Monte Carlo over computation graphs agrees with exact
+// enumeration on their overlap.
+func TestVDMonteCarloMatchesExact(t *testing.T) {
+	n, f, steps := 4, 1.2, 8
+	exact, err := VDExact(n, f, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := VDMonteCarlo(VDConfig{N: n, Delta: 1, F: f, Steps: steps, Mode: VDTrue}, 200000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		if math.Abs(mc[s]-exact[s]) > 0.01+0.05*exact[s] {
+			t.Fatalf("step %d: MC %v vs exact %v", s+1, mc[s], exact[s])
+		}
+	}
+}
+
+// TestVDSmallAndConverging reproduces the qualitative claims of Fig. 6:
+// the variation density is small, and it stabilizes as t grows.
+func TestVDSmallAndConverging(t *testing.T) {
+	for _, tc := range []struct {
+		delta int
+		f     float64
+	}{{1, 1.1}, {2, 1.1}, {4, 1.1}, {1, 1.2}, {4, 1.2}} {
+		vd, err := VDMonteCarlo(VDConfig{N: 35, Delta: tc.delta, F: tc.f, Steps: 150, Mode: VDTrue}, 20000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := vd[len(vd)-1]
+		t.Logf("δ=%d f=%v: VD(150) = %.4f", tc.delta, tc.f, last)
+		if last > 1.0 {
+			t.Fatalf("δ=%d f=%v: VD(150)=%v not small", tc.delta, tc.f, last)
+		}
+		// Converged: the last 30 steps vary little.
+		lo, hi := vd[120], vd[120]
+		for _, v := range vd[120:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > 0.1 {
+			t.Fatalf("δ=%d f=%v: VD still drifting in tail: [%v,%v]", tc.delta, tc.f, lo, hi)
+		}
+	}
+}
+
+// TestVDTradeoffDelta: larger δ gives lower variation density (better
+// balance), the paper's central tradeoff.
+func TestVDTradeoffDelta(t *testing.T) {
+	vd1, err := VDMonteCarlo(VDConfig{N: 20, Delta: 1, F: 1.2, Steps: 100, Mode: VDTrue}, 30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd4, err := VDMonteCarlo(VDConfig{N: 20, Delta: 4, F: 1.2, Steps: 100, Mode: VDTrue}, 30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vd4[99] >= vd1[99] {
+		t.Fatalf("δ=4 VD %.4f not below δ=1 VD %.4f", vd4[99], vd1[99])
+	}
+}
+
+// TestVDRelaxedClose: the paper's relaxed δ>1 algorithm behaves like the
+// true one to first order.
+func TestVDRelaxedClose(t *testing.T) {
+	cfgT := VDConfig{N: 20, Delta: 3, F: 1.1, Steps: 80, Mode: VDTrue}
+	cfgR := cfgT
+	cfgR.Mode = VDRelaxed
+	vdT, err := VDMonteCarlo(cfgT, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdR, err := VDMonteCarlo(cfgR, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(vdT) - 1
+	t.Logf("true VD %.4f relaxed VD %.4f", vdT[last], vdR[last])
+	if math.Abs(vdT[last]-vdR[last]) > 0.15 {
+		t.Fatalf("relaxed VD %.4f far from true VD %.4f", vdR[last], vdT[last])
+	}
+}
+
+// TestVDMeanMatchesOperatorG: in the exact δ=1 enumeration, the ratio
+// E(l₁)/E(l_obs) after t steps must equal G^t(1) — the bridge between the
+// §5 computation-graph model and the §3 operator analysis.
+func TestVDMeanMatchesOperatorG(t *testing.T) {
+	n, f, steps := 5, 1.3, 7
+	_, meanObs, err := VDExactFull(n, f, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct E(l₁): total load after t steps is deterministic?
+	// No — but E(l₁) + (n−1)·E(l_obs) = E(total), and total grows by
+	// w₀·(f−1) per step which is random. Instead verify the ratio using a
+	// separate exact enumeration of processor 0's mean.
+	mean0 := exactMeanGenerator(n, f, steps)
+	g := IterateG(n, 1, f, steps)
+	for s := 0; s < steps; s++ {
+		ratio := mean0[s] / meanObs[s]
+		if math.Abs(ratio-g[s]) > 1e-9*g[s] {
+			t.Fatalf("step %d: E(l1)/E(lobs) = %v but G^t(1) = %v", s+1, ratio, g[s])
+		}
+	}
+}
+
+// exactMeanGenerator enumerates all candidate sequences and returns the
+// generating processor's expected load after each step.
+func exactMeanGenerator(n int, f float64, steps int) []float64 {
+	sums := make([]float64, steps)
+	counts := make([]float64, steps)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	var dfs func(depth int)
+	dfs = func(depth int) {
+		if depth == steps {
+			return
+		}
+		for c := 1; c < n; c++ {
+			w0, wc := w[0], w[c]
+			avg := (w0*f + wc) / 2
+			w[0], w[c] = avg, avg
+			sums[depth] += w[0]
+			counts[depth]++
+			dfs(depth + 1)
+			w[0], w[c] = w0, wc
+		}
+	}
+	dfs(0)
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = sums[i] / counts[i]
+	}
+	return out
+}
+
+func BenchmarkVDMonteCarlo(b *testing.B) {
+	cfg := VDConfig{N: 35, Delta: 4, F: 1.1, Steps: 150, Mode: VDTrue}
+	for i := 0; i < b.N; i++ {
+		if _, err := VDMonteCarlo(cfg, 1000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

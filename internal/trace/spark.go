@@ -1,0 +1,102 @@
+package trace
+
+import "strings"
+
+// sparkLevels are the eight block elements used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode bar chart, scaling to the
+// observed min..max range. The experiment harnesses attach these to their
+// tables so figure *shapes* are visible directly in the terminal output.
+// Empty input yields an empty string; a constant series renders at the
+// lowest level.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkLevels) {
+				idx = len(sparkLevels) - 1
+			}
+		}
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}
+
+// Downsample reduces values to at most width points by averaging each
+// bucket, for fitting a long series into one terminal row.
+func Downsample(values []float64, width int) []float64 {
+	if width <= 0 || len(values) <= width {
+		return append([]float64(nil), values...)
+	}
+	out := make([]float64, width)
+	for b := 0; b < width; b++ {
+		start := b * len(values) / width
+		end := (b + 1) * len(values) / width
+		if end <= start {
+			end = start + 1
+		}
+		sum := 0.0
+		for _, v := range values[start:end] {
+			sum += v
+		}
+		out[b] = sum / float64(end-start)
+	}
+	return out
+}
+
+// heatShades are the five shading levels of HeatRow, light to dark.
+var heatShades = []rune(" ░▒▓█")
+
+// HeatRow renders values as shaded cells scaled to lo..hi (pass lo == hi
+// to scale to the row's own range).
+func HeatRow(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if lo >= hi {
+		lo, hi = values[0], values[0]
+		for _, v := range values[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	var sb strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(heatShades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatShades) {
+				idx = len(heatShades) - 1
+			}
+		}
+		sb.WriteRune(heatShades[idx])
+	}
+	return sb.String()
+}

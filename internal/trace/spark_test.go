@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("endpoints wrong: %q", s)
+	}
+	// Monotone input → non-decreasing levels.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("levels decreased in %q", s)
+		}
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5})
+	if s != "▁▁▁" {
+		t.Fatalf("constant series rendered %q", s)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	out := Downsample(vals, 10)
+	if len(out) != 10 {
+		t.Fatalf("length %d", len(out))
+	}
+	// Bucket means are increasing.
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("bucket means not increasing: %v", out)
+		}
+	}
+	// Short input passes through (copied, not aliased).
+	short := []float64{1, 2}
+	got := Downsample(short, 10)
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatalf("short input mangled: %v", got)
+	}
+	got[0] = 99
+	if short[0] == 99 {
+		t.Fatal("Downsample aliased its input")
+	}
+	if len(Downsample(nil, 5)) != 0 {
+		t.Fatal("nil input should give empty output")
+	}
+}
+
+func TestHeatRow(t *testing.T) {
+	if HeatRow(nil, 0, 1) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	s := HeatRow([]float64{0, 0.25, 0.5, 0.75, 1}, 0, 1)
+	if utf8.RuneCountInString(s) != 5 {
+		t.Fatalf("length of %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[4] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	// Auto-scaling path (lo >= hi).
+	auto := HeatRow([]float64{2, 4}, 0, 0)
+	if !strings.HasPrefix(auto, " ") || !strings.HasSuffix(auto, "█") {
+		t.Fatalf("auto-scaled row %q", auto)
+	}
+	// Constant row with auto scale renders lightest shade.
+	if HeatRow([]float64{3, 3}, 0, 0) != "  " {
+		t.Fatal("constant auto-scaled row should be blank shades")
+	}
+	// Out-of-range values clamp.
+	clamped := HeatRow([]float64{-10, 20}, 0, 1)
+	r := []rune(clamped)
+	if r[0] != ' ' || r[1] != '█' {
+		t.Fatalf("clamping failed: %q", clamped)
+	}
+}

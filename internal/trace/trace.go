@@ -1,0 +1,214 @@
+// Package trace provides lightweight event recording for simulations and
+// the tabular writers the experiment harnesses use to emit their results
+// (aligned text for the terminal, CSV for files).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventKind labels recorded simulation events.
+type EventKind uint8
+
+// Event kinds recorded by instrumented runs.
+const (
+	EvGenerate EventKind = iota
+	EvConsume
+	EvBalance
+	EvBorrow
+	EvSettle
+	kindCount
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvGenerate:
+		return "generate"
+	case EvConsume:
+		return "consume"
+	case EvBalance:
+		return "balance"
+	case EvBorrow:
+		return "borrow"
+	case EvSettle:
+		return "settle"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Step int       // global time step
+	Proc int       // acting processor
+	Kind EventKind // what happened
+	Arg  int       // kind-specific payload (e.g. partner id, class)
+}
+
+// Recorder collects events in a bounded ring buffer: the newest Cap events
+// are retained. A zero-capacity Recorder drops everything (cheap no-op).
+type Recorder struct {
+	buf   []Event
+	next  int
+	count int
+	total int64
+	kinds [kindCount]int64
+}
+
+// NewRecorder returns a recorder retaining up to capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends one event (dropping the oldest if full).
+func (r *Recorder) Record(e Event) {
+	r.total++
+	if e.Kind < kindCount {
+		r.kinds[e.Kind]++
+	}
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() int64 { return r.total }
+
+// CountKind returns how many events of kind k were ever recorded.
+func (r *Recorder) CountKind(k EventKind) int64 {
+	if k >= kindCount {
+		return 0
+	}
+	return r.kinds[k]
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.count)
+	if r.count == len(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf[:r.count]...)
+	}
+	return out
+}
+
+// Table is a simple column-oriented result table with a title, used by the
+// experiment harnesses for both terminal and CSV output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders floats compactly: up to 4 significant decimals,
+// trailing zeros trimmed.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (title omitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

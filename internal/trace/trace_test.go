@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvGenerate: "generate", EvConsume: "consume", EvBalance: "balance",
+		EvBorrow: "borrow", EvSettle: "settle",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(EventKind(200).String(), "200") {
+		t.Fatal("unknown kind should include number")
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Step: i, Kind: EvGenerate})
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d events, want 3", len(ev))
+	}
+	// Oldest first: steps 2,3,4.
+	for i, e := range ev {
+		if e.Step != i+2 {
+			t.Fatalf("event %d has step %d", i, e.Step)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d", r.Total())
+	}
+	if r.CountKind(EvGenerate) != 5 || r.CountKind(EvConsume) != 0 {
+		t.Fatal("kind counts wrong")
+	}
+	if r.CountKind(EventKind(99)) != 0 {
+		t.Fatal("unknown kind count should be 0")
+	}
+}
+
+func TestRecorderPartial(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(Event{Step: 1})
+	r.Record(Event{Step: 2})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Step != 1 || ev[1].Step != 2 {
+		t.Fatalf("partial buffer wrong: %v", ev)
+	}
+}
+
+func TestRecorderZeroCap(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Step: 1})
+	if len(r.Events()) != 0 {
+		t.Fatal("zero-cap recorder retained events")
+	}
+	if r.Total() != 1 {
+		t.Fatal("zero-cap recorder must still count")
+	}
+	neg := NewRecorder(-5)
+	neg.Record(Event{})
+	if len(neg.Events()) != 0 {
+		t.Fatal("negative capacity should behave as zero")
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 0.25)
+	tb.AddRow("gamma", 12)
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Fatal("row content missing")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(1.0)
+	tb.AddRow(0.123456)
+	tb.AddRow(float32(2.5))
+	tb.AddRow(0.0)
+	if tb.Rows[0][0] != "1" {
+		t.Fatalf("1.0 formatted as %q", tb.Rows[0][0])
+	}
+	if tb.Rows[1][0] != "0.1235" {
+		t.Fatalf("0.123456 formatted as %q", tb.Rows[1][0])
+	}
+	if tb.Rows[2][0] != "2.5" {
+		t.Fatalf("2.5 formatted as %q", tb.Rows[2][0])
+	}
+	if tb.Rows[3][0] != "0" {
+		t.Fatalf("0.0 formatted as %q", tb.Rows[3][0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow(1, "two")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,two\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddRow("x")
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "#") {
+		t.Fatal("empty title should not emit a title line")
+	}
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"lmbalance/internal/rng"
+)
+
+// This file provides trace-driven workloads: a recorded sequence of
+// (step, processor, action) events that can be written to and read from
+// CSV. It is the repository's substitute for replaying production traces
+// (none of the paper's application traces survive): any probabilistic
+// Pattern can be sampled into a concrete trace once and then replayed
+// bit-identically across algorithms, isolating algorithm randomness from
+// workload randomness.
+
+// TraceEvent is one recorded workload event. Idle steps are not recorded.
+type TraceEvent struct {
+	Step   int
+	Proc   int
+	Action Action
+}
+
+// Trace is a Pattern that replays recorded events.
+type Trace struct {
+	events map[traceKey]Action
+	steps  int
+	n      int
+}
+
+type traceKey struct{ step, proc int }
+
+// NewTrace builds a replayable Pattern from events. The trace's horizon
+// and processor count are inferred from the events.
+func NewTrace(events []TraceEvent) (*Trace, error) {
+	t := &Trace{events: make(map[traceKey]Action, len(events))}
+	for i, e := range events {
+		if e.Step < 0 || e.Proc < 0 {
+			return nil, fmt.Errorf("workload: trace event %d has negative step/proc", i)
+		}
+		switch e.Action {
+		case Generate, Consume, GenerateAndConsume:
+		default:
+			return nil, fmt.Errorf("workload: trace event %d has unplayable action %v", i, e.Action)
+		}
+		key := traceKey{e.Step, e.Proc}
+		if _, dup := t.events[key]; dup {
+			return nil, fmt.Errorf("workload: duplicate trace event at step %d proc %d", e.Step, e.Proc)
+		}
+		t.events[key] = e.Action
+		if e.Step >= t.steps {
+			t.steps = e.Step + 1
+		}
+		if e.Proc >= t.n {
+			t.n = e.Proc + 1
+		}
+	}
+	return t, nil
+}
+
+// Name implements Pattern.
+func (t *Trace) Name() string {
+	return fmt.Sprintf("trace(%d events,%d steps,%d procs)", len(t.events), t.steps, t.n)
+}
+
+// Steps returns the trace horizon (last event step + 1).
+func (t *Trace) Steps() int { return t.steps }
+
+// Procs returns the number of processors the trace addresses.
+func (t *Trace) Procs() int { return t.n }
+
+// Step implements Pattern by pure lookup; the RNG is unused.
+func (t *Trace) Step(proc, step int, r *rng.RNG) Action {
+	if a, ok := t.events[traceKey{step, proc}]; ok {
+		return a
+	}
+	return Idle
+}
+
+// Record samples a probabilistic pattern into a concrete event list for n
+// processors over the given number of steps, using r for the pattern's
+// randomness.
+func Record(p Pattern, n, steps int, r *rng.RNG) []TraceEvent {
+	var events []TraceEvent
+	for t := 0; t < steps; t++ {
+		for i := 0; i < n; i++ {
+			if a := p.Step(i, t, r); a != Idle {
+				events = append(events, TraceEvent{Step: t, Proc: i, Action: a})
+			}
+		}
+	}
+	return events
+}
+
+// actionCode maps actions to their CSV encoding.
+func actionCode(a Action) (string, error) {
+	switch a {
+	case Generate:
+		return "g", nil
+	case Consume:
+		return "c", nil
+	case GenerateAndConsume:
+		return "gc", nil
+	default:
+		return "", fmt.Errorf("workload: action %v has no trace encoding", a)
+	}
+}
+
+// actionFromCode is the inverse of actionCode.
+func actionFromCode(s string) (Action, error) {
+	switch s {
+	case "g":
+		return Generate, nil
+	case "c":
+		return Consume, nil
+	case "gc":
+		return GenerateAndConsume, nil
+	default:
+		return Idle, fmt.Errorf("workload: unknown action code %q", s)
+	}
+}
+
+// WriteTrace writes events as CSV with header "step,proc,action".
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"step", "proc", "action"}); err != nil {
+		return err
+	}
+	for i, e := range events {
+		code, err := actionCode(e.Action)
+		if err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		rec := []string{strconv.Itoa(e.Step), strconv.Itoa(e.Proc), code}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace written by WriteTrace and returns the
+// replayable Pattern.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if header[0] != "step" || header[1] != "proc" || header[2] != "action" {
+		return nil, fmt.Errorf("workload: unexpected trace header %v", header)
+	}
+	var events []TraceEvent
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		step, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad step %q", line, rec[0])
+		}
+		proc, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad proc %q", line, rec[1])
+		}
+		action, err := actionFromCode(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		events = append(events, TraceEvent{Step: step, Proc: proc, Action: action})
+	}
+	return NewTrace(events)
+}

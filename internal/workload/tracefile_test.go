@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lmbalance/internal/rng"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace([]TraceEvent{{Step: -1, Proc: 0, Action: Generate}}); err == nil {
+		t.Fatal("negative step accepted")
+	}
+	if _, err := NewTrace([]TraceEvent{{Step: 0, Proc: 0, Action: Idle}}); err == nil {
+		t.Fatal("idle event accepted")
+	}
+	if _, err := NewTrace([]TraceEvent{
+		{Step: 1, Proc: 2, Action: Generate},
+		{Step: 1, Proc: 2, Action: Consume},
+	}); err == nil {
+		t.Fatal("duplicate event accepted")
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	tr, err := NewTrace([]TraceEvent{
+		{Step: 0, Proc: 1, Action: Generate},
+		{Step: 2, Proc: 0, Action: Consume},
+		{Step: 2, Proc: 1, Action: GenerateAndConsume},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps() != 3 || tr.Procs() != 2 {
+		t.Fatalf("dims %d/%d", tr.Steps(), tr.Procs())
+	}
+	r := rng.New(1)
+	if tr.Step(1, 0, r) != Generate {
+		t.Fatal("event missing")
+	}
+	if tr.Step(0, 0, r) != Idle {
+		t.Fatal("unrecorded slot should idle")
+	}
+	if tr.Step(1, 2, r) != GenerateAndConsume {
+		t.Fatal("combined action lost")
+	}
+	if !strings.Contains(tr.Name(), "3 events") {
+		t.Fatalf("name %q", tr.Name())
+	}
+}
+
+func TestRecordSamplesPattern(t *testing.T) {
+	r := rng.New(7)
+	events := Record(Uniform{GenP: 1, ConP: 0}, 3, 4, r)
+	// Every proc generates every step: 12 events, all Generate.
+	if len(events) != 12 {
+		t.Fatalf("recorded %d events", len(events))
+	}
+	for _, e := range events {
+		if e.Action != Generate {
+			t.Fatalf("unexpected action %v", e.Action)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	r := rng.New(8)
+	orig := Record(Uniform{GenP: 0.5, ConP: 0.5}, 5, 50, r)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay must match the recorded events exactly.
+	rr := rng.New(9)
+	idx := map[[2]int]Action{}
+	for _, e := range orig {
+		idx[[2]int{e.Step, e.Proc}] = e.Action
+	}
+	for step := 0; step < 50; step++ {
+		for proc := 0; proc < 5; proc++ {
+			want, ok := idx[[2]int{step, proc}]
+			if !ok {
+				want = Idle
+			}
+			if got := tr.Step(proc, step, rr); got != want {
+				t.Fatalf("step %d proc %d: %v != %v", step, proc, got, want)
+			}
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                                 // no header
+		"a,b,c\n1,2,g\n",                   // wrong header
+		"step,proc,action\nx,2,g\n",        // bad step
+		"step,proc,action\n1,y,g\n",        // bad proc
+		"step,proc,action\n1,2,zz\n",       // bad action
+		"step,proc,action\n1,2\n",          // wrong field count
+		"step,proc,action\n1,2,g\n1,2,c\n", // duplicate
+		"step,proc,action\n-1,2,g\n",       // negative
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestWriteTraceRejectsIdle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []TraceEvent{{Step: 0, Proc: 0, Action: Idle}}); err == nil {
+		t.Fatal("idle event written")
+	}
+}

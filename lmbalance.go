@@ -1,0 +1,137 @@
+// Package lmbalance is a Go implementation of the dynamic distributed
+// load balancing algorithm of Lüling and Monien (SPAA 1993), "A Dynamic
+// Distributed Load Balancing Algorithm with Provable Good Performance",
+// together with the simulator, theory and experiment harness that
+// reproduce the paper's analysis and evaluation.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - System (internal/core) — the packet-level algorithm with virtual
+//     load classes and borrowing, driven step-by-step.
+//   - Pool (internal/pool) — the concurrent realization: a task pool whose
+//     workers balance their queues with the paper's factor-f trigger.
+//     This is the API a downstream application adopts.
+//   - Simulate (internal/sim) — the discrete-time experiment engine.
+//   - FIX, FixLimit, OperatorG… (internal/theory) — the closed forms.
+//
+// # Quick start
+//
+//	p, _ := lmbalance.NewPool(lmbalance.PoolConfig{Workers: 8, F: 1.2, Delta: 1})
+//	defer p.Close()
+//	p.Submit(func(w *lmbalance.Worker) { /* work; w.Submit(...) to spawn */ })
+//	p.Wait()
+//
+// See examples/ for runnable programs and cmd/paperfigs for the full
+// reproduction of the paper's tables and figures.
+package lmbalance
+
+import (
+	"lmbalance/internal/core"
+	"lmbalance/internal/netsim"
+	"lmbalance/internal/pool"
+	"lmbalance/internal/rng"
+	"lmbalance/internal/sim"
+	"lmbalance/internal/theory"
+	"lmbalance/internal/topology"
+	"lmbalance/internal/workload"
+)
+
+// Params are the algorithm's tunables: trigger factor F, neighborhood size
+// Delta, borrow capacity C. See core.Params for the full documentation.
+type Params = core.Params
+
+// Metrics are the activity counters of a System, including the four
+// Table-1 statistics.
+type Metrics = core.Metrics
+
+// System is the packet-level algorithm state for n processors.
+type System = core.System
+
+// DefaultParams returns the paper's Table 1 configuration
+// (f=1.1, δ=1, C=4).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewSystem creates a System with the paper's uniform random candidate
+// selection, seeded deterministically.
+func NewSystem(n int, p Params, seed uint64) (*System, error) {
+	return core.NewSystem(n, p, topology.NewGlobal(n), rng.New(seed))
+}
+
+// PoolConfig configures the concurrent task pool.
+type PoolConfig = pool.Config
+
+// Pool is the concurrent Lüling–Monien task pool.
+type Pool = pool.Pool
+
+// Worker is the execution context tasks receive; subtasks submitted
+// through it enter the local queue.
+type Worker = pool.Worker
+
+// Task is a unit of work for the Pool.
+type Task = pool.Task
+
+// PoolStats snapshots pool activity.
+type PoolStats = pool.Stats
+
+// NewPool creates and starts a concurrent pool.
+func NewPool(cfg PoolConfig) (*Pool, error) { return pool.New(cfg) }
+
+// PriorityPool is the best-first variant of the pool: workers execute
+// their most promising task first and balancing deals the merged tasks
+// out in priority order — the regime of the paper's distributed branch &
+// bound systems.
+type PriorityPool = pool.PriorityPool
+
+// PriorityTask is a unit of work with a priority (lower runs first).
+type PriorityTask = pool.PriorityTask
+
+// PriorityWorker is the execution context of priority tasks.
+type PriorityWorker = pool.PriorityWorker
+
+// NewPriorityPool creates and starts a best-first pool.
+func NewPriorityPool(cfg PoolConfig) (*PriorityPool, error) { return pool.NewPriority(cfg) }
+
+// NetworkConfig configures the share-nothing, message-passing realization
+// (one goroutine per processor, balancing via a freeze/ack/transfer
+// protocol over channels).
+type NetworkConfig = netsim.Config
+
+// NetworkResult is the outcome of a message-passing run.
+type NetworkResult = netsim.Result
+
+// RunNetwork executes the message-passing simulation and blocks until the
+// network quiesces.
+func RunNetwork(cfg NetworkConfig) (*NetworkResult, error) { return netsim.Run(cfg) }
+
+// SimConfig configures a discrete-time simulation (see internal/sim).
+type SimConfig = sim.Config
+
+// SimResult aggregates simulation observables over runs.
+type SimResult = sim.Result
+
+// Simulate runs a simulation configuration.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulatePaper runs the paper's §7 benchmark (64 processors, 500 steps,
+// random phase workload) with the given parameters, runs and seed.
+func SimulatePaper(params Params, runs int, seed uint64) (*SimResult, error) {
+	return sim.Run(sim.LMConfig(64, 500, runs, params, workload.PaperBounds(), seed))
+}
+
+// FIX returns the Theorem 1 fixed-point bound FIX(n, δ, f) on the
+// expected-load ratio between the generating processor and any other.
+func FIX(n, delta int, f float64) float64 { return theory.FIX(n, delta, f) }
+
+// FixLimit returns the network-size-independent Theorem 2 bound
+// δ/(δ+1−f).
+func FixLimit(delta int, f float64) float64 { return theory.FixLimit(delta, f) }
+
+// OperatorG applies the §3 increase operator G once to ratio k.
+func OperatorG(n, delta int, f, k float64) float64 { return theory.G(n, delta, f, k) }
+
+// OperatorC applies the §3 decrease operator C once to ratio k.
+func OperatorC(n, delta int, f, k float64) float64 { return theory.C(n, delta, f, k) }
+
+// Theorem4Bound returns the full-model guarantee factor f²·δ/(δ+1−f) of
+// Theorem 4.
+func Theorem4Bound(delta int, f float64) float64 { return theory.Theorem4Bound(delta, f) }

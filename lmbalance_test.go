@@ -1,0 +1,72 @@
+package lmbalance
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewSystemFacade(t *testing.T) {
+	s, err := NewSystem(8, DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Generate(0)
+	}
+	if s.TotalLoad() != 100 {
+		t.Fatalf("total load %d", s.TotalLoad())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Load has spread beyond the generator.
+	if s.Load(0) == 100 {
+		t.Fatal("no balancing happened")
+	}
+}
+
+func TestPoolFacade(t *testing.T) {
+	p, err := NewPool(PoolConfig{Workers: 4, F: 1.3, Delta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Submit(func(w *Worker) { n.Add(1) })
+	}
+	p.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("executed %d", n.Load())
+	}
+	if p.Stats().Submitted != 100 {
+		t.Fatal("stats wrong")
+	}
+}
+
+func TestSimulatePaperFacade(t *testing.T) {
+	res, err := SimulatePaper(DefaultParams(), 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 2 || res.Avg.Len() != 500 {
+		t.Fatal("unexpected result shape")
+	}
+}
+
+func TestTheoryFacade(t *testing.T) {
+	fix := FIX(64, 1, 1.1)
+	if fix <= 1 || fix > FixLimit(1, 1.1) {
+		t.Fatalf("FIX = %v outside (1, limit]", fix)
+	}
+	if g := OperatorG(64, 1, 1.1, fix); g < fix-1e-9 || g > fix+1e-9 {
+		t.Fatal("G(FIX) != FIX")
+	}
+	if c := OperatorC(64, 1, 1.1, 1.0); c >= 1 {
+		t.Fatalf("C(1) = %v, want < 1", c)
+	}
+	want := 1.1 * 1.1 / 0.9
+	if got := Theorem4Bound(1, 1.1); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("Theorem4Bound = %v", got)
+	}
+}
