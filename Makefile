@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check race bench fuzz experiments
+
+# Tier-1 gate: everything must pass before a change lands.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages and the core they drive.
+race:
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/core
+
+# Microbenchmarks for the sparse core (see results/BENCH_sparse.json).
+bench:
+	$(GO) test . -run xxx -bench 'BenchmarkBalanceOp|BenchmarkGenerateConsume|BenchmarkNewSystem' -benchmem
+
+# Short fuzz pass over the op-sequence fuzzer.
+fuzz:
+	$(GO) test ./internal/core/ -run xxx -fuzz FuzzOpSequence -fuzztime 30s
+
+# Full experiment sweep (slow); see EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/paperfigs -full -out results

@@ -7,16 +7,19 @@
 package lmbalance_test
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
 	"lmbalance"
 	"lmbalance/internal/bnb"
+	"lmbalance/internal/core"
 	"lmbalance/internal/experiments"
 	"lmbalance/internal/netsim"
 	"lmbalance/internal/pool"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/theory"
+	"lmbalance/internal/topology"
 )
 
 // BenchmarkFig6VariationDensity regenerates Fig. 6 (variation density
@@ -159,7 +162,7 @@ func BenchmarkGrowthCost(b *testing.B) {
 }
 
 // BenchmarkScaling regenerates the Theorem 2 network-size-independence
-// table (n = 16..1024).
+// table (n = 16..4096).
 func BenchmarkScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Scaling(experiments.ScaleQuick, uint64(i)+1)
@@ -167,8 +170,88 @@ func BenchmarkScaling(b *testing.B) {
 			b.Fatal(err)
 		}
 		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
-		b.ReportMetric(first.RatioOneProducer, "ratio(n=16)")
-		b.ReportMetric(last.RatioOneProducer, "ratio(n=1024)")
+		b.ReportMetric(first.RatioOneProducer, fmt.Sprintf("ratio(n=%d)", first.N))
+		b.ReportMetric(last.RatioOneProducer, fmt.Sprintf("ratio(n=%d)", last.N))
+	}
+}
+
+// benchNs are the network sizes of the core micro-benchmarks. The sparse
+// class storage keeps per-operation cost tied to the participants' active
+// classes rather than n; the n=4096 cases were unusable with the dense
+// O(n²) representation (results/BENCH_sparse.json records both).
+var benchNs = []int{64, 256, 1024, 4096}
+
+// BenchmarkBalanceOp measures one full δ+1-way balancing operation
+// (selection, snake redistribution of the participants' active classes,
+// trigger/marker bookkeeping) on a warmed-up system.
+func BenchmarkBalanceOp(b *testing.B) {
+	for _, n := range benchNs {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := core.NewSystem(n, core.Params{F: 1.1, Delta: 1, C: 4}, topology.NewGlobal(n), rng.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n*8; i++ {
+				s.Generate(i % n)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ForceBalance(i % n)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.NNZ())/float64(n), "activeClasses/proc")
+		})
+	}
+}
+
+// BenchmarkGenerateConsume measures the steady-state generate/consume mix
+// (55% generate), including any balancing operations the factor-f trigger
+// fires along the way.
+func BenchmarkGenerateConsume(b *testing.B) {
+	for _, n := range benchNs {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := core.NewSystem(n, core.Params{F: 1.1, Delta: 1, C: 4}, topology.NewGlobal(n), rng.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(2)
+			for i := 0; i < n*4; i++ {
+				s.Generate(i % n)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := i % n
+				if r.Bernoulli(0.55) {
+					s.Generate(p)
+				} else {
+					s.Consume(p)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNewSystem measures system construction. With sparse storage it
+// allocates O(n) bookkeeping instead of two n×n matrices (268 MB at
+// n=4096 before the rework).
+func BenchmarkNewSystem(b *testing.B) {
+	for _, n := range benchNs {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sel := topology.NewGlobal(n)
+			r := rng.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewSystem(n, core.Params{F: 1.1, Delta: 1, C: 4}, sel, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -15,7 +15,7 @@ import (
 func classVirtualTotal(s *System, j int) int {
 	total := 0
 	for p := 0; p < s.n; p++ {
-		total += s.d[p*s.n+j] + s.b[p*s.n+j]
+		total += s.D(p, j) + s.B(p, j)
 	}
 	return total
 }
@@ -106,8 +106,8 @@ func TestBalanceLeavesClassTotalsInvariant(t *testing.T) {
 		beforeB := make([]int, n)
 		for j := 0; j < n; j++ {
 			for p := 0; p < n; p++ {
-				before[j] += s.d[p*n+j]
-				beforeB[j] += s.b[p*n+j]
+				before[j] += s.D(p, j)
+				beforeB[j] += s.B(p, j)
 			}
 		}
 		totalB := 0
@@ -119,8 +119,8 @@ func TestBalanceLeavesClassTotalsInvariant(t *testing.T) {
 		for j := 0; j < n; j++ {
 			after, afterB := 0, 0
 			for p := 0; p < n; p++ {
-				after += s.d[p*n+j]
-				afterB += s.b[p*n+j]
+				after += s.D(p, j)
+				afterB += s.B(p, j)
 			}
 			if after != before[j] {
 				t.Fatalf("trial %d: class %d real total %d -> %d across balance", trial, j, before[j], after)

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/topology"
+)
+
+// TestSparseMatchesDenseReference is the proof obligation of the sparse
+// storage rework: driven off identical RNG streams, the sparse System and
+// the dense reference implementation must be step-for-step bit-identical —
+// same d and b matrices, same loads, same trigger state, same metrics.
+// Cheap per-processor state is compared after every operation; the full
+// n×n matrices and the sparse invariants are checked periodically and at
+// the end.
+func TestSparseMatchesDenseReference(t *testing.T) {
+	configs := []struct {
+		n int
+		p Params
+	}{
+		{4, Params{F: 1.1, Delta: 1, C: 1}},
+		{8, DefaultParams()},
+		{12, Params{F: 1.5, Delta: 3, C: 2}},
+		{16, Params{F: 1.0, Delta: 2, C: 3}},
+		{24, Params{F: 1.8, Delta: 2, C: 6}},
+		{9, Params{F: 1.1, Delta: 1, C: 4, InitiatorOnlyReset: true}},
+	}
+	const steps = 12000
+	for ci, cfg := range configs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("n=%d_f=%g_δ=%d_C=%d", cfg.n, cfg.p.F, cfg.p.Delta, cfg.p.C), func(t *testing.T) {
+			seed := uint64(1000 + 17*ci)
+			sparse, err := NewSystem(cfg.n, cfg.p, topology.NewGlobal(cfg.n), rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense := newDenseSystem(cfg.n, cfg.p, topology.NewGlobal(cfg.n), rng.New(seed))
+			op := rng.New(seed + 7777)
+
+			compareFull := func(step int) {
+				t.Helper()
+				for p := 0; p < cfg.n; p++ {
+					for j := 0; j < cfg.n; j++ {
+						if sparse.D(p, j) != dense.d[p*cfg.n+j] {
+							t.Fatalf("step %d: d[%d][%d] sparse=%d dense=%d",
+								step, p, j, sparse.D(p, j), dense.d[p*cfg.n+j])
+						}
+						if sparse.B(p, j) != dense.b[p*cfg.n+j] {
+							t.Fatalf("step %d: b[%d][%d] sparse=%d dense=%d",
+								step, p, j, sparse.B(p, j), dense.b[p*cfg.n+j])
+						}
+					}
+				}
+				if err := sparse.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+
+			for step := 0; step < steps; step++ {
+				i := op.Intn(cfg.n)
+				if op.Bernoulli(0.55) {
+					sparse.Generate(i)
+					dense.Generate(i)
+				} else {
+					gotS := sparse.Consume(i)
+					gotD := dense.Consume(i)
+					if gotS != gotD {
+						t.Fatalf("step %d: Consume(%d) sparse=%v dense=%v", step, i, gotS, gotD)
+					}
+				}
+				for p := 0; p < cfg.n; p++ {
+					if sparse.Load(p) != dense.l[p] ||
+						sparse.Borrowed(p) != dense.bTot[p] ||
+						sparse.TriggerBase(p) != dense.lOld[p] ||
+						sparse.LocalTime(p) != dense.localT[p] {
+						t.Fatalf("step %d: processor %d diverged: l %d/%d bTot %d/%d lOld %d/%d t' %d/%d",
+							step, p,
+							sparse.Load(p), dense.l[p],
+							sparse.Borrowed(p), dense.bTot[p],
+							sparse.TriggerBase(p), dense.lOld[p],
+							sparse.LocalTime(p), dense.localT[p])
+					}
+				}
+				if sparse.Metrics() != dense.metrics {
+					t.Fatalf("step %d: metrics diverged:\nsparse %+v\ndense  %+v",
+						step, sparse.Metrics(), dense.metrics)
+				}
+				if step%251 == 0 {
+					compareFull(step)
+				}
+			}
+			compareFull(steps)
+			if sparse.Metrics().BalanceOps == 0 || sparse.Metrics().TotalBorrow == 0 {
+				t.Fatalf("degenerate run, differential coverage too weak: %+v", sparse.Metrics())
+			}
+		})
+	}
+}
+
+// TestSparseMatchesDenseOnDrain runs both implementations through a
+// generate-heavy phase followed by a full drain (consume until the system
+// is empty), hammering the borrow/settle/classBalance paths where the
+// active sets shrink back to nothing, and requires identical states
+// throughout plus a fully compacted sparse system at the end.
+func TestSparseMatchesDenseOnDrain(t *testing.T) {
+	const n = 10
+	p := Params{F: 1.2, Delta: 2, C: 3}
+	seed := uint64(4242)
+	sparse, err := NewSystem(n, p, topology.NewGlobal(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := newDenseSystem(n, p, topology.NewGlobal(n), rng.New(seed))
+	op := rng.New(seed + 1)
+	for step := 0; step < 4000; step++ {
+		i := op.Intn(n)
+		sparse.Generate(i)
+		dense.Generate(i)
+	}
+	// Drain only from the upper half so the lower half's classes must be
+	// settled remotely through borrows.
+	for guard := 0; sparse.TotalLoad() > 0 && guard < 200000; guard++ {
+		i := n/2 + op.Intn(n-n/2)
+		gotS := sparse.Consume(i)
+		gotD := dense.Consume(i)
+		if gotS != gotD {
+			t.Fatalf("drain: Consume(%d) sparse=%v dense=%v", i, gotS, gotD)
+		}
+		if !gotS {
+			// This processor drained; a full sweep empties stragglers.
+			for j := 0; j < n; j++ {
+				gS := sparse.Consume(j)
+				gD := dense.Consume(j)
+				if gS != gD {
+					t.Fatalf("drain sweep: Consume(%d) sparse=%v dense=%v", j, gS, gD)
+				}
+			}
+		}
+	}
+	if sparse.TotalLoad() != 0 {
+		t.Fatalf("system not drained: %d packets left", sparse.TotalLoad())
+	}
+	if sparse.Metrics() != dense.metrics {
+		t.Fatalf("metrics diverged:\nsparse %+v\ndense  %+v", sparse.Metrics(), dense.metrics)
+	}
+	for p0 := 0; p0 < n; p0++ {
+		for j := 0; j < n; j++ {
+			if sparse.D(p0, j) != dense.d[p0*n+j] || sparse.B(p0, j) != dense.b[p0*n+j] {
+				t.Fatalf("cell (%d,%d) diverged", p0, j)
+			}
+		}
+	}
+	if err := sparse.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every real packet is gone; only borrow markers may remain. The
+	// active sets must have compacted down to exactly the marker cells.
+	if nnz := sparse.NNZ(); nnz != countDenseNNZ(dense) {
+		t.Fatalf("NNZ %d does not match dense nonzero count %d", nnz, countDenseNNZ(dense))
+	}
+}
+
+func countDenseNNZ(s *denseSystem) int {
+	nnz := 0
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			if s.d[i*s.n+j] != 0 || s.b[i*s.n+j] != 0 {
+				nnz++
+			}
+		}
+	}
+	return nnz
+}

@@ -1,0 +1,146 @@
+package core
+
+// classEntry is one nonzero cell of a processor's per-class state: d real
+// packets and b borrow markers of class cls.
+type classEntry struct {
+	cls int
+	d   int
+	b   int
+}
+
+// sparseRow stores the per-class state of one processor compactly: only
+// classes with d > 0 or b > 0 occupy an entry, except the processor's own
+// class, which is pinned at entries[0] (even when zero) so the factor-f
+// trigger can read d[i][i] without a search. A processor's active set is
+// bounded by its load plus outstanding markers, so lookups scan a handful
+// of entries; no per-row index structure is worth its constant factor
+// (a position map was measured slower on every benchmark workload).
+//
+// Entries are unordered (insertion order with swap-removal). Every
+// RNG-consuming iteration over a row sorts the relevant classes first so
+// that the random stream is identical to a dense ascending-class scan —
+// the property the differential test against the dense reference pins down.
+type sparseRow struct {
+	self    int
+	entries []classEntry
+}
+
+// own returns the pinned self-class entry.
+func (r *sparseRow) own() *classEntry { return &r.entries[0] }
+
+// find returns a pointer to the entry of cls, or nil if the row does not
+// hold the class. The pointer is invalidated by any row mutation.
+func (r *sparseRow) find(cls int) *classEntry {
+	for k := range r.entries {
+		if r.entries[k].cls == cls {
+			return &r.entries[k]
+		}
+	}
+	return nil
+}
+
+// getD returns the real-packet count of cls (zero if absent).
+func (r *sparseRow) getD(cls int) int {
+	if e := r.find(cls); e != nil {
+		return e.d
+	}
+	return 0
+}
+
+// getB returns the borrow-marker count of cls (zero if absent).
+func (r *sparseRow) getB(cls int) int {
+	if e := r.find(cls); e != nil {
+		return e.b
+	}
+	return 0
+}
+
+// ensure returns the index of cls's entry, creating an empty one if absent.
+func (r *sparseRow) ensure(cls int) int {
+	for k := range r.entries {
+		if r.entries[k].cls == cls {
+			return k
+		}
+	}
+	r.entries = append(r.entries, classEntry{cls: cls})
+	return len(r.entries) - 1
+}
+
+// compact swap-removes the entry at idx if both its counts reached zero.
+// The self entry is never removed.
+func (r *sparseRow) compact(idx int) {
+	if idx == 0 {
+		return
+	}
+	e := &r.entries[idx]
+	if e.d != 0 || e.b != 0 {
+		return
+	}
+	last := len(r.entries) - 1
+	r.entries[idx] = r.entries[last]
+	r.entries = r.entries[:last]
+}
+
+// add adjusts cls's d and b counts by the given deltas, creating and
+// compacting the entry as needed.
+func (r *sparseRow) add(cls, dd, db int) {
+	idx := r.ensure(cls)
+	e := &r.entries[idx]
+	e.d += dd
+	e.b += db
+	r.compact(idx)
+}
+
+// setD overwrites cls's real-packet count.
+func (r *sparseRow) setD(cls, v int) {
+	if v == 0 && r.find(cls) == nil {
+		return
+	}
+	idx := r.ensure(cls)
+	r.entries[idx].d = v
+	r.compact(idx)
+}
+
+// setB overwrites cls's borrow-marker count.
+func (r *sparseRow) setB(cls, v int) {
+	if v == 0 && r.find(cls) == nil {
+		return
+	}
+	idx := r.ensure(cls)
+	r.entries[idx].b = v
+	r.compact(idx)
+}
+
+// rebuild replaces the row's whole contents after a balancing operation:
+// classes[ci] receives the counts dMat[ci*m+k] and bMat[ci*m+k], where k
+// is this processor's participant index. Classes with both counts zero
+// are skipped, so the row comes out compact. classes must cover every
+// class the row held before (redistribution guarantees this: it operates
+// on the union of the participants' active sets).
+func (r *sparseRow) rebuild(classes, dMat, bMat []int, k, m int) {
+	r.entries[0].d = 0
+	r.entries[0].b = 0
+	r.entries = r.entries[:1]
+	for ci, cls := range classes {
+		d, b := dMat[ci*m+k], bMat[ci*m+k]
+		if d == 0 && b == 0 {
+			continue
+		}
+		if cls == r.self {
+			r.entries[0].d = d
+			r.entries[0].b = b
+		} else {
+			r.entries = append(r.entries, classEntry{cls: cls, d: d, b: b})
+		}
+	}
+}
+
+// active returns the number of classes the row actually holds (the pinned
+// self entry counts only when nonzero).
+func (r *sparseRow) active() int {
+	cnt := len(r.entries)
+	if e := &r.entries[0]; e.d == 0 && e.b == 0 {
+		cnt--
+	}
+	return cnt
+}

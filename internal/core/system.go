@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"lmbalance/internal/rng"
 	"lmbalance/internal/topology"
@@ -11,28 +12,43 @@ import (
 // balancing algorithm. It is driven step-by-step by a simulator calling
 // Generate and Consume; all balancing activity happens inside those calls,
 // exactly as in the appendix algorithm. A System is not safe for concurrent
-// use; the concurrent realization lives in internal/runtime.
+// use; the concurrent realizations live in internal/pool (shared-memory
+// worker pool) and internal/netsim (message-passing network).
+//
+// Per-class state is stored sparsely: processor i keeps a compact row of
+// the classes it actually holds (see sparse.go) instead of dense length-n
+// d/b vectors. Memory is O(total nonzero + n) rather than O(n²), and a
+// balancing operation touches only the union of classes its δ+1
+// participants hold rather than scanning all n classes. The sparse system
+// consumes the RNG stream exactly like the dense formulation, so results
+// are bit-identical to the original dense implementation (enforced by
+// TestSparseMatchesDenseReference).
 type System struct {
 	n      int
 	params Params
 	sel    topology.Selector
 	rng    *rng.RNG
 
-	d      []int // d[i*n+j]: real packets of class j on processor i
-	b      []int // b[i*n+j]: borrow markers of class j on processor i
-	l      []int // physical load, l[i] == Σ_j d[i*n+j]
-	bTot   []int // Σ_j b[i*n+j]
-	lOld   []int // d[i][i] at processor i's last balancing operation
-	localT []int // balancing operations processor i participated in
+	rows   []sparseRow // rows[i]: nonzero (d, b) class counts of processor i
+	l      []int       // physical load, l[i] == Σ_j d[i][j]
+	bTot   []int       // Σ_j b[i][j]
+	lOld   []int       // d[i][i] at processor i's last balancing operation
+	localT []int       // balancing operations processor i participated in
 
 	metrics Metrics
 
-	// scratch buffers reused across balancing operations
-	candBuf []int
-	setBuf  []int
-	oldL    []int
-	newL    []int
-	newBTot []int
+	// scratch buffers reused across operations
+	candBuf    []int
+	setBuf     []int
+	oldL       []int
+	newL       []int
+	newBTot    []int
+	classBuf   []int // qualifying classes collected by randClass
+	unionBuf   []int // active-class union of a participant set
+	mark       []int // per-class stamp marks backing activeUnion
+	stamp      int
+	classIdx   []int // class -> position in the current union
+	dMat, bMat []int // union×participants gather matrices for redistribute
 }
 
 // NewSystem creates a balanced-empty system of n processors. The selector
@@ -52,13 +68,20 @@ func NewSystem(n int, p Params, sel topology.Selector, r *rng.RNG) (*System, err
 		return nil, fmt.Errorf("core: selector built for %d processors, system has %d", sel.N(), n)
 	}
 	m := p.Delta + 2 // balancing set is at most δ+1, class recovery adds one
+	// One backing array serves every row's pinned self entry; a row that
+	// outgrows its one-entry slice reallocates independently on append.
+	backing := make([]classEntry, n)
+	rows := make([]sparseRow, n)
+	for i := range rows {
+		backing[i] = classEntry{cls: i}
+		rows[i] = sparseRow{self: i, entries: backing[i : i+1 : i+1]}
+	}
 	return &System{
 		n:       n,
 		params:  p,
 		sel:     sel,
 		rng:     r,
-		d:       make([]int, n*n),
-		b:       make([]int, n*n),
+		rows:    rows,
 		l:       make([]int, n),
 		bTot:    make([]int, n),
 		lOld:    make([]int, n),
@@ -67,7 +90,9 @@ func NewSystem(n int, p Params, sel topology.Selector, r *rng.RNG) (*System, err
 		setBuf:  make([]int, 0, m),
 		oldL:    make([]int, m),
 		newL:    make([]int, m),
-		newBTot: make([]int, m),
+		newBTot:  make([]int, m),
+		mark:     make([]int, n),
+		classIdx: make([]int, n),
 	}, nil
 }
 
@@ -114,13 +139,32 @@ func (s *System) Metrics() Metrics { return s.metrics }
 
 // D returns d[i][j] (real packets of class j on i); for tests and
 // experiment introspection.
-func (s *System) D(i, j int) int { return s.d[i*s.n+j] }
+func (s *System) D(i, j int) int { return s.rows[i].getD(j) }
 
 // B returns b[i][j] (borrow markers of class j on i).
-func (s *System) B(i, j int) int { return s.b[i*s.n+j] }
+func (s *System) B(i, j int) int { return s.rows[i].getB(j) }
 
 // Borrowed returns the number of outstanding borrow markers of processor i.
 func (s *System) Borrowed(i int) int { return s.bTot[i] }
+
+// ActiveClasses returns the number of classes processor i currently holds
+// (d or b nonzero) — the per-row cost driver of a balancing operation.
+func (s *System) ActiveClasses(i int) int { return s.rows[i].active() }
+
+// NNZ returns the total number of nonzero per-class cells across all
+// processors — the memory footprint driver of the sparse representation.
+func (s *System) NNZ() int {
+	total := 0
+	for i := range s.rows {
+		total += s.rows[i].active()
+	}
+	return total
+}
+
+// ForceBalance initiates a balancing operation on processor i regardless of
+// the factor-f trigger. It exists for benchmarks and experiment harnesses;
+// the algorithm itself only balances through the trigger.
+func (s *System) ForceBalance(i int) { s.balance(i) }
 
 // Generate adds one self-generated packet to processor i. If i holds
 // borrow markers, the new packet repays a debt instead (appendix: the
@@ -128,12 +172,11 @@ func (s *System) Borrowed(i int) int { return s.bTot[i] }
 // May trigger a balancing operation.
 func (s *System) Generate(i int) {
 	if s.bTot[i] > 0 {
-		j := s.randClass(i, func(idx int) bool { return s.b[idx] > 0 })
-		s.b[i*s.n+j]--
+		j := s.randClass(i, func(e *classEntry) bool { return e.b > 0 })
+		s.rows[i].add(j, +1, -1)
 		s.bTot[i]--
-		s.d[i*s.n+j]++
 	} else {
-		s.d[i*s.n+i]++
+		s.rows[i].own().d++
 	}
 	s.l[i]++
 	s.metrics.Generated++
@@ -149,8 +192,9 @@ func (s *System) Consume(i int) bool {
 		s.metrics.ConsumeNoLoad++
 		return false
 	}
-	if s.d[i*s.n+i] > 0 {
-		s.d[i*s.n+i]--
+	row := &s.rows[i]
+	if row.own().d > 0 {
+		row.own().d--
 		s.l[i]--
 		s.metrics.Consumed++
 		s.maybeBalance(i)
@@ -164,20 +208,19 @@ func (s *System) Consume(i int) bool {
 			s.metrics.ConsumeNoLoad++
 			return false
 		}
-		if s.d[i*s.n+i] > 0 {
+		if row.own().d > 0 {
 			// Settlement rebalancing gave i self packets back.
-			s.d[i*s.n+i]--
+			row.own().d--
 			s.l[i]--
 			s.metrics.Consumed++
 			s.maybeBalance(i)
 			return true
 		}
 		if s.bTot[i] < s.params.C {
-			j := s.randClass(i, func(idx int) bool { return s.d[idx] > 0 && s.b[idx] == 0 })
+			j := s.randClass(i, func(e *classEntry) bool { return e.d > 0 && e.b == 0 })
 			if j >= 0 {
-				s.b[i*s.n+j]++
+				row.add(j, -1, +1)
 				s.bTot[i]++
-				s.d[i*s.n+j]--
 				s.l[i]--
 				s.metrics.TotalBorrow++
 				s.metrics.Consumed++
@@ -185,7 +228,7 @@ func (s *System) Consume(i int) bool {
 			}
 		}
 		// No borrow slot: settle a random outstanding marker first.
-		j := s.randClass(i, func(idx int) bool { return s.b[idx] > 0 })
+		j := s.randClass(i, func(e *classEntry) bool { return e.b > 0 })
 		if j < 0 {
 			// No markers and no borrowable class would mean l == 0;
 			// unreachable, but fail safe rather than loop.
@@ -197,21 +240,28 @@ func (s *System) Consume(i int) bool {
 	return false
 }
 
-// randClass picks a uniformly random class j for processor i among those
-// whose flattened index i*n+j satisfies pred, via reservoir sampling.
-// It returns -1 if no class qualifies.
-func (s *System) randClass(i int, pred func(idx int) bool) int {
-	base := i * s.n
-	pick := -1
-	count := 0
-	for j := 0; j < s.n; j++ {
-		if pred(base + j) {
-			count++
-			if s.rng.Intn(count) == 0 {
-				pick = j
-			}
+// randClass picks a uniformly random class for processor i among the
+// active classes whose entry satisfies pred, via reservoir sampling over
+// the qualifying classes in ascending order. Scanning in ascending class
+// order keeps the RNG consumption identical to a dense 0..n-1 scan (zero
+// cells never qualify under any of the algorithm's predicates). It returns
+// -1 if no class qualifies.
+func (s *System) randClass(i int, pred func(e *classEntry) bool) int {
+	row := &s.rows[i]
+	buf := s.classBuf[:0]
+	for k := range row.entries {
+		if pred(&row.entries[k]) {
+			buf = append(buf, row.entries[k].cls)
 		}
 	}
+	sort.Ints(buf)
+	pick := -1
+	for k, cls := range buf {
+		if s.rng.Intn(k+1) == 0 {
+			pick = cls
+		}
+	}
+	s.classBuf = buf
 	return pick
 }
 
@@ -220,7 +270,7 @@ func (s *System) randClass(i int, pred func(idx int) bool) int {
 // operation. The strict-change guard (d != lOld) keeps the lOld == 0 case
 // from firing continuously (see doc.go).
 func (s *System) maybeBalance(i int) {
-	d := s.d[i*s.n+i]
+	d := s.rows[i].own().d
 	old := s.lOld[i]
 	f := s.params.F
 	if d > old && float64(d) >= f*float64(old) {
@@ -233,7 +283,7 @@ func (s *System) maybeBalance(i int) {
 }
 
 // balance performs a full balancing operation initiated by processor init:
-// δ random partners are selected and all 2n class vectors of the δ+1
+// δ random partners are selected and all class vectors of the δ+1
 // participants are snake-redistributed. Every participant's local clock
 // ticks, lOld resets, and own-class borrow markers are cleared (simulated
 // decrease).
@@ -246,22 +296,56 @@ func (s *System) balance(init int) {
 	s.redistribute(set)
 	for _, p := range set {
 		if !s.params.InitiatorOnlyReset || p == init {
-			s.lOld[p] = s.d[p*s.n+p]
+			s.lOld[p] = s.rows[p].own().d
 		}
 		s.localT[p]++
 	}
 	for _, p := range set {
-		if own := s.b[p*s.n+p]; own > 0 {
+		if own := s.rows[p].own().b; own > 0 {
 			// The owner consumes its own phantoms: simulated decrease.
 			s.bTot[p] -= own
-			s.b[p*s.n+p] = 0
+			s.rows[p].own().b = 0
 			s.metrics.DecreaseSim++
 		}
 	}
 }
 
-// redistribute snake-distributes all d classes followed by all b classes
+// activeUnion collects the sorted union of classes held (d or b nonzero)
+// by any processor in set and records each class's union position in
+// classIdx. The stamp-marking scratch keeps it O(active entries + sort)
+// without clearing an O(n) array per call.
+func (s *System) activeUnion(set []int) []int {
+	s.stamp++
+	buf := s.unionBuf[:0]
+	for _, p := range set {
+		entries := s.rows[p].entries
+		for k := range entries {
+			e := &entries[k]
+			if e.d == 0 && e.b == 0 {
+				continue // pinned empty self entry
+			}
+			if s.mark[e.cls] != s.stamp {
+				s.mark[e.cls] = s.stamp
+				buf = append(buf, e.cls)
+			}
+		}
+	}
+	sort.Ints(buf)
+	for ci, cls := range buf {
+		s.classIdx[cls] = ci
+	}
+	s.unionBuf = buf
+	return buf
+}
+
+// redistribute snake-distributes the d classes followed by the b classes
 // of the participant set, maintaining l and bTot and counting migrations.
+// Only the union of the participants' active classes is visited; all other
+// classes have zero totals, for which the dense formulation would not
+// advance the snake cursor either, so the result is identical. The
+// participants' counts are gathered into union×m scratch matrices and the
+// rows rebuilt wholesale afterwards, keeping the hot loop free of row
+// searches.
 func (s *System) redistribute(set []int) {
 	m := len(set)
 	oldL := s.oldL[:m]
@@ -272,34 +356,62 @@ func (s *System) redistribute(set []int) {
 		newL[k] = 0
 		newBTot[k] = 0
 	}
+	classes := s.activeUnion(set)
+	u := len(classes)
+	need := u * m
+	if cap(s.dMat) < need {
+		s.dMat = make([]int, need)
+		s.bMat = make([]int, need)
+	}
+	dMat := s.dMat[:need]
+	bMat := s.bMat[:need]
+	for i := range dMat {
+		dMat[i] = 0
+		bMat[i] = 0
+	}
+	for k, p := range set {
+		entries := s.rows[p].entries
+		for e := range entries {
+			ent := &entries[e]
+			if ent.d == 0 && ent.b == 0 {
+				continue
+			}
+			ci := s.classIdx[ent.cls]
+			dMat[ci*m+k] = ent.d
+			bMat[ci*m+k] = ent.b
+		}
+	}
 	cur := newSnakeCursor(m, s.rng.Intn(m))
-	for j := 0; j < s.n; j++ {
+	for ci := 0; ci < u; ci++ {
+		row := dMat[ci*m : ci*m+m]
 		total := 0
-		for _, p := range set {
-			total += s.d[p*s.n+j]
+		for _, v := range row {
+			total += v
 		}
 		if total == 0 {
 			continue // cursor need not advance for empty classes
 		}
 		cur.distribute(total, func(k, cnt int) {
-			s.d[set[k]*s.n+j] = cnt
+			row[k] = cnt
 			newL[k] += cnt
 		})
 	}
-	for j := 0; j < s.n; j++ {
+	for ci := 0; ci < u; ci++ {
+		row := bMat[ci*m : ci*m+m]
 		total := 0
-		for _, p := range set {
-			total += s.b[p*s.n+j]
+		for _, v := range row {
+			total += v
 		}
 		if total == 0 {
 			continue
 		}
 		cur.distribute(total, func(k, cnt int) {
-			s.b[set[k]*s.n+j] = cnt
+			row[k] = cnt
 			newBTot[k] += cnt
 		})
 	}
 	for k, p := range set {
+		s.rows[p].rebuild(classes, dMat, bMat, k, m)
 		s.l[p] = newL[k]
 		s.bTot[p] = newBTot[k]
 		if recv := newL[k] - oldL[k]; recv > 0 {
@@ -308,24 +420,41 @@ func (s *System) redistribute(set []int) {
 	}
 }
 
-// CheckInvariants verifies the structural invariants documented in doc.go:
-// non-negative counts, l[i] == Σ_j d[i][j], bTot[i] == Σ_j b[i][j], and
-// exact packet conservation (TotalLoad == Generated − Consumed). It is
-// O(n²) and intended for tests.
+// CheckInvariants verifies the structural invariants documented in doc.go —
+// non-negative counts, l[i] == Σ_j d[i][j], bTot[i] == Σ_j b[i][j], exact
+// packet conservation (TotalLoad == Generated − Consumed) — plus the
+// sparse bookkeeping: every row's self entry is pinned at index 0, no
+// foreign entry is empty, and no class appears in a row twice. It is
+// O(total nonzero + n) and intended for tests.
 func (s *System) CheckInvariants() error {
 	var totalLoad int64
 	for i := 0; i < s.n; i++ {
+		row := &s.rows[i]
+		if len(row.entries) == 0 || row.entries[0].cls != i || row.self != i {
+			return fmt.Errorf("core: row %d: self entry not pinned at index 0", i)
+		}
+		s.stamp++
 		sumD, sumB := 0, 0
-		for j := 0; j < s.n; j++ {
-			dv, bv := s.d[i*s.n+j], s.b[i*s.n+j]
-			if dv < 0 {
-				return fmt.Errorf("core: d[%d][%d] = %d < 0", i, j, dv)
+		for k := range row.entries {
+			e := &row.entries[k]
+			if e.cls < 0 || e.cls >= s.n {
+				return fmt.Errorf("core: row %d: class %d out of range", i, e.cls)
 			}
-			if bv < 0 {
-				return fmt.Errorf("core: b[%d][%d] = %d < 0", i, j, bv)
+			if e.d < 0 {
+				return fmt.Errorf("core: d[%d][%d] = %d < 0", i, e.cls, e.d)
 			}
-			sumD += dv
-			sumB += bv
+			if e.b < 0 {
+				return fmt.Errorf("core: b[%d][%d] = %d < 0", i, e.cls, e.b)
+			}
+			if s.mark[e.cls] == s.stamp {
+				return fmt.Errorf("core: row %d: class %d appears twice", i, e.cls)
+			}
+			s.mark[e.cls] = s.stamp
+			if k > 0 && e.d == 0 && e.b == 0 {
+				return fmt.Errorf("core: row %d: empty entry for class %d not compacted", i, e.cls)
+			}
+			sumD += e.d
+			sumB += e.b
 		}
 		if s.l[i] != sumD {
 			return fmt.Errorf("core: l[%d] = %d but Σd = %d", i, s.l[i], sumD)
@@ -346,12 +475,13 @@ func (s *System) CheckInvariants() error {
 func (s *System) settle(i, j int) {
 	if j == i {
 		// The owner clears its own phantoms: simulated decrease.
-		s.bTot[i] -= s.b[i*s.n+i]
-		s.b[i*s.n+i] = 0
+		own := s.rows[i].own()
+		s.bTot[i] -= own.b
+		own.b = 0
 		s.metrics.DecreaseSim++
 		return
 	}
-	if s.d[j*s.n+j] > 0 {
+	if s.rows[j].own().d > 0 {
 		s.exchange(i, j)
 		return
 	}
@@ -360,12 +490,12 @@ func (s *System) settle(i, j int) {
 	// i — then settle if it produced packets at j.
 	s.metrics.BorrowFail++
 	s.classBalance(j, i)
-	if s.b[i*s.n+j] == 0 {
+	if s.rows[i].getB(j) == 0 {
 		// The marker migrated away (another participant now carries the
 		// debt); i is free to borrow again.
 		return
 	}
-	if s.d[j*s.n+j] > 0 {
+	if s.rows[j].own().d > 0 {
 		s.exchange(i, j)
 		return
 	}
@@ -373,7 +503,7 @@ func (s *System) settle(i, j int) {
 	// marker with a simulated decrease accounted to class j. Unreachable
 	// under the paper's assumptions; kept for progress under adversarial
 	// schedules.
-	s.b[i*s.n+j]--
+	s.rows[i].add(j, 0, -1)
 	s.bTot[i]--
 	s.metrics.ForcedSettle++
 	s.metrics.DecreaseSim++
@@ -384,11 +514,10 @@ func (s *System) settle(i, j int) {
 // j treats the loss as a simulated workload decrease (which may trigger a
 // balancing operation on j).
 func (s *System) exchange(i, j int) {
-	s.d[j*s.n+j]--
+	s.rows[j].own().d--
 	s.l[j]--
-	s.d[i*s.n+j]++
+	s.rows[i].add(j, +1, -1)
 	s.l[i]++
-	s.b[i*s.n+j]--
 	s.bTot[i]--
 	s.metrics.RemoteBorrow++
 	s.metrics.DecreaseSim++
@@ -418,14 +547,14 @@ func (s *System) classBalance(owner, extra int) {
 
 	totalD, totalB := 0, 0
 	for _, p := range set {
-		totalD += s.d[p*s.n+cls]
-		totalB += s.b[p*s.n+cls]
+		totalD += s.rows[p].getD(cls)
+		totalB += s.rows[p].getB(cls)
 	}
 	cur := newSnakeCursor(m, s.rng.Intn(m))
 	cur.distribute(totalD, func(k, cnt int) {
 		p := set[k]
-		delta := cnt - s.d[p*s.n+cls]
-		s.d[p*s.n+cls] = cnt
+		delta := cnt - s.rows[p].getD(cls)
+		s.rows[p].setD(cls, cnt)
 		s.l[p] += delta
 		if delta > 0 {
 			s.metrics.Migrations += int64(delta)
@@ -433,14 +562,14 @@ func (s *System) classBalance(owner, extra int) {
 	})
 	cur.distribute(totalB, func(k, cnt int) {
 		p := set[k]
-		delta := cnt - s.b[p*s.n+cls]
-		s.b[p*s.n+cls] = cnt
+		delta := cnt - s.rows[p].getB(cls)
+		s.rows[p].setB(cls, cnt)
 		s.bTot[p] += delta
 	})
 	// Markers of the class that landed on the owner are consumed there.
-	if own := s.b[owner*s.n+cls]; own > 0 {
+	if own := s.rows[owner].own().b; own > 0 {
 		s.bTot[owner] -= own
-		s.b[owner*s.n+cls] = 0
+		s.rows[owner].own().b = 0
 		s.metrics.DecreaseSim++
 	}
 }

@@ -433,6 +433,79 @@ func TestTable1CountersPresent(t *testing.T) {
 	}
 }
 
+// TestForceBalance: the exported benchmark hook performs a real balancing
+// operation regardless of the trigger, including on an empty system.
+func TestForceBalance(t *testing.T) {
+	s := newTestSystem(t, 8, DefaultParams(), 20)
+	s.ForceBalance(3)
+	if s.Metrics().BalanceOps != 1 {
+		t.Fatalf("BalanceOps = %d after ForceBalance on empty system", s.Metrics().BalanceOps)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Generate(i % 8)
+	}
+	ops := s.Metrics().BalanceOps
+	s.ForceBalance(0)
+	if s.Metrics().BalanceOps != ops+1 {
+		t.Fatal("ForceBalance did not perform a balancing operation")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActiveSetCompaction: an empty system has no active classes, load
+// spreads grow the active sets, and a full drain compacts them back to
+// exactly the outstanding borrow markers.
+func TestActiveSetCompaction(t *testing.T) {
+	const n = 12
+	s := newTestSystem(t, n, Params{F: 1.2, Delta: 2, C: 3}, 21)
+	if s.NNZ() != 0 {
+		t.Fatalf("empty system has NNZ = %d", s.NNZ())
+	}
+	for i := 0; i < 2000; i++ {
+		s.Generate(i % n)
+	}
+	if s.NNZ() == 0 {
+		t.Fatal("no active classes after 2000 generates")
+	}
+	for i := 0; i < n; i++ {
+		if s.ActiveClasses(i) == 0 {
+			t.Fatalf("processor %d holds load %d but no active classes", i, s.Load(i))
+		}
+		if s.ActiveClasses(i) > n {
+			t.Fatalf("processor %d claims %d active classes, only %d exist", i, s.ActiveClasses(i), n)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A single Consume may fail transiently while load remains, so bound
+	// the drain by rounds rather than per-sweep success.
+	for round := 0; s.TotalLoad() > 0; round++ {
+		if round > 16*2000 {
+			t.Fatalf("drain stalled with %d packets", s.TotalLoad())
+		}
+		for i := 0; i < n; i++ {
+			s.Consume(i)
+		}
+	}
+	// Only borrow-marker cells may survive the drain.
+	markers := 0
+	for i := 0; i < n; i++ {
+		markers += s.Borrowed(i)
+	}
+	if s.NNZ() > markers {
+		t.Fatalf("NNZ %d exceeds outstanding markers %d after full drain", s.NNZ(), markers)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkGenerate(b *testing.B) {
 	s, err := NewSystem(64, DefaultParams(), topology.NewGlobal(64), rng.New(1))
 	if err != nil {

@@ -13,12 +13,33 @@ import (
 	"lmbalance/internal/workload"
 )
 
-// ScalingNs are the network sizes of the size-independence study.
-var ScalingNs = []int{16, 64, 256, 1024}
+// ScalingNs are the network sizes of the size-independence study. The
+// sparse core (O(nnz+n) memory, balancing cost independent of n) makes
+// n = 4096 tractable; the dense representation previously capped the sweep
+// at 1024.
+var ScalingNs = []int{16, 64, 256, 1024, 4096}
+
+// scalingRuns returns the repetition count for one network size. The
+// simulation engine itself is O(n·steps) per run regardless of the
+// balancer, so the largest sizes use fewer repetitions to keep the sweep
+// tractable; their per-processor averages still pool thousands of
+// processors per run.
+func scalingRuns(scale Scale, n int) int {
+	runs := scale.runs()
+	if n >= 2048 {
+		runs = (runs + 4) / 5
+		if runs < 2 {
+			runs = 2
+		}
+	}
+	return runs
+}
 
 // ScalingRow is one network size's measurement.
 type ScalingRow struct {
 	N int
+	// Runs is the number of independent repetitions behind this row.
+	Runs int
 	// RatioOneProducer is the measured E(l₁)/E(lᵢ) in the
 	// one-processor-generator model.
 	RatioOneProducer float64
@@ -48,6 +69,7 @@ func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 	params := core.Params{F: 1.1, Delta: 1, C: 4}
 	for i, n := range ScalingNs {
 		n := n
+		runs := scalingRuns(scale, n)
 		// Scale the horizon with n so the per-processor load is large
 		// enough (≈8 packets) that the ±1 integer granularity does not
 		// swamp the expectation the theory speaks about.
@@ -58,7 +80,7 @@ func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 		out.Steps = steps
 		// One-producer ratio.
 		cfg := sim.Config{
-			N: n, Steps: steps, Runs: out.Runs, Seed: seed + uint64(i),
+			N: n, Steps: steps, Runs: runs, Seed: seed + uint64(i),
 			SnapshotAt: []int{steps - 1},
 			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
 				return core.NewSystem(n, params, topology.NewGlobal(n), r)
@@ -81,7 +103,7 @@ func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 
 		// Mixed workload spread.
 		mixed := sim.Config{
-			N: n, Steps: 500, Runs: out.Runs, Seed: seed + 1000 + uint64(i),
+			N: n, Steps: 500, Runs: runs, Seed: seed + 1000 + uint64(i),
 			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
 				return core.NewSystem(n, params, topology.NewGlobal(n), r)
 			},
@@ -98,10 +120,11 @@ func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 			spread += mres.Spread.At(s).Mean()
 		}
 		spread /= 125
-		perProcStep := float64(mres.CoreMetrics.BalanceOps) / float64(out.Runs) / float64(n) / 500
+		perProcStep := float64(mres.CoreMetrics.BalanceOps) / float64(runs) / float64(n) / 500
 
 		out.Rows = append(out.Rows, ScalingRow{
 			N:                     n,
+			Runs:                  runs,
 			RatioOneProducer:      gen / others,
 			Fix:                   theory.FIX(n, params.Delta, params.F),
 			Limit:                 theory.FixLimit(params.Delta, params.F),
@@ -118,9 +141,9 @@ func (r *ScalingResult) Render(w io.Writer) error {
 		return err
 	}
 	tb := trace.NewTable("balance quality and per-node cost vs network size",
-		"n", "ratio (1-producer)", "FIX", "δ/(δ+1−f)", "spread (mixed)", "balance ops/proc/step")
+		"n", "runs", "ratio (1-producer)", "FIX", "δ/(δ+1−f)", "spread (mixed)", "balance ops/proc/step")
 	for _, row := range r.Rows {
-		tb.AddRow(row.N, row.RatioOneProducer, row.Fix, row.Limit,
+		tb.AddRow(row.N, row.Runs, row.RatioOneProducer, row.Fix, row.Limit,
 			row.SpreadMixed, row.BalanceOpsPerProcStep)
 	}
 	return tb.WriteText(w)
