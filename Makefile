@@ -7,10 +7,11 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/pool ./internal/netsim
 
 # Race-detector pass over the concurrent packages and the core they drive.
 race:
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/core
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim
 
 # Microbenchmarks for the sparse core (see results/BENCH_sparse.json).
 bench:

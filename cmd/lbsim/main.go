@@ -7,6 +7,7 @@
 //	lbsim -n 64 -steps 500 -f 1.1 -delta 1 -c 4 -runs 100
 //	lbsim -algo rsu -pattern hotspot -n 64
 //	lbsim -topology torus -delta 4
+//	lbsim -algo netsim -drop 0.2 -crash 4        # asynchronous run with faults
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"lmbalance/internal/baseline"
 	"lmbalance/internal/core"
+	"lmbalance/internal/netsim"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/sim"
 	"lmbalance/internal/topology"
@@ -32,12 +34,15 @@ func main() {
 		f       = flag.Float64("f", 1.1, "trigger factor f")
 		delta   = flag.Int("delta", 1, "neighborhood size δ")
 		c       = flag.Int("c", 4, "borrow capacity C")
-		algo    = flag.String("algo", "lm", "algorithm: lm, nobalance, scatter, rsu, diffusion, gradient")
+		algo    = flag.String("algo", "lm", "algorithm: lm, nobalance, scatter, rsu, diffusion, gradient, netsim")
 		topo    = flag.String("topology", "global", "candidate selection: global, ring, torus, hypercube, debruijn")
 		pattern = flag.String("pattern", "paper", "workload: paper, uniform, hotspot, burst, oneproducer")
 		every   = flag.Int("every", 25, "print the series every k steps")
 		record  = flag.String("record", "", "sample the workload into a CSV trace file and exit")
 		replay  = flag.String("replay", "", "replay a CSV trace file as the workload (overrides -pattern)")
+		drop    = flag.Float64("drop", 0, "netsim only: control-message drop probability in [0,1]")
+		delay   = flag.Int("delay", 0, "netsim only: maximum per-message delivery delay in ticks")
+		crash   = flag.Int("crash", 0, "netsim only: number of staggered fail-stop crashes per run")
 	)
 	flag.Parse()
 
@@ -46,6 +51,7 @@ func main() {
 		f: *f, delta: *delta, c: *c,
 		algo: *algo, topo: *topo, pattern: *pattern, every: *every,
 		record: *record, replay: *replay,
+		drop: *drop, delay: *delay, crash: *crash,
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
@@ -62,48 +68,68 @@ type options struct {
 	algo, topo, pattern string
 	every               int
 	record, replay      string
+	drop                float64
+	delay, crash        int
+}
+
+// graphFor maps a topology name to its graph; global selection has none.
+func graphFor(topo string, n int) (*topology.Graph, error) {
+	switch topo {
+	case "global":
+		return nil, nil
+	case "ring":
+		return topology.Ring(n), nil
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, fmt.Errorf("torus needs a square processor count, got %d", n)
+		}
+		return topology.Torus2D(side, side), nil
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		if 1<<dim != n {
+			return nil, fmt.Errorf("hypercube needs a power-of-two processor count, got %d", n)
+		}
+		return topology.Hypercube(dim), nil
+	case "debruijn":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		if 1<<dim != n {
+			return nil, fmt.Errorf("de Bruijn needs a power-of-two processor count, got %d", n)
+		}
+		return topology.DeBruijn(dim), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
 }
 
 func run(o options) error {
+	if o.algo == "netsim" {
+		return runNetsim(o)
+	}
+	if o.drop != 0 || o.delay != 0 || o.crash != 0 {
+		return fmt.Errorf("-drop/-delay/-crash require -algo netsim (the synchronous simulator has no network to fault)")
+	}
 	n, steps, runs, seed := o.n, o.steps, o.runs, o.seed
 	f, delta, c := o.f, o.delta, o.c
 	algo, topo, pattern, every := o.algo, o.topo, o.pattern, o.every
 	selector := func() (topology.Selector, error) {
-		switch topo {
-		case "global":
-			return topology.NewGlobal(n), nil
-		case "ring":
-			return topology.NewNeighborhood(topology.Ring(n)), nil
-		case "torus":
-			side := 1
-			for side*side < n {
-				side++
-			}
-			if side*side != n {
-				return nil, fmt.Errorf("torus needs a square processor count, got %d", n)
-			}
-			return topology.NewNeighborhood(topology.Torus2D(side, side)), nil
-		case "hypercube":
-			dim := 0
-			for 1<<dim < n {
-				dim++
-			}
-			if 1<<dim != n {
-				return nil, fmt.Errorf("hypercube needs a power-of-two processor count, got %d", n)
-			}
-			return topology.NewNeighborhood(topology.Hypercube(dim)), nil
-		case "debruijn":
-			dim := 0
-			for 1<<dim < n {
-				dim++
-			}
-			if 1<<dim != n {
-				return nil, fmt.Errorf("de Bruijn needs a power-of-two processor count, got %d", n)
-			}
-			return topology.NewNeighborhood(topology.DeBruijn(dim)), nil
-		default:
-			return nil, fmt.Errorf("unknown topology %q", topo)
+		g, err := graphFor(topo, n)
+		if err != nil {
+			return nil, err
 		}
+		if g == nil {
+			return topology.NewGlobal(n), nil
+		}
+		return topology.NewNeighborhood(g), nil
 	}
 
 	newPattern := func(run int, r *rng.RNG) (workload.Pattern, error) {
@@ -225,5 +251,108 @@ func run(o options) error {
 		fmt.Printf("per-run: balance ops %.1f, migrations %.1f, total borrow %.2f, remote borrow %.3f, borrow fail %.3f, decrease sim %.2f\n",
 			m.BalanceOps, m.Migrations, m.TotalBorrow, m.RemoteBorrow, m.BorrowFail, m.DecreaseSim)
 	}
+	return nil
+}
+
+// netsimRates maps a workload pattern name to per-node generate/consume
+// probability vectors for the asynchronous simulator, which has no notion
+// of the engine's time-phased patterns.
+func netsimRates(pattern string, n int) (gen, con []float64, err error) {
+	switch pattern {
+	case "uniform":
+		return []float64{0.5}, []float64{0.4}, nil
+	case "hotspot":
+		gen = make([]float64, n)
+		con = make([]float64, n)
+		hot := 1 + n/16
+		for i := range gen {
+			if i < hot {
+				gen[i], con[i] = 0.9, 0.1
+			} else {
+				gen[i], con[i] = 0.1, 0.3
+			}
+		}
+		return gen, con, nil
+	default:
+		return nil, nil, fmt.Errorf("pattern %q not supported by -algo netsim (use uniform or hotspot)", pattern)
+	}
+}
+
+// runNetsim drives the asynchronous message-passing realization, with the
+// optional fault layer (-drop, -delay, -crash).
+func runNetsim(o options) error {
+	if o.record != "" || o.replay != "" {
+		return fmt.Errorf("-record/-replay are engine workload traces; -algo netsim does not support them")
+	}
+	if o.crash < 0 {
+		return fmt.Errorf("-crash = %d, need >= 0", o.crash)
+	}
+	graph, err := graphFor(o.topo, o.n)
+	if err != nil {
+		return err
+	}
+	gen, con, err := netsimRates(o.pattern, o.n)
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable(
+		fmt.Sprintf("netsim | %s workload | n=%d steps=%d drop=%g delay=%d crash=%d",
+			o.pattern, o.n, o.steps, o.drop, o.delay, o.crash),
+		"run", "spread", "msgs per op", "abort frac", "timeouts", "self-releases", "msgs lost", "conserved")
+	var sumSpread, sumMsgs, sumAbort float64
+	for run := 0; run < o.runs; run++ {
+		crashes := make([]netsim.Crash, o.crash)
+		for i := range crashes {
+			// Stagger the crashes over nodes and over the middle half of
+			// the run so recovery overlaps ongoing balancing.
+			crashes[i] = netsim.Crash{
+				Node:   (i*7 + 3) % o.n,
+				AtStep: o.steps/4 + i*(o.steps/2)/o.crash,
+			}
+		}
+		res, err := netsim.Run(netsim.Config{
+			N: o.n, Delta: o.delta, F: o.f, Steps: o.steps,
+			GenP: gen, ConP: con, Graph: graph,
+			Seed: rng.Mix64(o.seed, uint64(run)),
+			Faults: netsim.Faults{
+				DropP:    o.drop,
+				DelayMax: o.delay,
+				Crashes:  crashes,
+				Seed:     rng.Mix64(o.seed^0xfa17fa17fa17fa17, uint64(run)),
+			},
+		})
+		if err != nil {
+			return err
+		}
+		var initiated, completed, timeouts, selfRel, lost int64
+		for _, nd := range res.Nodes {
+			initiated += nd.Initiated
+			completed += nd.Completed
+			timeouts += nd.Timeouts
+			selfRel += nd.FreezeExpired
+			lost += nd.Dropped + nd.LostAtCrash
+		}
+		msgsPerOp, abortFrac := 0.0, 0.0
+		if completed > 0 {
+			msgsPerOp = float64(res.Messages()) / float64(completed)
+		}
+		if initiated > 0 {
+			abortFrac = float64(initiated-completed) / float64(initiated)
+		}
+		conserved := "yes"
+		if !res.Conserved() {
+			conserved = "NO"
+		}
+		tb.AddRow(run, res.Spread(), msgsPerOp, abortFrac, timeouts, selfRel, lost, conserved)
+		sumSpread += float64(res.Spread())
+		sumMsgs += msgsPerOp
+		sumAbort += abortFrac
+	}
+	if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	r := float64(o.runs)
+	fmt.Printf("\nmean over %d runs: spread %.1f, msgs per op %.2f, abort frac %.3f\n",
+		o.runs, sumSpread/r, sumMsgs/r, sumAbort/r)
 	return nil
 }

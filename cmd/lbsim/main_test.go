@@ -70,6 +70,54 @@ func TestRunRejectsNonSquareTorus(t *testing.T) {
 	}
 }
 
+func TestRunNetsimWithFaults(t *testing.T) {
+	o := opts(16, 200, 1, "netsim", "global", "uniform")
+	o.delta = 2
+	o.drop, o.delay, o.crash = 0.2, 2, 2
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNetsimPatternsAndTopologies(t *testing.T) {
+	for _, pat := range []string{"uniform", "hotspot"} {
+		o := opts(16, 150, 1, "netsim", "hypercube", pat)
+		if err := run(o); err != nil {
+			t.Fatalf("pattern %s: %v", pat, err)
+		}
+	}
+}
+
+func TestRunNetsimRejections(t *testing.T) {
+	// Fault flags demand the netsim algorithm.
+	o := opts(16, 30, 1, "lm", "global", "uniform")
+	o.drop = 0.1
+	if err := run(o); err == nil {
+		t.Fatal("-drop accepted without -algo netsim")
+	}
+	// Engine-only patterns have no netsim rate mapping.
+	if err := run(opts(16, 30, 1, "netsim", "global", "paper")); err == nil {
+		t.Fatal("paper pattern accepted by netsim")
+	}
+	// Bad fault parameters surface netsim's validation.
+	o = opts(16, 30, 1, "netsim", "global", "uniform")
+	o.drop = 1.5
+	if err := run(o); err == nil {
+		t.Fatal("drop=1.5 accepted")
+	}
+	o = opts(16, 30, 1, "netsim", "global", "uniform")
+	o.crash = -1
+	if err := run(o); err == nil {
+		t.Fatal("negative crash count accepted")
+	}
+	// Workload traces are an engine feature.
+	o = opts(16, 30, 1, "netsim", "global", "uniform")
+	o.record = "x.csv"
+	if err := run(o); err == nil {
+		t.Fatal("-record accepted by netsim")
+	}
+}
+
 func TestRecordAndReplay(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "trace.csv")
 	o := opts(8, 40, 1, "lm", "global", "uniform")

@@ -69,6 +69,9 @@ var artifacts = []artifact{
 	{"netcost", "message-passing communication cost (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.NetCost(s, seed)
 	}},
+	{"faults", "fault sensitivity of the trigger protocol (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
+		return experiments.FaultSweep(s, seed)
+	}},
 	{"ablations", "design-choice ablations (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.Ablations(s, seed)
 	}},

@@ -28,6 +28,22 @@
 // freezes), and the coordinator closes quit only after every node has
 // reported idle, so no message is ever sent to a terminated node.
 //
+// # Fault injection
+//
+// Config.Faults arms an adversarial network layer: control messages
+// (freezeReq/freezeAck/freezeBusy/release) can be dropped, every message
+// can be held in a per-node delay buffer, and nodes can fail-stop and
+// recover on a schedule. Transfers are always delivered (and applied even
+// at crashed nodes — load lives in stable storage), so total packet count
+// is conserved exactly under any fault pattern. The protocol stays live
+// through two timeouts: an initiator that misses replies aborts with
+// randomized backoff and releases the partners it heard from, and a
+// frozen partner whose release was lost (or whose initiator crashed)
+// unfreezes itself. Every protocol carries a sequence number so replies
+// and releases from an abandoned protocol are recognized as stale instead
+// of corrupting a newer one. With the zero Faults value none of this
+// machinery runs and behavior is identical to the fault-free protocol.
+//
 // The packet counters model fungible load units; the full per-class
 // virtual-load machinery (borrowing etc.) lives in internal/core — this
 // package demonstrates the balancing geometry and trigger discipline
@@ -37,10 +53,13 @@ package netsim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"lmbalance/internal/rng"
 	"lmbalance/internal/topology"
+	"lmbalance/internal/trace"
 )
 
 type msgKind uint8
@@ -57,8 +76,9 @@ const (
 type message struct {
 	kind   msgKind
 	from   int
-	load   int // freezeAck: sender's current load
-	amount int // transfer: delta to apply (may be negative)
+	load   int    // freezeAck: sender's current load
+	amount int    // transfer: delta to apply (may be negative)
+	seq    uint64 // initiator's protocol epoch; replies and releases echo it
 }
 
 // Config parameterizes a run.
@@ -81,6 +101,9 @@ type Config struct {
 	// vertices and every node needs at least one neighbor. Nil selects
 	// partners uniformly from all nodes (the paper's model).
 	Graph *topology.Graph
+	// Faults configures the fault-injection layer (see Faults). The zero
+	// value disables it.
+	Faults Faults
 }
 
 func (c *Config) validate() error {
@@ -103,6 +126,9 @@ func (c *Config) validate() error {
 				return fmt.Errorf("netsim: probability %v outside [0,1]", p)
 			}
 		}
+	}
+	if err := c.Faults.validate(c.N); err != nil {
+		return err
 	}
 	if c.Graph != nil {
 		if c.Graph.N() != c.N {
@@ -133,6 +159,14 @@ type NodeStats struct {
 	Completed    int64 // balancing protocols that transferred load
 	Aborted      int64 // protocols aborted due to a busy partner
 	MessagesSent int64
+
+	// Fault counters (all zero when faults are disabled).
+	Dropped       int64 // control messages lost in transit to this node
+	LostAtCrash   int64 // control messages lost because this node was down
+	Delayed       int64 // messages that sat in this node's delay buffer
+	Timeouts      int64 // initiator protocols aborted by reply timeout
+	FreezeExpired int64 // freezes this node released by its own timeout
+	Crashes       int64 // fail-stop windows this node entered
 }
 
 // Result is the outcome of a Run.
@@ -172,6 +206,18 @@ func (r *Result) Messages() int64 {
 	return sum
 }
 
+// Conserved reports whether the final total load equals generated minus
+// consumed packets — exact packet conservation, which must hold under any
+// fault pattern because transfers are reliable.
+func (r *Result) Conserved() bool {
+	var gen, con int64
+	for _, n := range r.Nodes {
+		gen += n.Generated
+		con += n.Consumed
+	}
+	return int64(r.TotalLoad()) == gen-con
+}
+
 // node is the per-goroutine state; only its own goroutine touches it.
 type node struct {
 	id    int
@@ -187,20 +233,36 @@ type node struct {
 
 	// initiator-side protocol state
 	inflight   bool
-	awaiting   int // replies still expected
+	seq        uint64 // protocol epoch; bumped per initiate and per abandon
+	awaiting   int    // replies still expected
 	sawBusy    bool
 	ackedFrom  []int // partners that froze for us
 	ackedLoads []int
 
 	// partner-side state
-	frozen   bool
-	frozenBy int
+	frozen    bool
+	frozenBy  int
+	frozenSeq uint64 // epoch of the freeze we acked
 
 	stepsDone int
 	signaled  bool
 	backoff   int // steps to skip initiating after an aborted protocol
 	stats     NodeStats
 	candBuf   []int
+
+	// fault-layer state (unused when faults are disabled)
+	faultsOn   bool
+	frng       *rng.RNG         // fault randomness; nil when disabled
+	tickC      <-chan time.Time // nil when disabled: select case never fires
+	now        int64            // local tick counter
+	protoAt    int64            // tick the in-flight protocol started
+	frozeAt    int64            // tick this node froze
+	delayQ     []delayed        // messages awaiting delayed delivery
+	crashed    bool
+	crashUntil int64 // tick at which a crashed node recovers
+	crashIdx   int   // next entry of crashPlan to fire
+	crashPlan  []Crash
+	rec        *lockedRecorder
 }
 
 // Run executes the distributed simulation and returns per-node statistics.
@@ -222,6 +284,25 @@ func Run(cfg Config) (*Result, error) {
 		// concurrent freeze requests plus protocol traffic.
 		inboxes[i] = make(chan message, 4*cfg.N)
 	}
+	faultsOn := cfg.Faults.enabled()
+	var fmaster *rng.RNG
+	var rec *lockedRecorder
+	crashPlans := make([][]Crash, cfg.N)
+	if faultsOn {
+		// Fault randomness derives from its own seed so the workload and
+		// partner-selection streams stay byte-identical to a fault-free
+		// run of the same Config.Seed.
+		fmaster = rng.New(cfg.Faults.Seed ^ 0xfa17fa17fa17fa17)
+		if cfg.Faults.Trace != nil {
+			rec = &lockedRecorder{rec: cfg.Faults.Trace}
+		}
+		for _, c := range cfg.Faults.Crashes {
+			crashPlans[c.Node] = append(crashPlans[c.Node], c)
+		}
+		for _, plan := range crashPlans {
+			sort.Slice(plan, func(i, j int) bool { return plan[i].AtStep < plan[j].AtStep })
+		}
+	}
 	var idle sync.WaitGroup
 	var done sync.WaitGroup
 	quit := make(chan struct{})
@@ -235,6 +316,12 @@ func Run(cfg Config) (*Result, error) {
 			peers: inboxes,
 			idle:  &idle,
 			quit:  quit,
+		}
+		if faultsOn {
+			nodes[i].faultsOn = true
+			nodes[i].frng = fmaster.Split()
+			nodes[i].crashPlan = crashPlans[i]
+			nodes[i].rec = rec
 		}
 		idle.Add(1)
 		done.Add(1)
@@ -267,24 +354,47 @@ func (n *node) send(to int, m message) {
 // run is the node's event loop.
 func (n *node) run() {
 	defer n.finalDrain()
+	if n.faultsOn {
+		ticker := time.NewTicker(n.cfg.Faults.tick())
+		defer ticker.Stop()
+		n.tickC = ticker.C
+	}
 	for {
+		if n.faultsOn {
+			n.tick()
+		}
 		// Serve everything already queued.
 		for {
 			select {
 			case m := <-n.inbox:
-				n.handle(m)
+				n.deliver(m)
 				continue
 			default:
 			}
 			break
 		}
 		switch {
-		case n.inflight || n.frozen:
-			// Mid-protocol: block on the inbox (no workload progress),
-			// still draining so nobody deadlocks on a send to us.
+		case n.crashed:
+			// Fail-stopped: no workload progress, no protocol. The
+			// goroutine keeps draining its inbox so senders never block
+			// on a dead node; deliver routes everything through the
+			// crashed-node rules (control lost, transfers banked).
 			select {
 			case m := <-n.inbox:
-				n.handle(m)
+				n.deliver(m)
+			case <-n.tickC: // advance recovery while silent
+			case <-n.quit:
+				return
+			}
+		case n.inflight || n.frozen:
+			// Mid-protocol: block on the inbox (no workload progress),
+			// still draining so nobody deadlocks on a send to us. The
+			// tick case (armed only under faults) keeps timeouts and
+			// delayed deliveries advancing while the network is silent.
+			select {
+			case m := <-n.inbox:
+				n.deliver(m)
+			case <-n.tickC:
 			case <-n.quit:
 				return
 			}
@@ -303,7 +413,8 @@ func (n *node) run() {
 			}
 			select {
 			case m := <-n.inbox:
-				n.handle(m)
+				n.deliver(m)
+			case <-n.tickC:
 			case <-n.quit:
 				return
 			}
@@ -311,11 +422,128 @@ func (n *node) run() {
 	}
 }
 
+// deliver passes one message pulled off the inbox through the fault
+// layer: it may be dropped (control messages only), delayed, or handed to
+// the protocol. Without faults it is a direct call to handle.
+func (n *node) deliver(m message) {
+	if n.faultsOn {
+		if m.kind != transfer && n.frng.Bernoulli(n.cfg.Faults.DropP) {
+			n.stats.Dropped++
+			n.rec.record(trace.Event{Step: n.stepsDone, Proc: n.id, Kind: trace.EvDrop, Arg: m.from})
+			return
+		}
+		if dm := n.cfg.Faults.DelayMax; dm > 0 {
+			if d := n.frng.Intn(dm + 1); d > 0 {
+				n.stats.Delayed++
+				n.delayQ = append(n.delayQ, delayed{due: n.now + int64(d), m: m})
+				return
+			}
+		}
+	}
+	n.dispatch(m)
+}
+
+// dispatch routes a due message to the live or crashed handler.
+func (n *node) dispatch(m message) {
+	if n.crashed {
+		n.crashedHandle(m)
+		return
+	}
+	n.handle(m)
+}
+
+// crashedHandle is the dead node's network interface: control messages
+// are lost (a crashed node answers nothing), but transfers are applied to
+// the persistent load counter so packet conservation survives the crash.
+func (n *node) crashedHandle(m message) {
+	if m.kind == transfer {
+		n.load += m.amount
+		return
+	}
+	n.stats.LostAtCrash++
+	n.rec.record(trace.Event{Step: n.stepsDone, Proc: n.id, Kind: trace.EvDrop, Arg: m.from})
+}
+
+// tick advances the node's local fault clock: delayed deliveries come
+// due, crash windows open and close, and the two protocol timeouts fire.
+// Called once per event-loop iteration (and, via the wall-clock ticker,
+// while the node is blocked waiting for messages).
+func (n *node) tick() {
+	n.now++
+	// Deliver due delayed messages (the buffer is small; linear scan).
+	for i := 0; i < len(n.delayQ); {
+		if n.delayQ[i].due <= n.now {
+			m := n.delayQ[i].m
+			n.delayQ[i] = n.delayQ[len(n.delayQ)-1]
+			n.delayQ = n.delayQ[:len(n.delayQ)-1]
+			n.dispatch(m)
+			continue
+		}
+		i++
+	}
+	if n.crashed {
+		if n.now >= n.crashUntil {
+			n.recoverNode()
+		}
+		return
+	}
+	if n.crashIdx < len(n.crashPlan) && n.stepsDone >= n.crashPlan[n.crashIdx].AtStep {
+		n.crash(n.crashPlan[n.crashIdx])
+		n.crashIdx++
+		return
+	}
+	if n.inflight && n.now-n.protoAt > n.cfg.Faults.timeoutTicks() {
+		// Reply timeout: a request or reply was dropped, or a partner
+		// crashed. Abandon the protocol, release everyone who froze for
+		// us, and re-arm with randomized backoff.
+		n.stats.Timeouts++
+		n.rec.record(trace.Event{Step: n.stepsDone, Proc: n.id, Kind: trace.EvTimeout, Arg: n.awaiting})
+		n.abandon()
+	}
+	if n.frozen && n.now-n.frozeAt > n.cfg.Faults.freezeTicks() {
+		// Our release (or our initiator) is gone. Unfreeze unilaterally
+		// rather than leak the freeze; a late transfer still applies.
+		n.stats.FreezeExpired++
+		n.rec.record(trace.Event{Step: n.stepsDone, Proc: n.id, Kind: trace.EvTimeout, Arg: n.frozenBy})
+		n.frozen = false
+	}
+}
+
+// crash opens a fail-stop window: all protocol state vanishes with the
+// node. An initiator's frozen partners are NOT released — they must
+// rescue themselves via the freeze-expiry timeout.
+func (n *node) crash(c Crash) {
+	n.crashed = true
+	down := int64(c.DownTicks)
+	if down == 0 {
+		down = defaultDownTicks
+	}
+	n.crashUntil = n.now + down
+	n.stats.Crashes++
+	n.rec.record(trace.Event{Step: n.stepsDone, Proc: n.id, Kind: trace.EvCrash, Arg: int(down)})
+	n.inflight = false
+	n.seq++ // replies to the abandoned protocol become stale
+	n.awaiting = 0
+	n.sawBusy = false
+	n.frozen = false
+	n.backoff = 0
+}
+
+// recoverNode closes the fail-stop window; the load counter survived in
+// stable storage and the trigger base re-arms on the recovered value.
+func (n *node) recoverNode() {
+	n.crashed = false
+	n.lOld = n.load
+}
+
 // finalDrain applies any messages still buffered at shutdown. The only
 // messages that can be in flight once every node reported idle are
-// transfers and releases from a just-resolved protocol; applying them
-// keeps packet conservation exact. (A freezeReq cannot be pending — a
-// pending request implies an initiator that has not reported idle.)
+// transfers and releases from a just-resolved protocol (plus, under
+// faults, stragglers from abandoned protocols and delayed deliveries
+// still sitting in the delay buffer); applying the transfers keeps packet
+// conservation exact. (A freezeReq cannot be pending in the fault-free
+// protocol — a pending request implies an initiator that has not reported
+// idle.)
 func (n *node) finalDrain() {
 	for {
 		select {
@@ -328,6 +556,12 @@ func (n *node) finalDrain() {
 				n.frozen = false
 			}
 		default:
+			for _, d := range n.delayQ {
+				if d.m.kind == transfer {
+					n.load += d.m.amount
+				}
+			}
+			n.delayQ = nil
 			return
 		}
 	}
@@ -380,14 +614,32 @@ func (n *node) initiate() {
 		n.candBuf = n.rng.SampleDistinct(n.cfg.N, n.cfg.Delta, n.id, n.candBuf)
 	}
 	n.inflight = true
+	n.seq++
+	n.protoAt = n.now
 	n.awaiting = len(n.candBuf)
 	n.sawBusy = false
 	n.ackedFrom = n.ackedFrom[:0]
 	n.ackedLoads = n.ackedLoads[:0]
 	n.stats.Initiated++
 	for _, c := range n.candBuf {
-		n.send(c, message{kind: freezeReq})
+		n.send(c, message{kind: freezeReq, seq: n.seq})
 	}
+}
+
+// abandon gives up on the in-flight protocol after a reply timeout:
+// partners that froze for us are released, outstanding replies become
+// stale (the epoch bumps), and the trigger re-arms with the same
+// randomized backoff as a busy abort.
+func (n *node) abandon() {
+	n.inflight = false
+	for _, p := range n.ackedFrom {
+		n.send(p, message{kind: releaseMsg, seq: n.seq})
+	}
+	n.seq++
+	n.awaiting = 0
+	n.sawBusy = false
+	n.stats.Aborted++
+	n.backoff = 1 + n.rng.Intn(8)
 }
 
 // handle processes one incoming message.
@@ -398,20 +650,23 @@ func (n *node) handle(m message) {
 		// steps still participate as partners — only initiators drive the
 		// shutdown, so the network quiesces once all steppers are done.
 		if n.inflight || n.frozen {
-			n.send(m.from, message{kind: freezeBusy})
+			n.send(m.from, message{kind: freezeBusy, seq: m.seq})
 			return
 		}
 		n.frozen = true
 		n.frozenBy = m.from
-		n.send(m.from, message{kind: freezeAck, load: n.load})
+		n.frozenSeq = m.seq
+		n.frozeAt = n.now
+		n.send(m.from, message{kind: freezeAck, load: n.load, seq: m.seq})
 
 	case freezeAck:
-		if !n.inflight {
-			// Stale ack after an abort we already resolved: release the
-			// partner immediately. (Cannot happen with the current
-			// resolve-only-when-all-replies-in rule, but keep the node
-			// robust.)
-			n.send(m.from, message{kind: releaseMsg})
+		if !n.inflight || m.seq != n.seq {
+			// Stale ack from a protocol we already resolved, abandoned on
+			// timeout, or lost to a crash: release the partner
+			// immediately so it does not sit frozen until its own
+			// timeout. (Cannot happen in the fault-free protocol, which
+			// resolves only when all replies are in.)
+			n.send(m.from, message{kind: releaseMsg, seq: m.seq})
 			return
 		}
 		n.awaiting--
@@ -422,7 +677,7 @@ func (n *node) handle(m message) {
 		}
 
 	case freezeBusy:
-		if !n.inflight {
+		if !n.inflight || m.seq != n.seq {
 			return
 		}
 		n.awaiting--
@@ -432,12 +687,21 @@ func (n *node) handle(m message) {
 		}
 
 	case transfer:
+		// The load delta always applies — transfers are reliable and
+		// conservation depends on it — but the freeze clears only if this
+		// transfer ends the freeze we are actually in; under faults a
+		// late transfer from an expired freeze must not terminate a newer
+		// protocol's freeze.
 		n.load += m.amount
-		n.lOld = n.load
-		n.frozen = false
+		if !n.frozen || (n.frozenBy == m.from && n.frozenSeq == m.seq) {
+			n.lOld = n.load
+			n.frozen = false
+		}
 
 	case releaseMsg:
-		n.frozen = false
+		if n.frozen && n.frozenBy == m.from && n.frozenSeq == m.seq {
+			n.frozen = false
+		}
 	}
 }
 
@@ -446,7 +710,7 @@ func (n *node) resolve() {
 	n.inflight = false
 	if n.sawBusy {
 		for _, p := range n.ackedFrom {
-			n.send(p, message{kind: releaseMsg})
+			n.send(p, message{kind: releaseMsg, seq: n.seq})
 		}
 		n.stats.Aborted++
 		// Randomized backoff: retrying on the very next step while every
@@ -460,10 +724,16 @@ func (n *node) resolve() {
 	}
 	m := len(n.ackedFrom) + 1
 	base, rem := total/m, total%m
-	// The initiator takes the first share; extras go to the first rem
-	// participants (the partner order is already random).
+	// Rotate the start of the remainder run uniformly (the core package's
+	// snake discipline, randomized): handing the extras to a fixed
+	// participant index would let the initiator — index 0 — capture one
+	// surplus packet on every operation with a remainder.
+	off := 0
+	if rem > 0 {
+		off = n.rng.Intn(m)
+	}
 	share := func(idx int) int {
-		if idx < rem {
+		if rel := idx - off; (rel%m+m)%m < rem {
 			return base + 1
 		}
 		return base
@@ -471,7 +741,9 @@ func (n *node) resolve() {
 	n.load = share(0)
 	n.lOld = n.load
 	for i, p := range n.ackedFrom {
-		n.send(p, message{kind: transfer, amount: share(i+1) - n.ackedLoads[i]})
+		// Partners froze under the current epoch (acks echo the
+		// request's seq), so transfers carry it too.
+		n.send(p, message{kind: transfer, amount: share(i+1) - n.ackedLoads[i], seq: n.seq})
 	}
 	n.stats.Completed++
 }

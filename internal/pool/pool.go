@@ -123,6 +123,10 @@ func (w *Worker) Pool() *Pool { return w.pool }
 func (w *Worker) Submit(t Task) {
 	w.pool.pending.Add(1)
 	w.pool.submitted.Add(1)
+	// Publish the queued task before it becomes visible in the queue so
+	// the dry-worker fast path can never observe "pool empty" while a
+	// queued task exists.
+	w.pool.queued.Add(1)
 	w.mu.Lock()
 	w.queue = append(w.queue, t)
 	qlen := len(w.queue)
@@ -145,6 +149,7 @@ func (w *Worker) pop() Task {
 	t := w.queue[n-1]
 	w.queue[n-1] = nil
 	w.queue = w.queue[:n-1]
+	w.pool.queued.Add(-1)
 	return t
 }
 
@@ -158,6 +163,11 @@ type Pool struct {
 	submitted atomic.Int64
 	balances  atomic.Int64
 	migrated  atomic.Int64
+	// queued counts tasks currently sitting in worker queues (not yet
+	// popped). Dry workers consult it before a balance attempt: when the
+	// whole pool is empty there is nothing to steal, so they back off
+	// without touching the shared RNG or any queue locks.
+	queued atomic.Int64
 
 	quit chan struct{}
 	done sync.WaitGroup // worker goroutines
@@ -238,6 +248,7 @@ func trigger(qlen, lOld int, f float64) bool {
 // run is the worker main loop.
 func (p *Pool) run(w *Worker) {
 	defer p.done.Done()
+	idleSpins := 0
 	for {
 		t := w.pop()
 		if t == nil {
@@ -246,6 +257,21 @@ func (p *Pool) run(w *Worker) {
 				return
 			default:
 			}
+			// Fast path: the whole pool is empty, so a balancing
+			// operation cannot acquire anything — skip the shared RNG
+			// and the δ+1 queue locks entirely and back off (doubling up
+			// to 32× IdleSleep) so a quiescent pool stops contending.
+			// Work can still reach our queue meanwhile: a submitting
+			// worker's trigger pushes tasks here via its own balance.
+			if p.queued.Load() == 0 {
+				sleep := p.cfg.IdleSleep << min(idleSpins, 5)
+				if idleSpins < 5 {
+					idleSpins++
+				}
+				time.Sleep(sleep)
+				continue
+			}
+			idleSpins = 0
 			// Dry worker: a shrink trigger (qlen 0 vs lOld > 0) or plain
 			// starvation; initiate a balancing operation to acquire work.
 			p.balance(w)
@@ -254,6 +280,7 @@ func (p *Pool) run(w *Worker) {
 				continue
 			}
 		}
+		idleSpins = 0
 		t(w)
 		w.executed.Add(1)
 		p.pending.Done()
@@ -272,6 +299,10 @@ func (p *Pool) run(w *Worker) {
 func (p *Pool) balance(init *Worker) {
 	p.rngMu.Lock()
 	ids := p.rng.SampleDistinct(len(p.workers), p.cfg.Delta, init.id, nil)
+	// Draw the remainder offset now, while the RNG is locked; whether it
+	// is needed depends on totals we only know once the queues are
+	// locked.
+	off := p.rng.Intn(p.cfg.Delta + 1)
 	p.rngMu.Unlock()
 	ids = append(ids, init.id)
 	sort.Ints(ids)
@@ -291,14 +322,22 @@ func (p *Pool) balance(init *Worker) {
 	}
 	m := len(parts)
 	base, rem := total/m, total%m
-	// Short-circuit: nothing to move if all queues already within ±1.
-	balanced := true
-	for i, w := range parts {
-		want := base
-		if i < rem {
-			want++
+	// The rem extra tasks go to the circular run [off, off+rem) of the
+	// sorted participant list — the core package's snake discipline with
+	// a randomized start. A fixed start (extras to i < rem) would hand
+	// low-id workers the surplus task on every operation.
+	want := func(i int) int {
+		if rel := i - off; (rel%m+m)%m < rem {
+			return base + 1
 		}
-		if len(w.queue) != want {
+		return base
+	}
+	// Short-circuit: nothing to move if every queue is already within ±1
+	// of the mean (any rotation of the extras counts — re-splitting to
+	// shift which worker holds an extra would be pure churn).
+	balanced := true
+	for _, w := range parts {
+		if l := len(w.queue); l != base && l != base+1 {
 			balanced = false
 			break
 		}
@@ -316,15 +355,12 @@ func (p *Pool) balance(init *Worker) {
 	p.balances.Add(1)
 	pos := 0
 	for i, w := range parts {
-		want := base
-		if i < rem {
-			want++
-		}
-		if grown := want - len(w.queue); grown > 0 {
+		cnt := want(i)
+		if grown := cnt - len(w.queue); grown > 0 {
 			p.migrated.Add(int64(grown))
 		}
-		w.queue = append(w.queue[:0], all[pos:pos+want]...)
-		w.lOld = want
-		pos += want
+		w.queue = append(w.queue[:0], all[pos:pos+cnt]...)
+		w.lOld = cnt
+		pos += cnt
 	}
 }

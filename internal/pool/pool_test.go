@@ -223,6 +223,89 @@ func TestWorkerAccessors(t *testing.T) {
 	}
 }
 
+// TestBalanceRemainderRotates drives balance directly (workers stopped,
+// so no goroutine races) and checks that the total%m surplus tasks land
+// on each participant near-uniformly — the regression for low-id workers
+// deterministically pocketing the remainder on every operation.
+func TestBalanceRemainderRotates(t *testing.T) {
+	p, err := New(Config{Workers: 4, F: 1.5, Delta: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close() // stop the workers; we call balance by hand below
+	nop := func(w *Worker) {}
+	const trials = 2000
+	extras := make([]int, len(p.workers))
+	for trial := 0; trial < trials; trial++ {
+		// Hotspot: 41 tasks at worker 0 → base 10, one extra.
+		for _, w := range p.workers {
+			w.queue = w.queue[:0]
+		}
+		for i := 0; i < 41; i++ {
+			p.workers[0].queue = append(p.workers[0].queue, nop)
+		}
+		p.balance(p.workers[0])
+		holders := 0
+		for i, w := range p.workers {
+			switch len(w.queue) {
+			case 11:
+				extras[i]++
+				holders++
+			case 10:
+			default:
+				t.Fatalf("worker %d holds %d tasks, want 10 or 11", i, len(w.queue))
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("%d workers hold the extra, want 1", holders)
+		}
+	}
+	// Uniform over 4 workers: 500 expected each, ±5σ ≈ ±97.
+	for i, e := range extras {
+		if e < 380 || e > 620 {
+			t.Fatalf("worker %d got the extra %d/%d times (want ≈500): %v",
+				i, e, trials, extras)
+		}
+	}
+}
+
+// TestIdleBackoffStillAcceptsWork: after the dry workers have backed off
+// to their maximum sleep, newly submitted work must still execute
+// promptly and drain the queued counter back to zero — the regression
+// guarding the global-emptiness fast path against lost wakeups.
+func TestIdleBackoffStillAcceptsWork(t *testing.T) {
+	p, err := New(Config{Workers: 4, F: 1.3, Delta: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for round := 0; round < 3; round++ {
+		// Let every worker reach maximum backoff (32 × 50µs = 1.6ms).
+		time.Sleep(20 * time.Millisecond)
+		const n = 200
+		var counter atomic.Int64
+		for i := 0; i < n; i++ {
+			p.Submit(func(w *Worker) { counter.Add(1) })
+		}
+		done := make(chan struct{})
+		go func() {
+			p.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: pool wedged after going idle", round)
+		}
+		if counter.Load() != n {
+			t.Fatalf("round %d: executed %d of %d", round, counter.Load(), n)
+		}
+		if q := p.queued.Load(); q != 0 {
+			t.Fatalf("round %d: queued counter = %d after Wait, want 0", round, q)
+		}
+	}
+}
+
 func TestStealingValidation(t *testing.T) {
 	if _, err := NewStealing(1, 1, 0); err == nil {
 		t.Fatal("workers=1 accepted")

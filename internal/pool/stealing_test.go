@@ -1,0 +1,147 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStealTakesOldestHalf drives steal directly on a stopped pool and
+// checks the steal-half contract: the thief receives the oldest ⌈n/2⌉
+// tasks, the victim keeps the newest, and order is preserved on both
+// sides.
+func TestStealTakesOldestHalf(t *testing.T) {
+	p, err := NewStealing(2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close() // stop the workers; we call steal by hand below
+	for _, tc := range []struct {
+		victimLen, wantStolen int
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {5, 3}, {8, 4},
+	} {
+		thief, victim := p.workers[0], p.workers[1]
+		thief.queue = nil
+		victim.queue = nil
+		marks := make([]int, tc.victimLen)
+		for i := 0; i < tc.victimLen; i++ {
+			i := i
+			victim.queue = append(victim.queue, func(r *StealWorkerRef) { marks[i]++ })
+		}
+		got := p.steal(thief)
+		if want := tc.wantStolen > 0; got != want {
+			t.Fatalf("victimLen %d: steal reported %v", tc.victimLen, got)
+		}
+		if len(thief.queue) != tc.wantStolen {
+			t.Fatalf("victimLen %d: thief holds %d tasks, want %d",
+				tc.victimLen, len(thief.queue), tc.wantStolen)
+		}
+		if len(victim.queue) != tc.victimLen-tc.wantStolen {
+			t.Fatalf("victimLen %d: victim keeps %d tasks, want %d",
+				tc.victimLen, len(victim.queue), tc.victimLen-tc.wantStolen)
+		}
+		// The thief got the oldest tasks in order, the victim the rest.
+		ref := &StealWorkerRef{w: thief}
+		for _, task := range thief.queue {
+			task(ref)
+		}
+		for i := 0; i < tc.wantStolen; i++ {
+			if marks[i] != 1 {
+				t.Fatalf("victimLen %d: oldest task %d not stolen: %v", tc.victimLen, i, marks)
+			}
+		}
+		for i := tc.wantStolen; i < tc.victimLen; i++ {
+			if marks[i] != 0 {
+				t.Fatalf("victimLen %d: newest task %d left the victim: %v", tc.victimLen, i, marks)
+			}
+		}
+	}
+}
+
+// TestStealNeverTargetsSelf: with the skip-self victim draw, a thief can
+// never deadlock trying to lock its own queue twice.
+func TestStealNeverTargetsSelf(t *testing.T) {
+	p, err := NewStealing(3, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	thief := p.workers[1]
+	// Empty pool: every draw must visit some other queue and return false;
+	// a self-steal would self-deadlock long before 200 iterations.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			if p.steal(thief) {
+				t.Error("stole from an empty pool")
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("steal deadlocked (self-lock?)")
+	}
+}
+
+// TestStealingStatsCounters: Balances counts steals and Migrated counts
+// moved tasks, exactly.
+func TestStealingStatsCounters(t *testing.T) {
+	p, err := NewStealing(2, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	nop := func(r *StealWorkerRef) {}
+	for i := 0; i < 6; i++ {
+		p.workers[1].queue = append(p.workers[1].queue, nop)
+	}
+	p.steal(p.workers[0]) // moves 3 of 6
+	p.steal(p.workers[0]) // moves 2 of the remaining 3
+	s := p.Stats()
+	if s.Balances != 2 {
+		t.Fatalf("Balances = %d, want 2", s.Balances)
+	}
+	if s.Migrated != 5 {
+		t.Fatalf("Migrated = %d, want 5", s.Migrated)
+	}
+	// Failed steals count nothing.
+	p.workers[0].queue = nil
+	p.workers[1].queue = nil
+	p.steal(p.workers[0])
+	if s := p.Stats(); s.Balances != 2 || s.Migrated != 5 {
+		t.Fatalf("failed steal changed counters: %+v", s)
+	}
+}
+
+// TestStealingCloseAfterWait: the documented lifecycle — Wait for
+// quiescence, then Close — must terminate promptly even when the workers
+// went through many dry/steal cycles first.
+func TestStealingCloseAfterWait(t *testing.T) {
+	p, err := NewStealing(4, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter atomic.Int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 500; i++ {
+			p.workers[0].submit(func(r *StealWorkerRef) { counter.Add(1) })
+		}
+		p.Wait()
+	}
+	if counter.Load() != 1500 {
+		t.Fatalf("executed %d of 1500", counter.Load())
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close after Wait hung")
+	}
+}

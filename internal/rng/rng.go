@@ -53,6 +53,19 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Mix64 hashes two 64-bit words into one seed word. Use it wherever a
+// stream must be derived from a (base seed, index) pair: the naive
+// `seed + index*const` derivation makes the pair (S, i+1) collide with
+// (S+const, i) — run i+1 of one experiment replays run i of another
+// whose seed differs by the constant. Mixing each word through a full
+// splitmix64 round breaks that additive structure.
+func Mix64(a, b uint64) uint64 {
+	x := a
+	h := splitmix64(&x)
+	x = h ^ b
+	return splitmix64(&x)
+}
+
 // Split derives a new, statistically independent generator from r.
 // The child stream is a deterministic function of r's current state, and
 // deriving it advances r, so successive Split calls yield distinct streams.

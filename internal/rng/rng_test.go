@@ -42,6 +42,44 @@ func TestDistinctSeedsDiverge(t *testing.T) {
 	}
 }
 
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(3, 5) != Mix64(3, 5) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(3, 5) == Mix64(5, 3) {
+		t.Fatal("Mix64 should not be symmetric in its arguments")
+	}
+}
+
+// TestMix64BreaksAdditiveAliasing: the derivation Mix64 replaced was
+// Seed + run·0x9e3779b97f4a7c15, under which (S, r+1) and (S+stride, r)
+// collide for every S and r. Mix64 must separate exactly those pairs.
+func TestMix64BreaksAdditiveAliasing(t *testing.T) {
+	const stride = 0x9e3779b97f4a7c15
+	for seed := uint64(0); seed < 64; seed++ {
+		for run := uint64(0); run < 16; run++ {
+			if Mix64(seed, run+1) == Mix64(seed+stride, run) {
+				t.Fatalf("Mix64(%d,%d) aliases Mix64(%d,%d)", seed, run+1, seed+stride, run)
+			}
+		}
+	}
+}
+
+func TestMix64Spreads(t *testing.T) {
+	// Consecutive (seed, run) pairs must land far apart: check all outputs
+	// over a small grid are distinct.
+	seen := make(map[uint64]bool)
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 32; b++ {
+			v := Mix64(a, b)
+			if seen[v] {
+				t.Fatalf("collision at Mix64(%d,%d)", a, b)
+			}
+			seen[v] = true
+		}
+	}
+}
+
 func TestSplitIndependence(t *testing.T) {
 	parent := New(7)
 	c1 := parent.Split()

@@ -210,7 +210,11 @@ func Run(cfg Config) (*Result, error) {
 func oneRun(cfg Config, run int) runResult {
 	// Derive independent deterministic streams: one for the workload, one
 	// for the algorithm, one for the engine's per-step processor order.
-	master := rng.New(cfg.Seed + uint64(run)*0x9e3779b97f4a7c15)
+	// The (Seed, run) pair is hashed rather than combined additively:
+	// Seed + run*const would make run r+1 of seed S replay run r of seed
+	// S+const, silently correlating sweeps whose seeds differ by the
+	// stride.
+	master := rng.New(rng.Mix64(cfg.Seed, uint64(run)))
 	patternRNG := master.Split()
 	balancerRNG := master.Split()
 	orderRNG := master.Split()

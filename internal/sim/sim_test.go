@@ -134,6 +134,31 @@ func TestRunSeedSensitivity(t *testing.T) {
 	}
 }
 
+// TestRunSeedsDoNotAliasAcrossConfigs: under the old additive derivation
+// (Seed + run·0x9e3779b97f4a7c15), run r+1 of seed S replayed run r of
+// seed S+0x9e3779b97f4a7c15 exactly — two "independent" sweeps whose
+// seeds differ by the stride shared every run but one. The hashed
+// derivation must make those runs differ.
+func TestRunSeedsDoNotAliasAcrossConfigs(t *testing.T) {
+	const stride = 0x9e3779b97f4a7c15
+	cfgA := lmTestConfig(8, 80, 2, 100)
+	cfgB := lmTestConfig(8, 80, 2, 100+stride)
+	a := oneRun(cfgA, 1)
+	b := oneRun(cfgB, 0)
+	if a.err != nil || b.err != nil {
+		t.Fatal(a.err, b.err)
+	}
+	same := a.metrics == b.metrics
+	for step := 0; same && step < 80; step++ {
+		if a.avg.At(step).Mean() != b.avg.At(step).Mean() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("run 1 of seed S aliases run 0 of seed S+stride")
+	}
+}
+
 func TestRunWithBaselineTicker(t *testing.T) {
 	n := 8
 	cfg := Config{

@@ -20,6 +20,12 @@ const (
 	EvBalance
 	EvBorrow
 	EvSettle
+	// Fault-injection events (internal/netsim): a message lost in
+	// transit or at a crashed node, a protocol timeout (initiator reply
+	// timeout or frozen-partner self-release), and a node crash.
+	EvDrop
+	EvTimeout
+	EvCrash
 	kindCount
 )
 
@@ -36,6 +42,12 @@ func (k EventKind) String() string {
 		return "borrow"
 	case EvSettle:
 		return "settle"
+	case EvDrop:
+		return "drop"
+	case EvTimeout:
+		return "timeout"
+	case EvCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -10,6 +10,7 @@ func TestEventKindString(t *testing.T) {
 	for k, want := range map[EventKind]string{
 		EvGenerate: "generate", EvConsume: "consume", EvBalance: "balance",
 		EvBorrow: "borrow", EvSettle: "settle",
+		EvDrop: "drop", EvTimeout: "timeout", EvCrash: "crash",
 	} {
 		if k.String() != want {
 			t.Fatalf("%d.String() = %q", k, k.String())
