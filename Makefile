@@ -7,19 +7,20 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pool ./internal/netsim
+	$(GO) test -race ./internal/pool ./internal/netsim ./internal/wire ./internal/cluster
 
 # Race-detector pass over the concurrent packages and the core they drive.
 race:
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster
 
 # Microbenchmarks for the sparse core (see results/BENCH_sparse.json).
 bench:
 	$(GO) test . -run xxx -bench 'BenchmarkBalanceOp|BenchmarkGenerateConsume|BenchmarkNewSystem' -benchmem
 
-# Short fuzz pass over the op-sequence fuzzer.
+# Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:
 	$(GO) test ./internal/core/ -run xxx -fuzz FuzzOpSequence -fuzztime 30s
+	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzWireRoundTrip -fuzztime 30s
 
 # Full experiment sweep (slow); see EXPERIMENTS.md.
 experiments:

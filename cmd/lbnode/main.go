@@ -1,0 +1,278 @@
+// Command lbnode runs the wire-level cluster: nodes that speak the
+// balancing protocol over real TCP sockets (or in-memory loopback).
+//
+// Two modes:
+//
+//   - Spawn mode launches an n-node cluster in one command, each node
+//     on its own loopback-TCP socket (or over the in-memory transport
+//     with -transport inproc), and prints the per-node accounting and
+//     the conservation check:
+//
+//     lbnode -spawn 8
+//     lbnode -spawn 16 -transport inproc -steps 5000
+//
+//   - Daemon mode runs a single node of a multi-process (or
+//     multi-host) cluster; every process gets the same static peer
+//     table and its own id. Node 0 coordinates the shutdown:
+//
+//     lbnode -id 0 -listen :7100 -peers 0=host0:7100,1=host1:7101,2=host2:7102
+//     lbnode -id 1 -listen :7101 -peers 0=host0:7100,1=host1:7101,2=host2:7102
+//     lbnode -id 2 -listen :7102 -peers 0=host0:7100,1=host1:7101,2=host2:7102
+//
+// The exit status is nonzero if the node (or, in spawn mode, the
+// cluster) observed a packet-conservation violation — which would be a
+// bug, not a tunable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"lmbalance/internal/cluster"
+	"lmbalance/internal/trace"
+	"lmbalance/internal/wire"
+)
+
+func main() {
+	var (
+		spawn     = flag.Int("spawn", 0, "spawn an n-node cluster in this process (0 = daemon mode)")
+		transport = flag.String("transport", "tcp", "spawn mode: tcp or inproc")
+		id        = flag.Int("id", 0, "daemon mode: this node's id")
+		listen    = flag.String("listen", "", "daemon mode: listen address, e.g. :7100")
+		peers     = flag.String("peers", "", "daemon mode: static peer table, id=host:port comma-separated (must include every node)")
+		f         = flag.Float64("f", 1.2, "trigger factor f")
+		delta     = flag.Int("delta", 2, "neighborhood size δ")
+		steps     = flag.Int("steps", 2000, "workload steps per node")
+		gen       = flag.Float64("gen", 0.5, "per-step generate probability")
+		con       = flag.Float64("con", 0.4, "per-step consume probability")
+		hot       = flag.Int("hot", -1, "first k nodes generate hot (0.9/0.1); -1 = n/4 in spawn mode, 0 in daemon mode")
+		seed      = flag.Uint64("seed", 1993, "cluster-wide seed")
+		timeout   = flag.Duration("timeout", 0, "initiator reply timeout (0 = default)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-node table")
+	)
+	flag.Parse()
+	o := options{
+		spawn: *spawn, transport: *transport, id: *id, listen: *listen, peers: *peers,
+		f: *f, delta: *delta, steps: *steps, gen: *gen, con: *con, hot: *hot,
+		seed: *seed, timeout: *timeout, quiet: *quiet,
+	}
+	conserved, err := run(o, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbnode:", err)
+		os.Exit(1)
+	}
+	if !conserved {
+		fmt.Fprintln(os.Stderr, "lbnode: PACKET CONSERVATION VIOLATED")
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	spawn            int
+	transport        string
+	id               int
+	listen, peers    string
+	f                float64
+	delta, steps     int
+	gen, con         float64
+	hot              int
+	seed             uint64
+	timeout          time.Duration
+	quiet            bool
+}
+
+func run(o options, w io.Writer) (conserved bool, err error) {
+	if o.spawn > 0 {
+		return runSpawn(o, w)
+	}
+	return runDaemon(o, w)
+}
+
+// clampDelta caps δ at n−1 (the whole cluster), matching lbsim: a
+// 2-node cluster with the default -delta 2 should just balance pairs.
+func clampDelta(delta, n int) int {
+	if delta > n-1 {
+		return n - 1
+	}
+	return delta
+}
+
+// hotProbs builds the per-node generate/consume vectors: the first
+// `hot` nodes are producers (0.9/0.1), the rest use -gen/-con.
+func hotProbs(n, hot int, gen, con float64) (gp, cp []float64) {
+	gp = make([]float64, n)
+	cp = make([]float64, n)
+	for i := range gp {
+		if i < hot {
+			gp[i], cp[i] = 0.9, 0.1
+		} else {
+			gp[i], cp[i] = gen, con
+		}
+	}
+	return gp, cp
+}
+
+// runSpawn launches a whole cluster in-process and reports it.
+func runSpawn(o options, w io.Writer) (bool, error) {
+	n := o.spawn
+	if n < 2 {
+		return false, fmt.Errorf("-spawn %d: need at least 2 nodes", n)
+	}
+	var transports []wire.Transport
+	switch o.transport {
+	case "tcp":
+		ts, err := wire.NewLocalCluster(n)
+		if err != nil {
+			return false, err
+		}
+		transports = make([]wire.Transport, n)
+		for i, t := range ts {
+			transports[i] = t
+		}
+	case "inproc":
+		net := wire.NewLoopback(n)
+		transports = make([]wire.Transport, n)
+		for i := range transports {
+			transports[i] = net.Transport(i)
+		}
+	default:
+		return false, fmt.Errorf("unknown -transport %q (tcp, inproc)", o.transport)
+	}
+	hot := o.hot
+	if hot < 0 {
+		hot = n / 4
+	}
+	gp, cp := hotProbs(n, hot, o.gen, o.con)
+	res, err := cluster.RunCluster(cluster.ClusterConfig{
+		N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
+		GenP: gp, ConP: cp, Seed: o.seed, Timeout: o.timeout,
+	}, transports)
+	if err != nil {
+		return false, err
+	}
+	if !o.quiet {
+		tb := trace.NewTable(fmt.Sprintf("%d-node cluster over %s (f=%g δ=%d, %d steps)",
+			n, o.transport, o.f, o.delta, o.steps),
+			"node", "final load", "generated", "consumed", "completed", "aborted", "timeouts", "bytes sent")
+		for _, nd := range res.Nodes {
+			tb.AddRow(nd.ID, nd.FinalLoad, nd.Generated, nd.Consumed,
+				nd.Completed, nd.Aborted, nd.Timeouts, nd.BytesSent)
+		}
+		if err := tb.WriteText(w); err != nil {
+			return false, err
+		}
+	}
+	ok := res.Conserved() && res.Summary.Conserved()
+	fmt.Fprintf(w, "total load %d  spread %d  ops %d  messages %d  wire bytes %d  elapsed %v\n",
+		res.TotalLoad(), res.Spread(), res.Completed(), res.Messages(), res.Bytes(), res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "conservation: %s (generated %d − consumed %d = held %d)\n",
+		okString(ok), res.Summary.Generated, res.Summary.Consumed, res.Summary.TotalLoad)
+	return ok, nil
+}
+
+// runDaemon runs one node of a distributed cluster.
+func runDaemon(o options, w io.Writer) (bool, error) {
+	table, err := parsePeers(o.peers)
+	if err != nil {
+		return false, err
+	}
+	n := len(table)
+	if n < 2 {
+		return false, fmt.Errorf("-peers lists %d nodes, need at least 2", n)
+	}
+	if _, ok := table[o.id]; !ok {
+		return false, fmt.Errorf("-id %d is not in the peer table", o.id)
+	}
+	listen := o.listen
+	if listen == "" {
+		listen = table[o.id]
+	}
+	peers := make(map[int]string, n-1)
+	for pid, addr := range table {
+		if pid != o.id {
+			peers[pid] = addr
+		}
+	}
+	tp, err := wire.ListenTCP(o.id, listen, peers)
+	if err != nil {
+		return false, err
+	}
+	hot := o.hot
+	if hot < 0 {
+		hot = 0
+	}
+	genP, conP := o.gen, o.con
+	if o.id < hot {
+		genP, conP = 0.9, 0.1
+	}
+	fmt.Fprintf(w, "lbnode %d/%d listening on %v, peers %v\n", o.id, n, tp.Addr(), o.peers)
+	rep, err := cluster.Run(cluster.Config{
+		ID: o.id, N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
+		GenP: genP, ConP: conP, Seed: o.seed, Transport: tp, Timeout: o.timeout,
+	})
+	if err != nil {
+		return false, err
+	}
+	s := rep.Stats
+	fmt.Fprintf(w, "node %d done: load %d  generated %d  consumed %d  completed %d  aborted %d  sent %dB  recv %dB\n",
+		s.ID, s.FinalLoad, s.Generated, s.Consumed, s.Completed, s.Aborted, s.BytesSent, s.BytesRecv)
+	if rep.Summary == nil {
+		return true, nil // only the coordinator can check the cluster
+	}
+	ok := rep.Summary.Conserved()
+	fmt.Fprintf(w, "cluster conservation: %s (%d nodes, generated %d − consumed %d = held %d)\n",
+		okString(ok), rep.Summary.Nodes, rep.Summary.Generated, rep.Summary.Consumed, rep.Summary.TotalLoad)
+	return ok, nil
+}
+
+// parsePeers parses "0=host:port,1=host:port,..." into an id→addr
+// table and checks it is dense: ids 0..n-1, no gaps, no duplicates.
+func parsePeers(s string) (map[int]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-peers is required in daemon mode (or use -spawn)")
+	}
+	table := make(map[int]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer entry %q is not id=host:port", part)
+		}
+		pid, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("peer entry %q: bad id: %v", part, err)
+		}
+		if _, dup := table[pid]; dup {
+			return nil, fmt.Errorf("peer id %d listed twice", pid)
+		}
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("peer entry %q has an empty address", part)
+		}
+		table[pid] = addr
+	}
+	ids := make([]int, 0, len(table))
+	for pid := range table {
+		ids = append(ids, pid)
+	}
+	sort.Ints(ids)
+	for i, pid := range ids {
+		if pid != i {
+			return nil, fmt.Errorf("peer ids must be dense 0..%d, got %v", len(table)-1, ids)
+		}
+	}
+	return table, nil
+}
+
+func okString(ok bool) string {
+	if ok {
+		return "EXACT"
+	}
+	return "VIOLATED"
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	table, err := parsePeers("0=127.0.0.1:7100, 1=127.0.0.1:7101,2=host:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 3 || table[2] != "host:7102" {
+		t.Fatalf("parsed %v", table)
+	}
+	for _, bad := range []string{
+		"",                      // empty
+		"0=a:1,0=b:2",           // duplicate id
+		"0=a:1,2=b:2",           // gap
+		"1=a:1,2=b:2",           // not starting at 0
+		"0=a:1,x=b:2",           // non-numeric id
+		"0=a:1,1",               // missing =
+		"0=a:1,1=",              // empty address
+	} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpawnTCP(t *testing.T) {
+	var buf strings.Builder
+	ok, err := run(options{spawn: 4, transport: "tcp", f: 1.2, delta: 1,
+		steps: 300, gen: 0.5, con: 0.4, hot: -1, seed: 7}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("conservation violated:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"4-node cluster over tcp", "conservation: EXACT", "wire bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpawnInproc(t *testing.T) {
+	var buf strings.Builder
+	ok, err := run(options{spawn: 6, transport: "inproc", f: 1.1, delta: 2,
+		steps: 300, gen: 0.5, con: 0.4, hot: 2, seed: 8, quiet: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("conservation violated:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "cluster over inproc") {
+		t.Fatal("-quiet still printed the per-node table")
+	}
+}
+
+// TestSpawnClampsDelta: a 2-node cluster with the default -delta 2
+// must run (δ clamped to n−1 = 1), like lbsim.
+func TestSpawnClampsDelta(t *testing.T) {
+	var buf strings.Builder
+	ok, err := run(options{spawn: 2, transport: "inproc", f: 1.2, delta: 2,
+		steps: 200, gen: 0.5, con: 0.4, hot: 1, seed: 9, quiet: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("conservation violated:\n%s", buf.String())
+	}
+}
+
+func TestSpawnRejectsBadOptions(t *testing.T) {
+	if _, err := run(options{spawn: 1}, &strings.Builder{}); err == nil {
+		t.Fatal("1-node spawn accepted")
+	}
+	if _, err := run(options{spawn: 4, transport: "carrier-pigeon"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if _, err := run(options{peers: ""}, &strings.Builder{}); err == nil {
+		t.Fatal("daemon mode without peers accepted")
+	}
+}
+
+// TestDaemonModeMultiNode drives the daemon path as a real multi-node
+// cluster: three nodes, each with its own listener and the same static
+// peer table, exactly as three separate processes would run.
+func TestDaemonModeMultiNode(t *testing.T) {
+	// Reserve three ports.
+	const n = 3
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var parts []string
+	for i, a := range addrs {
+		parts = append(parts, fmt.Sprintf("%d=%s", i, a))
+	}
+	peerFlag := strings.Join(parts, ",")
+	for _, ln := range lns {
+		ln.Close() // free the ports for the daemons (dial retry covers the gap)
+	}
+
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, n)
+	oks := make([]bool, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			oks[i], errs[i] = run(options{
+				id: i, listen: addrs[i], peers: peerFlag,
+				f: 1.2, delta: 1, steps: 300, gen: 0.5, con: 0.4, hot: 1, seed: 11,
+			}, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v\n%s", i, errs[i], outs[i].String())
+		}
+		if !oks[i] {
+			t.Fatalf("node %d reported violation:\n%s", i, outs[i].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "cluster conservation: EXACT") {
+		t.Fatalf("coordinator output missing conservation line:\n%s", outs[0].String())
+	}
+}

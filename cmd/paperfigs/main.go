@@ -72,6 +72,9 @@ var artifacts = []artifact{
 	{"faults", "fault sensitivity of the trigger protocol (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.FaultSweep(s, seed)
 	}},
+	{"wirecost", "wire-level cluster cost, inproc vs TCP (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
+		return experiments.WireCost(s, seed)
+	}},
 	{"ablations", "design-choice ablations (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.Ablations(s, seed)
 	}},

@@ -1,0 +1,557 @@
+// Package cluster is the wire-level runtime of the balancing protocol:
+// netsim's freeze/ack/transfer state machine generalized to run over
+// any wire.Transport, so the same node code balances over in-memory
+// loopback, real TCP sockets (cmd/lbnode), or any transport a
+// downstream embedder provides.
+//
+// # Protocol
+//
+// The balancing protocol is netsim's (see that package's comment): a
+// node whose load changed by the factor f since its last balancing
+// operation freezes δ random partners, collects their loads, and deals
+// out ±1 equal shares; any busy partner aborts the round. Three things
+// change at the wire level:
+//
+//   - Transfers are acknowledged (TransferAck). On channels, delivery
+//     is atomic with the send; on a real network the initiator must
+//     know when its transfers have landed before it may declare itself
+//     quiet, or shutdown could race a transfer and lose packets.
+//   - Timeouts are wall-clock. The initiator reply timeout and the
+//     frozen-partner self-release (with protocol epochs to reject stale
+//     replies) carry over from the netsim fault layer, but count real
+//     time: a live TCP peer answers in microseconds, so a missing reply
+//     means a dead or unreachable peer, not an unlucky scheduler slice.
+//   - Shutdown is a distributed two-phase protocol instead of an
+//     in-process WaitGroup. Phase one (quiesce): each node that has
+//     finished its steps, is not mid-protocol, and has no unacked
+//     transfers sends Idle to the coordinator (node 0) — once — and
+//     keeps serving as a balancing partner. Because a node only goes
+//     Idle after its transfers are acked, and only stepping nodes
+//     initiate, all transfers are applied before the last Idle arrives.
+//     Phase two (retire): the coordinator broadcasts Quit; every node
+//     answers Bye carrying its final load and lifetime generated and
+//     consumed counts, then closes. The coordinator sums the Byes and
+//     checks exact packet conservation across the cluster.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lmbalance/internal/rng"
+	"lmbalance/internal/wire"
+)
+
+// Defaults for the wall-clock knobs. The reply timeout is generous:
+// on a healthy network replies arrive in microseconds, so it only
+// fires when a peer is down, and a premature fire costs only an abort.
+const (
+	DefaultTimeout = 2 * time.Second
+	DefaultTick    = 20 * time.Millisecond
+	defaultBackoffSteps = 8
+)
+
+// Config parameterizes one node of a cluster.
+type Config struct {
+	// ID is this node's identity, 0 <= ID < N. Node 0 coordinates the
+	// shutdown protocol.
+	ID int
+	// N is the cluster size (>= 2).
+	N int
+	// Delta and F are the algorithm parameters (1 <= Delta < N, F > 1).
+	Delta int
+	F     float64
+	// Steps is the number of workload steps this node performs.
+	Steps int
+	// GenP and ConP are this node's per-step generate/consume
+	// probabilities (both may fire in one step, the paper's §7 model).
+	GenP, ConP float64
+	// Seed is the cluster-wide seed; the node draws from the stream
+	// rng.New(rng.Mix64(Seed, ID)) so nodes are independent but the
+	// whole cluster is reproducible from one number.
+	Seed uint64
+	// Transport carries the protocol. The node owns it and closes it
+	// when the run ends.
+	Transport wire.Transport
+	// Timeout is the initiator's reply timeout; a protocol missing
+	// replies for longer aborts, releases the partners that answered,
+	// and re-arms with randomized backoff. 0 selects DefaultTimeout.
+	Timeout time.Duration
+	// FreezeTimeout is how long a frozen partner waits for its release
+	// or transfer before unfreezing itself (the escape hatch when an
+	// initiator dies mid-protocol). 0 selects 4×Timeout.
+	FreezeTimeout time.Duration
+	// Tick is the granularity at which a blocked node checks its
+	// timeouts. 0 selects DefaultTick.
+	Tick time.Duration
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("cluster: N = %d, need >= 2", c.N)
+	case c.ID < 0 || c.ID >= c.N:
+		return fmt.Errorf("cluster: ID = %d, need 0 <= ID < %d", c.ID, c.N)
+	case c.Delta < 1 || c.Delta >= c.N:
+		return fmt.Errorf("cluster: Delta = %d, need 1 <= Delta < N", c.Delta)
+	case c.F <= 1:
+		return fmt.Errorf("cluster: F = %v, need > 1", c.F)
+	case c.Steps < 1:
+		return fmt.Errorf("cluster: Steps = %d, need >= 1", c.Steps)
+	case c.GenP < 0 || c.GenP > 1 || c.ConP < 0 || c.ConP > 1:
+		return fmt.Errorf("cluster: probabilities (%v, %v) outside [0,1]", c.GenP, c.ConP)
+	case c.Transport == nil:
+		return fmt.Errorf("cluster: nil Transport")
+	case c.Timeout < 0 || c.FreezeTimeout < 0 || c.Tick < 0:
+		return fmt.Errorf("cluster: negative timeout")
+	}
+	return nil
+}
+
+func (c *Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c *Config) freezeTimeout() time.Duration {
+	if c.FreezeTimeout > 0 {
+		return c.FreezeTimeout
+	}
+	// Several reply timeouts, so the initiator's own abort (and its
+	// explicit release) wins in the common case.
+	return 4 * c.timeout()
+}
+
+func (c *Config) tick() time.Duration {
+	if c.Tick > 0 {
+		return c.Tick
+	}
+	return DefaultTick
+}
+
+// Stats is one node's activity summary.
+type Stats struct {
+	ID        int
+	FinalLoad int
+	Generated int64
+	Consumed  int64
+	Initiated int64 // balancing protocols started
+	Completed int64 // balancing protocols that transferred load
+	Aborted   int64 // protocols aborted (busy partner or timeout)
+	Timeouts  int64 // aborts caused by the reply timeout
+	FreezeExpired int64 // freezes released by the partner's own timeout
+
+	// Wire-level counters, from the transport.
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+	SendErrors, Redials  int64
+}
+
+// Summary is the coordinator's cluster-wide accounting, summed from the
+// Bye messages (plus its own counters).
+type Summary struct {
+	Nodes     int
+	TotalLoad int64
+	Generated int64
+	Consumed  int64
+}
+
+// Conserved reports exact packet conservation: every generated packet
+// is either consumed or still held by some node — none were lost or
+// duplicated by balancing, in transit, or at shutdown.
+func (s *Summary) Conserved() bool { return s.TotalLoad == s.Generated-s.Consumed }
+
+// Report is the outcome of one node's run.
+type Report struct {
+	Stats Stats
+	// Summary is non-nil only at the coordinator (node 0).
+	Summary *Summary
+}
+
+// Node is one running cluster node.
+type Node struct {
+	cfg  Config
+	rng  *rng.RNG
+	done chan struct{}
+	rep  *Report
+	err  error
+
+	load int
+	lOld int
+
+	// initiator-side protocol state
+	inflight   bool
+	seq        uint64 // protocol epoch; bumped per initiate and per abandon
+	awaiting   int
+	sawBusy    bool
+	ackedFrom  []int
+	ackedLoads []int
+	unacked    int // transfers sent but not yet acknowledged
+	protoAt    time.Time
+
+	// partner-side state
+	frozen    bool
+	frozenBy  int
+	frozenSeq uint64
+	frozeAt   time.Time
+
+	stepsDone int
+	backoff   int
+	signaled  bool // Idle sent (or, coordinator: own quiescence recorded)
+	finished  bool
+	candBuf   []int
+	stats     Stats
+
+	// coordinator-side shutdown state
+	idleFrom map[int]bool
+	quitSent bool
+	byes     int
+	sum      Summary
+}
+
+// New validates the configuration and prepares a node; Start launches it.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:  cfg,
+		rng:  rng.New(rng.Mix64(cfg.Seed, uint64(cfg.ID))),
+		done: make(chan struct{}),
+	}
+	if cfg.ID == 0 {
+		n.idleFrom = make(map[int]bool, cfg.N)
+	}
+	return n, nil
+}
+
+// Start launches the node's event loop in its own goroutine.
+func (n *Node) Start() {
+	go func() {
+		defer close(n.done)
+		n.loop()
+		n.report()
+	}()
+}
+
+// Wait blocks until the node has retired and returns its report. The
+// transport is closed by the time Wait returns.
+func (n *Node) Wait() (*Report, error) {
+	<-n.done
+	return n.rep, n.err
+}
+
+// Run is Start followed by Wait.
+func Run(cfg Config) (*Report, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.Start()
+	return n.Wait()
+}
+
+// report closes the transport and assembles the final Report. Close
+// comes first: it flushes the outbound queues (the Bye may still be in
+// one), so only afterwards are the traffic counters final.
+func (n *Node) report() {
+	if err := n.cfg.Transport.Close(); err != nil && n.err == nil {
+		n.err = err
+	}
+	n.stats.ID = n.cfg.ID
+	n.stats.FinalLoad = n.load
+	ws := n.cfg.Transport.Stats()
+	n.stats.MsgsSent, n.stats.MsgsRecv = ws.MsgsSent, ws.MsgsRecv
+	n.stats.BytesSent, n.stats.BytesRecv = ws.BytesSent, ws.BytesRecv
+	n.stats.SendErrors, n.stats.Redials = ws.SendErrors, ws.Redials
+	n.rep = &Report{Stats: n.stats}
+	if n.cfg.ID == 0 {
+		s := n.sum
+		s.Nodes = n.cfg.N
+		s.TotalLoad += int64(n.load)
+		s.Generated += n.stats.Generated
+		s.Consumed += n.stats.Consumed
+		n.rep.Summary = &s
+	}
+}
+
+// send stamps and transmits one message; transport-level delivery
+// failures are counted by the transport, not surfaced per message.
+func (n *Node) send(to int, m wire.Msg) {
+	m.From = n.cfg.ID
+	// Send errors only on a closed transport or bad peer id; neither
+	// can happen while the loop runs, but stay defensive.
+	_ = n.cfg.Transport.Send(to, m)
+}
+
+// loop is the node's event loop: the same never-block-while-not-
+// draining discipline as netsim, with wall-clock timeout ticks.
+func (n *Node) loop() {
+	ticker := time.NewTicker(n.cfg.tick())
+	defer ticker.Stop()
+	inbox := n.cfg.Transport.Inbox()
+	for !n.finished {
+		// Serve everything already queued.
+		draining := true
+		for draining && !n.finished {
+			select {
+			case m := <-inbox:
+				n.handle(m)
+			default:
+				draining = false
+			}
+		}
+		if n.finished {
+			return
+		}
+		switch {
+		case n.inflight || n.frozen:
+			// Mid-protocol: no workload progress, but keep draining so
+			// nobody stalls on us, and keep the timeouts breathing.
+			select {
+			case m := <-inbox:
+				n.handle(m)
+			case <-ticker.C:
+				n.checkTimeouts()
+			}
+		case n.stepsDone < n.cfg.Steps:
+			n.step()
+			// Yield so in-process clusters interleave on few CPUs.
+			runtime.Gosched()
+		default:
+			// Done stepping. Once quiet — no protocol in flight, all
+			// transfers acked — report Idle (once), then serve as a
+			// balancing partner until the coordinator retires us.
+			if !n.signaled && n.unacked == 0 {
+				n.signaled = true
+				if n.cfg.ID == 0 {
+					n.maybeQuit()
+				} else {
+					n.send(0, wire.Msg{Kind: wire.Idle})
+				}
+			}
+			select {
+			case m := <-inbox:
+				n.handle(m)
+			case <-ticker.C:
+				n.checkTimeouts()
+			}
+		}
+	}
+}
+
+// checkTimeouts fires the initiator reply timeout and the frozen-
+// partner self-release.
+func (n *Node) checkTimeouts() {
+	now := time.Now()
+	if n.inflight && now.Sub(n.protoAt) > n.cfg.timeout() {
+		n.stats.Timeouts++
+		n.abandon()
+	}
+	if n.frozen && now.Sub(n.frozeAt) > n.cfg.freezeTimeout() {
+		n.stats.FreezeExpired++
+		n.frozen = false
+	}
+}
+
+// step performs one workload step and fires the trigger if needed.
+func (n *Node) step() {
+	n.stepsDone++
+	if n.rng.Bernoulli(n.cfg.GenP) {
+		n.load++
+		n.stats.Generated++
+	}
+	if n.rng.Bernoulli(n.cfg.ConP) && n.load > 0 {
+		n.load--
+		n.stats.Consumed++
+	}
+	if n.backoff > 0 {
+		n.backoff--
+		return
+	}
+	if n.trigger() {
+		n.initiate()
+	}
+}
+
+// trigger is the factor-f condition with the strict-change guard.
+func (n *Node) trigger() bool {
+	if n.load > n.lOld && float64(n.load) >= n.cfg.F*float64(n.lOld) {
+		return true
+	}
+	return n.load < n.lOld && float64(n.load)*n.cfg.F <= float64(n.lOld)
+}
+
+// initiate starts a balancing protocol with δ random partners.
+func (n *Node) initiate() {
+	n.candBuf = n.rng.SampleDistinct(n.cfg.N, n.cfg.Delta, n.cfg.ID, n.candBuf)
+	n.inflight = true
+	n.seq++
+	n.protoAt = time.Now()
+	n.awaiting = len(n.candBuf)
+	n.sawBusy = false
+	n.ackedFrom = n.ackedFrom[:0]
+	n.ackedLoads = n.ackedLoads[:0]
+	n.stats.Initiated++
+	for _, c := range n.candBuf {
+		n.send(c, wire.Msg{Kind: wire.FreezeReq, Seq: n.seq})
+	}
+}
+
+// abandon gives up on the in-flight protocol after a reply timeout:
+// partners that froze for us are released, outstanding replies become
+// stale (the epoch bumps), and the trigger re-arms with backoff.
+func (n *Node) abandon() {
+	n.inflight = false
+	for _, p := range n.ackedFrom {
+		n.send(p, wire.Msg{Kind: wire.Release, Seq: n.seq})
+	}
+	n.seq++
+	n.awaiting = 0
+	n.sawBusy = false
+	n.stats.Aborted++
+	n.backoff = 1 + n.rng.Intn(defaultBackoffSteps)
+}
+
+// handle processes one incoming message.
+func (n *Node) handle(m wire.Msg) {
+	if m.From < 0 || m.From >= n.cfg.N || m.From == n.cfg.ID {
+		return // not from a cluster member; ignore
+	}
+	switch m.Kind {
+	case wire.FreezeReq:
+		if n.inflight || n.frozen {
+			n.send(m.From, wire.Msg{Kind: wire.FreezeBusy, Seq: m.Seq})
+			return
+		}
+		n.frozen = true
+		n.frozenBy = m.From
+		n.frozenSeq = m.Seq
+		n.frozeAt = time.Now()
+		n.send(m.From, wire.Msg{Kind: wire.FreezeAck, Load: n.load, Seq: m.Seq})
+
+	case wire.FreezeAck:
+		if !n.inflight || m.Seq != n.seq {
+			// Stale ack from a protocol we abandoned: release the
+			// partner immediately rather than leave it to its timeout.
+			n.send(m.From, wire.Msg{Kind: wire.Release, Seq: m.Seq})
+			return
+		}
+		n.awaiting--
+		n.ackedFrom = append(n.ackedFrom, m.From)
+		n.ackedLoads = append(n.ackedLoads, m.Load)
+		if n.awaiting == 0 {
+			n.resolve()
+		}
+
+	case wire.FreezeBusy:
+		if !n.inflight || m.Seq != n.seq {
+			return
+		}
+		n.awaiting--
+		n.sawBusy = true
+		if n.awaiting == 0 {
+			n.resolve()
+		}
+
+	case wire.Transfer:
+		// The delta always applies — conservation depends on it — and
+		// is always acknowledged so the initiator can account for it.
+		// The freeze clears only if this transfer ends the freeze we
+		// are actually in (a late transfer from an expired freeze must
+		// not terminate a newer protocol's freeze).
+		n.load += m.Amount
+		n.send(m.From, wire.Msg{Kind: wire.TransferAck, Seq: m.Seq})
+		if !n.frozen || (n.frozenBy == m.From && n.frozenSeq == m.Seq) {
+			n.lOld = n.load
+			n.frozen = false
+		}
+
+	case wire.TransferAck:
+		if n.unacked > 0 {
+			n.unacked--
+		}
+
+	case wire.Release:
+		if n.frozen && n.frozenBy == m.From && n.frozenSeq == m.Seq {
+			n.frozen = false
+		}
+
+	case wire.Idle:
+		if n.cfg.ID == 0 && !n.idleFrom[m.From] {
+			n.idleFrom[m.From] = true
+			n.maybeQuit()
+		}
+
+	case wire.Quit:
+		if m.From == 0 && n.cfg.ID != 0 {
+			n.send(0, wire.Msg{Kind: wire.Bye,
+				Load: n.load, Gen: n.stats.Generated, Con: n.stats.Consumed})
+			n.finished = true
+		}
+
+	case wire.Bye:
+		if n.cfg.ID == 0 && n.quitSent {
+			n.sum.TotalLoad += int64(m.Load)
+			n.sum.Generated += m.Gen
+			n.sum.Consumed += m.Con
+			n.byes++
+			if n.byes == n.cfg.N-1 {
+				n.finished = true
+			}
+		}
+	}
+}
+
+// maybeQuit (coordinator only) broadcasts Quit once every node —
+// itself included — has gone idle.
+func (n *Node) maybeQuit() {
+	if n.quitSent || !n.signaled || len(n.idleFrom) != n.cfg.N-1 {
+		return
+	}
+	n.quitSent = true
+	for i := 1; i < n.cfg.N; i++ {
+		n.send(i, wire.Msg{Kind: wire.Quit})
+	}
+}
+
+// resolve finishes the initiator's protocol once all replies are in.
+func (n *Node) resolve() {
+	n.inflight = false
+	if n.sawBusy {
+		for _, p := range n.ackedFrom {
+			n.send(p, wire.Msg{Kind: wire.Release, Seq: n.seq})
+		}
+		n.stats.Aborted++
+		n.backoff = 1 + n.rng.Intn(defaultBackoffSteps)
+		return
+	}
+	total := n.load
+	for _, l := range n.ackedLoads {
+		total += l
+	}
+	m := len(n.ackedFrom) + 1
+	base, rem := total/m, total%m
+	// Rotate the remainder run uniformly (netsim's randomized snake
+	// discipline) so no fixed participant index collects the extras.
+	off := 0
+	if rem > 0 {
+		off = n.rng.Intn(m)
+	}
+	share := func(idx int) int {
+		if rel := idx - off; (rel%m+m)%m < rem {
+			return base + 1
+		}
+		return base
+	}
+	n.load = share(0)
+	n.lOld = n.load
+	for i, p := range n.ackedFrom {
+		n.send(p, wire.Msg{Kind: wire.Transfer, Amount: share(i+1) - n.ackedLoads[i], Seq: n.seq})
+		n.unacked++
+	}
+	n.stats.Completed++
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"lmbalance/internal/wire"
+)
+
+// ClusterConfig parameterizes an in-process cluster run: N nodes of the
+// given shape, one per transport. It is the multi-node convenience
+// around Config — cmd/lbnode's -spawn mode, the WireCost experiment and
+// the integration tests all run through it.
+type ClusterConfig struct {
+	// N, Delta, F, Steps as in Config.
+	N     int
+	Delta int
+	F     float64
+	Steps int
+	// GenP[i] and ConP[i] are node i's per-step generate/consume
+	// probabilities. Length N, or length 1 to apply to all nodes
+	// (netsim's convention). Empty selects the defaults 0.5 / 0.4.
+	GenP, ConP []float64
+	// Seed seeds the whole cluster; node i draws from the stream
+	// rng.Mix64(Seed, i).
+	Seed uint64
+	// Timeout, FreezeTimeout, Tick as in Config.
+	Timeout, FreezeTimeout, Tick time.Duration
+}
+
+func probAt(ps []float64, i int) float64 {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return ps[i]
+}
+
+// Result is the outcome of an in-process cluster run.
+type Result struct {
+	Nodes   []Stats
+	Summary Summary // the coordinator's Bye-derived accounting
+	Elapsed time.Duration
+}
+
+// TotalLoad returns the sum of final loads.
+func (r *Result) TotalLoad() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += int64(n.FinalLoad)
+	}
+	return sum
+}
+
+// Spread returns max−min of final loads.
+func (r *Result) Spread() int {
+	lo, hi := r.Nodes[0].FinalLoad, r.Nodes[0].FinalLoad
+	for _, n := range r.Nodes[1:] {
+		if n.FinalLoad < lo {
+			lo = n.FinalLoad
+		}
+		if n.FinalLoad > hi {
+			hi = n.FinalLoad
+		}
+	}
+	return hi - lo
+}
+
+// Messages returns the total messages put on the wire.
+func (r *Result) Messages() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.MsgsSent
+	}
+	return sum
+}
+
+// Bytes returns the total bytes put on the wire.
+func (r *Result) Bytes() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.BytesSent
+	}
+	return sum
+}
+
+// Completed returns the total completed balancing operations.
+func (r *Result) Completed() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.Completed
+	}
+	return sum
+}
+
+// Initiated returns the total initiated balancing operations.
+func (r *Result) Initiated() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.Initiated
+	}
+	return sum
+}
+
+// Conserved reports exact packet conservation, computed from the
+// per-node counters (every node's own ground truth, independent of the
+// coordinator's Bye-message bookkeeping — the two must agree).
+func (r *Result) Conserved() bool {
+	var gen, con int64
+	for _, n := range r.Nodes {
+		gen += n.Generated
+		con += n.Consumed
+	}
+	return r.TotalLoad() == gen-con
+}
+
+// RunCluster starts one node per transport and blocks until the whole
+// cluster has retired through the two-phase shutdown. transports[i] is
+// node i's; each node closes its own transport.
+func RunCluster(cfg ClusterConfig, transports []wire.Transport) (*Result, error) {
+	if len(transports) != cfg.N {
+		return nil, fmt.Errorf("cluster: %d transports for %d nodes", len(transports), cfg.N)
+	}
+	for _, ps := range [][]float64{cfg.GenP, cfg.ConP} {
+		if len(ps) > 1 && len(ps) != cfg.N {
+			return nil, fmt.Errorf("cluster: probability slice length %d, need 1 or %d", len(ps), cfg.N)
+		}
+	}
+	if len(cfg.GenP) == 0 {
+		cfg.GenP = []float64{0.5}
+	}
+	if len(cfg.ConP) == 0 {
+		cfg.ConP = []float64{0.4}
+	}
+	nodes := make([]*Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		n, err := New(Config{
+			ID: i, N: cfg.N, Delta: cfg.Delta, F: cfg.F, Steps: cfg.Steps,
+			GenP: probAt(cfg.GenP, i), ConP: probAt(cfg.ConP, i),
+			Seed: cfg.Seed, Transport: transports[i],
+			Timeout: cfg.Timeout, FreezeTimeout: cfg.FreezeTimeout, Tick: cfg.Tick,
+		})
+		if err != nil {
+			// Nothing started yet: close all transports and bail.
+			for _, tr := range transports {
+				tr.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	start := time.Now()
+	for _, n := range nodes {
+		n.Start()
+	}
+	res := &Result{Nodes: make([]Stats, cfg.N)}
+	var firstErr error
+	for i, n := range nodes {
+		rep, err := n.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		if rep != nil {
+			res.Nodes[i] = rep.Stats
+			if rep.Summary != nil {
+				res.Summary = *rep.Summary
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWireCostQuickShape(t *testing.T) {
+	res, err := WireCost(ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 6 rows (2 transports × 3 δ), got %d", len(res.Rows))
+	}
+	byName := map[string]WireCostRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+		// Over TCP at δ=4 almost every protocol collides (the freeze
+		// window is socket-latency wide), so completed ops can be tiny
+		// at quick scale — only require completions on inproc rows.
+		if row.Ops == 0 && strings.HasPrefix(row.Name, "inproc") {
+			t.Fatalf("%s: no balancing operation completed", row.Name)
+		}
+		if row.BytesPerMsg <= 0 {
+			t.Fatalf("%s: no bytes accounted", row.Name)
+		}
+		if row.AbortedFrac < 0 || row.AbortedFrac > 1 {
+			t.Fatalf("%s: abort fraction %v outside [0,1]", row.Name, row.AbortedFrac)
+		}
+	}
+	// TCP frames carry a length prefix on top of the payload, so the
+	// mean wire message must be strictly larger than inproc's at the
+	// same δ — that gap is the honesty the experiment exists for.
+	for _, d := range []string{"δ=1", "δ=2", "δ=4"} {
+		in, tc := byName["inproc "+d], byName["tcp "+d]
+		if tc.BytesPerMsg <= in.BytesPerMsg {
+			t.Fatalf("%s: tcp bytes/msg %v not above inproc %v", d, tc.BytesPerMsg, in.BytesPerMsg)
+		}
+		// Framing adds exactly one prefix byte for our tiny payloads.
+		if tc.BytesPerMsg > in.BytesPerMsg+2 {
+			t.Fatalf("%s: tcp framing overhead %v bytes/msg implausibly high",
+				d, tc.BytesPerMsg-in.BytesPerMsg)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Wire-level cluster cost", "bytes per op", "framing overhead"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}

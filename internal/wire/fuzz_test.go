@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzWireRoundTrip drives the codec from both ends. The fuzz input is
+// interpreted twice:
+//
+//  1. as message fields — every syntactically valid Msg must survive
+//     encode→decode unchanged, and its frame must read back identically
+//     through ReadFrame;
+//  2. as a raw byte stream — the decoder must reject or accept without
+//     panicking, truncated and oversized frames must error, and any
+//     stream the decoder accepts must re-encode to the same bytes
+//     (canonical encoding).
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		f.Add(byte(m.Kind), int64(m.From), m.Seq, int64(m.Load), int64(m.Amount), m.Gen, m.Con, AppendFrame(nil, m))
+	}
+	f.Add(byte(0), int64(0), uint64(0), int64(0), int64(0), int64(0), int64(0), []byte{0xff, 0xff, 0x03, 0x00})
+	f.Fuzz(func(t *testing.T, kind byte, from int64, seq uint64, load, amount, gen, con int64, raw []byte) {
+		// Direction 1: struct → bytes → struct.
+		m := Msg{Kind: Kind(kind), From: int(from), Seq: seq,
+			Load: int(load), Amount: int(amount), Gen: gen, Con: con}
+		if m.Kind.valid() {
+			// Fields a kind does not carry are not encoded; zero them so
+			// equality is meaningful.
+			switch m.Kind {
+			case FreezeAck:
+				m.Amount, m.Gen, m.Con = 0, 0, 0
+			case Transfer:
+				m.Load, m.Gen, m.Con = 0, 0, 0
+			case Bye:
+				m.Amount = 0
+			default:
+				m.Load, m.Amount, m.Gen, m.Con = 0, 0, 0, 0
+			}
+			p := AppendMsg(nil, m)
+			if len(p) > MaxPayload {
+				t.Fatalf("payload %d bytes > MaxPayload for %+v", len(p), m)
+			}
+			dm, err := DecodeMsg(p)
+			if err != nil {
+				t.Fatalf("decode of freshly encoded %+v: %v", m, err)
+			}
+			if dm != m {
+				t.Fatalf("payload round trip: sent %+v got %+v", m, dm)
+			}
+			frame := AppendFrame(nil, m)
+			fm, n, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+			if err != nil {
+				t.Fatalf("read of freshly framed %+v: %v", m, err)
+			}
+			if fm != m || n != len(frame) {
+				t.Fatalf("frame round trip: sent %+v got %+v (%d of %d bytes)", m, fm, n, len(frame))
+			}
+			// A truncated frame must never decode successfully.
+			for cut := 1; cut < len(frame); cut++ {
+				if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame[:cut]))); err == nil {
+					t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(frame))
+				}
+			}
+		}
+
+		// Direction 2: arbitrary bytes through both decoders. Must not
+		// panic; on success the encoding must be canonical.
+		if dm, err := DecodeMsg(raw); err == nil {
+			if re := AppendMsg(nil, dm); !bytes.Equal(re, raw) {
+				t.Fatalf("non-canonical payload: %x decodes to %+v which re-encodes to %x", raw, dm, re)
+			}
+		}
+		br := bufio.NewReader(bytes.NewReader(raw))
+		for {
+			if _, _, err := ReadFrame(br); err != nil {
+				break
+			}
+		}
+	})
+}

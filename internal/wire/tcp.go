@@ -1,0 +1,347 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dial/retry tuning for the TCP transport. Dial failures are expected
+// at startup (peers come up in arbitrary order), so the first attempts
+// retry quickly and back off; after dialDeadline the message is dropped
+// and counted, mirroring a datagram to a dead host.
+const (
+	dialRetryStart = 5 * time.Millisecond
+	dialRetryMax   = 250 * time.Millisecond
+	dialDeadline   = 10 * time.Second
+	sendQueueLen   = 256
+)
+
+// ErrClosed is returned by Send on a closed transport.
+var ErrClosed = errors.New("wire: transport closed")
+
+// TCP is the real-network Transport: one listener for inbound frames
+// and one lazily-dialed outbound connection per peer. Connections carry
+// frames (see the package comment); the sender's id travels in every
+// message, so no connection handshake is needed. A failed dial is
+// retried with backoff until dialDeadline; a failed write closes the
+// connection and redials once before dropping the message.
+type TCP struct {
+	id    int
+	ln    net.Listener
+	addrs map[int]string
+	inbox chan Msg
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	ctr   counters
+
+	mu    sync.Mutex
+	links map[int]*peerLink
+	conns map[net.Conn]struct{} // inbound connections, closed on Close
+}
+
+// ListenTCP starts a transport for node id listening on addr, with
+// peers mapping every other node id to its dialable address.
+func ListenTCP(id int, addr string, peers map[int]string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: node %d listen %s: %w", id, addr, err)
+	}
+	return NewTCP(id, ln, peers), nil
+}
+
+// NewTCP wraps an existing listener (useful when the caller must learn
+// the bound address of a ":0" listen before building the peer table).
+func NewTCP(id int, ln net.Listener, peers map[int]string) *TCP {
+	t := &TCP{
+		id:    id,
+		ln:    ln,
+		addrs: peers,
+		inbox: make(chan Msg, 4*len(peers)+64),
+		done:  make(chan struct{}),
+		links: make(map[int]*peerLink),
+		conns: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+// Addr returns the listener's address.
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+// Inbox is the stream of messages addressed to this node.
+func (t *TCP) Inbox() <-chan Msg { return t.inbox }
+
+// Stats snapshots the traffic counters.
+func (t *TCP) Stats() Stats { return t.ctr.snapshot() }
+
+// Send enqueues m for peer `to`. It blocks only when the peer's send
+// queue is full (backpressure); a closed transport errors immediately.
+func (t *TCP) Send(to int, m Msg) error {
+	if to == t.id {
+		return fmt.Errorf("wire: node %d sending to itself", t.id)
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return fmt.Errorf("wire: node %d has no address for peer %d", t.id, to)
+	}
+	link, err := t.link(to, addr)
+	if err != nil {
+		return err
+	}
+	select {
+	case link.q <- m:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+// Close stops the listener, drains and flushes the outbound queues,
+// closes every connection and waits for all goroutines to exit.
+func (t *TCP) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.ln.Close()
+		t.mu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+// link returns (starting if needed) the outbound link to a peer.
+func (t *TCP) link(to int, addr string) (*peerLink, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.done:
+		return nil, ErrClosed
+	default:
+	}
+	l, ok := t.links[to]
+	if !ok {
+		l = &peerLink{t: t, addr: addr, q: make(chan Msg, sendQueueLen)}
+		t.links[to] = l
+		t.wg.Add(1)
+		go l.writer()
+	}
+	return l, nil
+}
+
+// acceptLoop admits inbound connections and spawns one reader each.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		select {
+		case <-t.done:
+			t.mu.Unlock()
+			c.Close()
+			return
+		default:
+		}
+		t.conns[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+// readLoop decodes frames off one inbound connection into the inbox.
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.conns, c)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReader(c)
+	for {
+		m, n, err := ReadFrame(br)
+		if err != nil {
+			return // EOF on peer close, or a framing error: drop the conn
+		}
+		t.ctr.msgsRecv.Add(1)
+		t.ctr.bytesRecv.Add(int64(n))
+		select {
+		case t.inbox <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// ReadFrame reads one complete frame from br and returns the decoded
+// message and the number of wire bytes consumed. Length prefixes above
+// MaxPayload are rejected before any payload is read.
+func ReadFrame(br *bufio.Reader) (Msg, int, error) {
+	var m Msg
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return m, 0, err
+	}
+	if size > MaxPayload {
+		return m, 0, fmt.Errorf("wire: frame length %d exceeds max payload %d", size, MaxPayload)
+	}
+	prefixLen := uvarintLen(size)
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return m, prefixLen, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	m, err = DecodeMsg(buf)
+	return m, prefixLen + int(size), err
+}
+
+// peerLink is one outbound connection with its queue and writer.
+type peerLink struct {
+	t    *TCP
+	addr string
+	q    chan Msg
+
+	conn net.Conn // writer-goroutine private
+	enc  []byte
+}
+
+// writer drains the queue onto the connection, dialing on demand. On
+// shutdown it flushes whatever is still queued — the Bye message of the
+// shutdown protocol must reach the coordinator — then closes.
+func (l *peerLink) writer() {
+	defer l.t.wg.Done()
+	defer func() {
+		if l.conn != nil {
+			l.conn.Close()
+		}
+	}()
+	for {
+		select {
+		case m := <-l.q:
+			l.write(m)
+		case <-l.t.done:
+			for {
+				select {
+				case m := <-l.q:
+					l.write(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// write frames and sends one message: dial if disconnected, and on a
+// write failure redial once and retry before dropping.
+func (l *peerLink) write(m Msg) {
+	for attempt := 0; attempt < 2; attempt++ {
+		if l.conn == nil {
+			if !l.dial() {
+				l.t.ctr.sendErrors.Add(1)
+				return
+			}
+		}
+		l.enc = AppendFrame(l.enc[:0], m)
+		if _, err := l.conn.Write(l.enc); err == nil {
+			l.t.ctr.msgsSent.Add(1)
+			l.t.ctr.bytesSent.Add(int64(len(l.enc)))
+			return
+		}
+		l.conn.Close()
+		l.conn = nil
+		l.t.ctr.redials.Add(1)
+	}
+	l.t.ctr.sendErrors.Add(1)
+}
+
+// dial connects to the peer, retrying with backoff: peers of a starting
+// cluster come up in arbitrary order, so early connection refusals are
+// normal. Gives up at dialDeadline or transport shutdown... except that
+// shutdown still grants one quick final attempt so queued shutdown
+// messages can flush.
+func (l *peerLink) dial() bool {
+	backoff := dialRetryStart
+	deadline := time.Now().Add(dialDeadline)
+	for {
+		c, err := net.Dial("tcp", l.addr)
+		if err == nil {
+			l.conn = c
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-l.t.done:
+			// One immediate last try, then give up: the peer is either
+			// up by now or never will be.
+			c, err := net.Dial("tcp", l.addr)
+			if err != nil {
+				return false
+			}
+			l.conn = c
+			return true
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > dialRetryMax {
+			backoff = dialRetryMax
+		}
+	}
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// NewLocalCluster listens on n loopback-TCP ports and wires n fully
+// meshed transports over them — the one-command path to a real-socket
+// cluster in a single process (cmd/lbnode -spawn, tests, experiments).
+func NewLocalCluster(n int) ([]*TCP, error) {
+	lns := make([]net.Listener, n)
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("wire: local cluster listen: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ts := make([]*TCP, n)
+	for i := 0; i < n; i++ {
+		peers := make(map[int]string, n-1)
+		for j, a := range addrs {
+			if j != i {
+				peers[j] = a
+			}
+		}
+		ts[i] = NewTCP(i, lns[i], peers)
+	}
+	return ts, nil
+}

@@ -1,0 +1,271 @@
+// Package wire is the wire-level message layer of the cluster runtime:
+// a length-prefixed binary codec for the balancing protocol's messages
+// and a Transport abstraction with two implementations — an in-memory
+// loopback for tests and experiments, and real TCP for deployment.
+//
+// # Frame layout
+//
+// Every message travels as one frame:
+//
+//	frame   := uvarint(len(payload)) payload
+//	payload := version(1B) kind(1B) zigzag(from) uvarint(seq) extras
+//
+// where extras depend on the kind:
+//
+//	FreezeAck   zigzag(load)                       partner's current load
+//	Transfer    zigzag(amount)                     signed load delta
+//	Bye         zigzag(load) zigzag(gen) zigzag(con)  final accounting
+//	(all other kinds carry no extras)
+//
+// Varints are the standard LEB128 base-128 encoding (encoding/binary);
+// signed fields use zigzag so small magnitudes of either sign stay short.
+// A freeze request is 5 bytes on the wire, a typical transfer 6–8 — the
+// paper's point that balancing cost is organization, not data volume,
+// measured in actual bytes.
+//
+// Payloads are capped at MaxPayload; a decoder rejects oversized frames
+// before allocating, so a corrupt or adversarial length prefix cannot
+// balloon memory. Truncated payloads, unknown versions/kinds, and
+// trailing garbage are all decode errors.
+//
+// # Byte accounting
+//
+// Both transports count every message and byte they move (Stats). The
+// loopback transport still runs each message through the codec — what it
+// counts is exactly what TCP would have to say, minus the frame's length
+// prefix — so an inproc/TCP comparison isolates true wire overhead.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Version is the codec version; it leads every payload so incompatible
+// peers fail loudly at the first frame rather than corrupting state.
+const Version = 1
+
+// MaxPayload caps the encoded payload size. The largest legal payload
+// (Bye with three maximal varints) is well under this; anything larger
+// is a framing error.
+const MaxPayload = 64
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// The protocol messages. FreezeReq..Release are the balancing protocol
+// itself (netsim's freeze/ack/transfer state machine); TransferAck makes
+// transfers confirmable so a node knows when its sends have landed; and
+// Idle/Quit/Bye are the two-phase quiescent shutdown: nodes report Idle
+// to the coordinator when done stepping and quiet, the coordinator
+// broadcasts Quit once everyone has, and each node answers Bye with its
+// final load accounting.
+const (
+	FreezeReq Kind = 1 + iota
+	FreezeAck
+	FreezeBusy
+	Transfer
+	TransferAck
+	Release
+	Idle
+	Quit
+	Bye
+)
+
+const kindMax = Bye
+
+var kindNames = [...]string{
+	FreezeReq:   "FreezeReq",
+	FreezeAck:   "FreezeAck",
+	FreezeBusy:  "FreezeBusy",
+	Transfer:    "Transfer",
+	TransferAck: "TransferAck",
+	Release:     "Release",
+	Idle:        "Idle",
+	Quit:        "Quit",
+	Bye:         "Bye",
+}
+
+func (k Kind) String() string {
+	if k >= 1 && k <= kindMax {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+func (k Kind) valid() bool { return k >= 1 && k <= kindMax }
+
+// Msg is one protocol message. Which fields are meaningful depends on
+// Kind (see the frame layout in the package comment); fields a kind does
+// not carry are not encoded and decode as zero.
+type Msg struct {
+	Kind Kind
+	From int    // sender's node id
+	Seq  uint64 // sender's protocol epoch; replies and releases echo it
+	Load int    // FreezeAck: partner load; Bye: final load
+	Amount int  // Transfer: signed load delta
+	Gen  int64  // Bye: lifetime generated count
+	Con  int64  // Bye: lifetime consumed count
+}
+
+func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendMsg appends m's encoded payload (no frame prefix) to buf and
+// returns the extended slice.
+func AppendMsg(buf []byte, m Msg) []byte {
+	buf = append(buf, Version, byte(m.Kind))
+	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
+	buf = binary.AppendUvarint(buf, m.Seq)
+	switch m.Kind {
+	case FreezeAck:
+		buf = binary.AppendUvarint(buf, zig(int64(m.Load)))
+	case Transfer:
+		buf = binary.AppendUvarint(buf, zig(int64(m.Amount)))
+	case Bye:
+		buf = binary.AppendUvarint(buf, zig(int64(m.Load)))
+		buf = binary.AppendUvarint(buf, zig(m.Gen))
+		buf = binary.AppendUvarint(buf, zig(m.Con))
+	}
+	return buf
+}
+
+// AppendFrame appends m as a complete frame (length prefix + payload)
+// to buf and returns the extended slice.
+func AppendFrame(buf []byte, m Msg) []byte {
+	// Payloads are tiny (≤ MaxPayload), so encode into a stack scratch
+	// first; the length prefix needs the payload size.
+	var scratch [MaxPayload]byte
+	p := AppendMsg(scratch[:0], m)
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	return append(buf, p...)
+}
+
+// DecodeMsg parses one payload. It is strict: version and kind must be
+// known, every varint well-formed, and no bytes may trail the message.
+func DecodeMsg(p []byte) (Msg, error) {
+	var m Msg
+	if len(p) > MaxPayload {
+		return m, fmt.Errorf("wire: payload %d bytes exceeds max %d", len(p), MaxPayload)
+	}
+	if len(p) < 2 {
+		return m, fmt.Errorf("wire: payload truncated (%d bytes)", len(p))
+	}
+	if p[0] != Version {
+		return m, fmt.Errorf("wire: unknown version %d", p[0])
+	}
+	m.Kind = Kind(p[1])
+	if !m.Kind.valid() {
+		return m, fmt.Errorf("wire: unknown kind %d", p[1])
+	}
+	rest := p[2:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("wire: truncated varint in %v payload", m.Kind)
+		}
+		if n != uvarintLen(v) {
+			// Reject non-minimal encodings so every message has exactly
+			// one byte representation on the wire.
+			return 0, fmt.Errorf("wire: non-minimal varint in %v payload", m.Kind)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	v, err := next()
+	if err != nil {
+		return m, err
+	}
+	m.From = int(unzig(v))
+	if m.Seq, err = next(); err != nil {
+		return m, err
+	}
+	switch m.Kind {
+	case FreezeAck:
+		if v, err = next(); err != nil {
+			return m, err
+		}
+		m.Load = int(unzig(v))
+	case Transfer:
+		if v, err = next(); err != nil {
+			return m, err
+		}
+		m.Amount = int(unzig(v))
+	case Bye:
+		if v, err = next(); err != nil {
+			return m, err
+		}
+		m.Load = int(unzig(v))
+		if v, err = next(); err != nil {
+			return m, err
+		}
+		m.Gen = unzig(v)
+		if v, err = next(); err != nil {
+			return m, err
+		}
+		m.Con = unzig(v)
+	}
+	if len(rest) != 0 {
+		return m, fmt.Errorf("wire: %d trailing bytes after %v payload", len(rest), m.Kind)
+	}
+	return m, nil
+}
+
+// EncodedSize returns the payload size of m (without the frame prefix).
+func EncodedSize(m Msg) int {
+	var scratch [MaxPayload]byte
+	return len(AppendMsg(scratch[:0], m))
+}
+
+// Stats are a transport's cumulative traffic counters. Loopback byte
+// counts are payload bytes; TCP byte counts are frame bytes as written
+// to / read from the socket (payload + length prefix).
+type Stats struct {
+	MsgsSent   int64
+	MsgsRecv   int64
+	BytesSent  int64
+	BytesRecv  int64
+	SendErrors int64 // messages dropped after exhausting delivery attempts
+	Redials    int64 // connections re-established after a failure
+}
+
+// Transport moves protocol messages between the nodes of one cluster.
+// Send enqueues a message to a peer (it may block briefly for
+// backpressure but never deadlocks a caller that keeps draining its
+// Inbox); Inbox delivers every message addressed to this node. All
+// methods are safe for concurrent use, but a Transport is owned by one
+// node: only that node calls Send and reads Inbox.
+type Transport interface {
+	// Send delivers m to peer `to`. It returns an error only if the
+	// transport is closed or the destination is invalid; delivery
+	// failures on an open transport are counted in Stats, not returned,
+	// mirroring a real network's fire-and-forget datagram to a peer
+	// that may be down.
+	Send(to int, m Msg) error
+	// Inbox is the stream of messages addressed to this node.
+	Inbox() <-chan Msg
+	// Stats snapshots the traffic counters.
+	Stats() Stats
+	// Close shuts the transport down, flushing queued outbound
+	// messages where the medium allows. Close is idempotent.
+	Close() error
+}
+
+// counters is the shared atomic implementation behind Stats.
+type counters struct {
+	msgsSent, msgsRecv     atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
+	sendErrors, redials    atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		MsgsSent:   c.msgsSent.Load(),
+		MsgsRecv:   c.msgsRecv.Load(),
+		BytesSent:  c.bytesSent.Load(),
+		BytesRecv:  c.bytesRecv.Load(),
+		SendErrors: c.sendErrors.Load(),
+		Redials:    c.redials.Load(),
+	}
+}

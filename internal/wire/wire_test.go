@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleMsgs covers every kind with representative field values,
+// including negative deltas and large epochs.
+func sampleMsgs() []Msg {
+	return []Msg{
+		{Kind: FreezeReq, From: 0, Seq: 1},
+		{Kind: FreezeReq, From: 1023, Seq: 1 << 40},
+		{Kind: FreezeAck, From: 3, Seq: 7, Load: 0},
+		{Kind: FreezeAck, From: 3, Seq: 7, Load: 123456},
+		{Kind: FreezeBusy, From: 2, Seq: 9},
+		{Kind: Transfer, From: 5, Seq: 11, Amount: -4231},
+		{Kind: Transfer, From: 5, Seq: 11, Amount: 17},
+		{Kind: TransferAck, From: 6, Seq: 11},
+		{Kind: Release, From: 7, Seq: 12},
+		{Kind: Idle, From: 8},
+		{Kind: Quit, From: 0},
+		{Kind: Bye, From: 9, Load: 42, Gen: 10000, Con: 9958},
+	}
+}
+
+func TestRoundTripPayload(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		p := AppendMsg(nil, m)
+		if len(p) > MaxPayload {
+			t.Fatalf("%+v encodes to %d bytes > MaxPayload", m, len(p))
+		}
+		if got := EncodedSize(m); got != len(p) {
+			t.Fatalf("EncodedSize %d != payload %d for %+v", got, len(p), m)
+		}
+		dm, err := DecodeMsg(p)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		if dm != m {
+			t.Fatalf("round trip changed message: sent %+v got %+v", m, dm)
+		}
+	}
+}
+
+func TestRoundTripFrame(t *testing.T) {
+	// All samples concatenated into one stream, then read back.
+	var stream []byte
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		stream = AppendFrame(stream, m)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	total := 0
+	for i, want := range msgs {
+		m, n, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m != want {
+			t.Fatalf("frame %d: sent %+v got %+v", i, want, m)
+		}
+		if n <= EncodedSize(want) {
+			t.Fatalf("frame %d: wire bytes %d not larger than payload %d", i, n, EncodedSize(want))
+		}
+		total += n
+	}
+	if total != len(stream) {
+		t.Fatalf("frames consumed %d bytes, stream has %d", total, len(stream))
+	}
+	if _, _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruptPayloads(t *testing.T) {
+	good := AppendMsg(nil, Msg{Kind: Transfer, From: 1, Seq: 2, Amount: -3})
+	cases := map[string][]byte{
+		"empty":            {},
+		"version only":     {Version},
+		"bad version":      append([]byte{Version + 1}, good[1:]...),
+		"bad kind":         {Version, 0xee, 0x02, 0x04},
+		"kind zero":        {Version, 0x00, 0x02, 0x04},
+		"truncated varint": good[:len(good)-1],
+		"trailing bytes":   append(append([]byte{}, good...), 0x00),
+		"oversized":        make([]byte, MaxPayload+1),
+	}
+	for name, p := range cases {
+		if _, err := DecodeMsg(p); err == nil {
+			t.Errorf("%s: decode accepted %x", name, p)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedAndTruncated(t *testing.T) {
+	// Length prefix claiming a payload beyond MaxPayload must fail
+	// before the payload is read.
+	big := []byte{0xff, 0xff, 0x03} // uvarint 65535
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(big))); err == nil ||
+		!strings.Contains(err.Error(), "exceeds max") {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+	// Truncated payload: frame announces 10 bytes, stream has 3.
+	trunc := append([]byte{10}, 1, 2, 3)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(trunc))); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := FreezeReq; k <= Bye; k++ {
+		if s := k.String(); strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if s := Kind(77).String(); s != "Kind(77)" {
+		t.Fatalf("unknown kind prints %q", s)
+	}
+}
+
+// transportPair exercises the Transport contract shared by both
+// implementations: everything sent arrives intact, and the byte
+// counters agree between sender and receiver.
+func testTransportExchange(t *testing.T, a, b Transport, aID, bID int, framed bool) {
+	t.Helper()
+	msgs := sampleMsgs()
+	for i, m := range msgs {
+		m.From = aID
+		m.Seq = uint64(i)
+		if err := a.Send(bID, m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := range msgs {
+		select {
+		case m := <-b.Inbox():
+			if m.From != aID || m.Seq != uint64(i) {
+				t.Fatalf("msg %d arrived as %+v", i, m)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("msg %d never arrived", i)
+		}
+	}
+	// Counters must agree (poll: TCP counts on the reader goroutine).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sa, sb := a.Stats(), b.Stats()
+		if sa.MsgsSent == int64(len(msgs)) && sb.MsgsRecv == int64(len(msgs)) &&
+			sa.BytesSent == sb.BytesRecv && sa.BytesSent > 0 {
+			// Framed transports carry at least one prefix byte per message.
+			if framed && sa.BytesSent < int64(len(msgs)) {
+				t.Fatalf("framed transport sent only %d bytes for %d messages", sa.BytesSent, len(msgs))
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never converged: a=%+v b=%+v", sa, sb)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLoopbackExchange(t *testing.T) {
+	net := NewLoopback(2)
+	a, b := net.Transport(0), net.Transport(1)
+	defer a.Close()
+	defer b.Close()
+	testTransportExchange(t, a, b, 0, 1, false)
+}
+
+func TestLoopbackCloseSemantics(t *testing.T) {
+	net := NewLoopback(2)
+	a, b := net.Transport(0), net.Transport(1)
+	b.Close()
+	// Send to a closed peer: dropped, not an error (TCP-like).
+	if err := a.Send(1, Msg{Kind: Quit, From: 0}); err != nil {
+		t.Fatalf("send to closed peer errored: %v", err)
+	}
+	if s := a.Stats(); s.SendErrors == 0 {
+		t.Fatal("drop to closed peer not counted")
+	}
+	a.Close()
+	if err := a.Send(1, Msg{Kind: Quit, From: 0}); err == nil {
+		t.Fatal("send from closed endpoint accepted")
+	}
+	if err := a.Send(9, Msg{Kind: Quit}); err == nil {
+		t.Fatal("send to unknown node accepted")
+	}
+}
+
+func TestTCPExchange(t *testing.T) {
+	ts, err := NewLocalCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts[0].Close()
+	defer ts[1].Close()
+	testTransportExchange(t, ts[0], ts[1], 0, 1, true)
+	// And the reverse direction over its own connection.
+	testTransportExchange(t, ts[1], ts[0], 1, 0, true)
+}
+
+func TestTCPDialRetry(t *testing.T) {
+	// The peer's listener comes up *after* the first send: the dial
+	// must retry until it lands.
+	lnA, err := ListenTCP(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnA.Close()
+
+	// Reserve an address for B, then close it so the port is free but
+	// nothing is listening yet.
+	tmp, err := ListenTCP(99, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := tmp.Addr().String()
+	tmp.Close()
+
+	a, err := ListenTCP(0, "127.0.0.1:0", map[int]string{1: bAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(1, Msg{Kind: FreezeReq, From: 0, Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let the dial fail at least once
+	b, err := ListenTCP(1, bAddr, map[int]string{0: lnA.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	select {
+	case m := <-b.Inbox():
+		if m.Kind != FreezeReq || m.Seq != 5 {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(dialDeadline):
+		t.Fatal("message never arrived after late listener start")
+	}
+}
+
+func TestTCPSendValidation(t *testing.T) {
+	tp, err := ListenTCP(0, "127.0.0.1:0", map[int]string{1: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Send(0, Msg{Kind: Quit}); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := tp.Send(7, Msg{Kind: Quit}); err == nil {
+		t.Fatal("send to unlisted peer accepted")
+	}
+	tp.Close()
+	if err := tp.Send(1, Msg{Kind: Quit}); err == nil {
+		t.Fatal("send on closed transport accepted")
+	}
+	// Close is idempotent.
+	if err := tp.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	for _, tc := range []struct {
+		v uint64
+		n int
+	}{{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3}} {
+		if got := uvarintLen(tc.v); got != tc.n {
+			t.Errorf("uvarintLen(%d) = %d, want %d", tc.v, got, tc.n)
+		}
+	}
+}
+
+func ExampleAppendFrame() {
+	frame := AppendFrame(nil, Msg{Kind: Transfer, From: 2, Seq: 1, Amount: -3})
+	m, n, _ := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	fmt.Println(m.Kind, m.Amount, n == len(frame))
+	// Output: Transfer -3 true
+}

@@ -26,6 +26,7 @@
 package lmbalance
 
 import (
+	"lmbalance/internal/cluster"
 	"lmbalance/internal/core"
 	"lmbalance/internal/netsim"
 	"lmbalance/internal/pool"
@@ -33,6 +34,7 @@ import (
 	"lmbalance/internal/sim"
 	"lmbalance/internal/theory"
 	"lmbalance/internal/topology"
+	"lmbalance/internal/wire"
 	"lmbalance/internal/workload"
 )
 
@@ -102,6 +104,55 @@ type NetworkResult = netsim.Result
 // RunNetwork executes the message-passing simulation and blocks until the
 // network quiesces.
 func RunNetwork(cfg NetworkConfig) (*NetworkResult, error) { return netsim.Run(cfg) }
+
+// NodeConfig configures one node of the wire-level cluster runtime
+// (internal/cluster): the balancing protocol over a real Transport,
+// with node 0 coordinating the two-phase quiescent shutdown.
+type NodeConfig = cluster.Config
+
+// ClusterNode is a running wire-level cluster node.
+type ClusterNode = cluster.Node
+
+// NodeReport is the outcome of one node's run; the coordinator's
+// includes the cluster-wide conservation summary.
+type NodeReport = cluster.Report
+
+// NodeStats is one cluster node's activity summary, including wire
+// bytes sent and received.
+type NodeStats = cluster.Stats
+
+// Transport moves protocol messages between cluster nodes. The package
+// ships an in-memory loopback (NewLoopback) and TCP (ListenNode);
+// embedders may provide their own.
+type Transport = wire.Transport
+
+// WireMsg is one protocol message as carried by a Transport.
+type WireMsg = wire.Msg
+
+// LoopbackNet is the in-memory Transport fabric for in-process
+// clusters; every message still round-trips the wire codec.
+type LoopbackNet = wire.LoopbackNet
+
+// NewLoopback builds an n-endpoint in-memory network; endpoint i is
+// node i's Transport.
+func NewLoopback(n int) *LoopbackNet { return wire.NewLoopback(n) }
+
+// ListenNode opens node id's TCP transport listening on addr, with
+// peers mapping every other node id to its dialable address.
+func ListenNode(id int, addr string, peers map[int]string) (Transport, error) {
+	return wire.ListenTCP(id, addr, peers)
+}
+
+// StartNode launches a wire-level cluster node; Wait on the returned
+// node blocks until the cluster's quiescent shutdown retires it.
+func StartNode(cfg NodeConfig) (*ClusterNode, error) {
+	n, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.Start()
+	return n, nil
+}
 
 // SimConfig configures a discrete-time simulation (see internal/sim).
 type SimConfig = sim.Config

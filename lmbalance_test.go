@@ -70,3 +70,49 @@ func TestTheoryFacade(t *testing.T) {
 		t.Fatalf("Theorem4Bound = %v", got)
 	}
 }
+
+func TestClusterNodeFacade(t *testing.T) {
+	// A three-node cluster embedded entirely through the facade: build
+	// the loopback fabric, start each node, wait for the quiescent
+	// shutdown, and check the coordinator's conservation summary.
+	const n = 3
+	net := NewLoopback(n)
+	nodes := make([]*ClusterNode, n)
+	for i := 0; i < n; i++ {
+		nd, err := StartNode(NodeConfig{
+			ID: i, N: n, Delta: 1, F: 1.2, Steps: 200,
+			GenP: 0.5, ConP: 0.4, Seed: 17, Transport: net.Transport(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	var total, gen, con int64
+	var summary *NodeReport
+	for i, nd := range nodes {
+		rep, err := nd.Wait()
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		var s NodeStats = rep.Stats
+		total += int64(s.FinalLoad)
+		gen += s.Generated
+		con += s.Consumed
+		if s.BytesSent == 0 {
+			t.Fatalf("node %d sent no bytes", i)
+		}
+		if rep.Summary != nil {
+			summary = rep
+		}
+	}
+	if total != gen-con {
+		t.Fatalf("conservation violated: held %d, generated %d, consumed %d", total, gen, con)
+	}
+	if summary == nil || !summary.Summary.Conserved() {
+		t.Fatal("coordinator summary missing or inconsistent")
+	}
+	if _, err := StartNode(NodeConfig{N: 1}); err == nil {
+		t.Fatal("invalid node config accepted")
+	}
+}
