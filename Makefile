@@ -1,21 +1,26 @@
 GO ?= go
 
-.PHONY: check race bench fuzz experiments
+.PHONY: check race bench bench-obs fuzz experiments
 
 # Tier-1 gate: everything must pass before a change lands.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pool ./internal/netsim ./internal/wire ./internal/cluster
+	$(GO) test -race ./internal/pool ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs
 
 # Race-detector pass over the concurrent packages and the core they drive.
 race:
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs
 
 # Microbenchmarks for the sparse core (see results/BENCH_sparse.json).
 bench:
 	$(GO) test . -run xxx -bench 'BenchmarkBalanceOp|BenchmarkGenerateConsume|BenchmarkNewSystem' -benchmem
+
+# Instrumentation overhead microbenchmarks (see results/BENCH_obs.json):
+# the disabled path must stay ≤2 ns/op with zero allocations.
+bench-obs:
+	$(GO) test ./internal/obs/ -run xxx -bench 'BenchmarkObs' -benchmem
 
 # Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:

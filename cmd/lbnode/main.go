@@ -19,6 +19,15 @@
 //     lbnode -id 1 -listen :7101 -peers 0=host0:7100,1=host1:7101,2=host2:7102
 //     lbnode -id 2 -listen :7102 -peers 0=host0:7100,1=host1:7101,2=host2:7102
 //
+// In either mode -debug-addr serves live debug endpoints while the run
+// executes: Prometheus /metrics (per-reason abort counters, per-phase
+// protocol latency histograms, the live load distribution, wire
+// traffic), expvar-style /debug/vars, the protocol event /trace
+// (JSONL), /healthz, and net/http/pprof:
+//
+//	lbnode -spawn 16 -debug-addr 127.0.0.1:7200 &
+//	curl -s http://127.0.0.1:7200/metrics | grep cluster_aborts_total
+//
 // The exit status is nonzero if the node (or, in spawn mode, the
 // cluster) observed a packet-conservation violation — which would be a
 // bug, not a tunable.
@@ -35,6 +44,7 @@ import (
 	"time"
 
 	"lmbalance/internal/cluster"
+	"lmbalance/internal/obs"
 	"lmbalance/internal/trace"
 	"lmbalance/internal/wire"
 )
@@ -55,12 +65,13 @@ func main() {
 		seed      = flag.Uint64("seed", 1993, "cluster-wide seed")
 		timeout   = flag.Duration("timeout", 0, "initiator reply timeout (0 = default)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-node table")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars, /trace and /debug/pprof on this address during the run (e.g. 127.0.0.1:7200)")
 	)
 	flag.Parse()
 	o := options{
 		spawn: *spawn, transport: *transport, id: *id, listen: *listen, peers: *peers,
 		f: *f, delta: *delta, steps: *steps, gen: *gen, con: *con, hot: *hot,
-		seed: *seed, timeout: *timeout, quiet: *quiet,
+		seed: *seed, timeout: *timeout, quiet: *quiet, debugAddr: *debugAddr,
 	}
 	conserved, err := run(o, os.Stdout)
 	if err != nil {
@@ -85,13 +96,27 @@ type options struct {
 	seed             uint64
 	timeout          time.Duration
 	quiet            bool
+	debugAddr        string
 }
 
 func run(o options, w io.Writer) (conserved bool, err error) {
-	if o.spawn > 0 {
-		return runSpawn(o, w)
+	// -debug-addr turns on instrumentation: one registry shared by
+	// every node in this process (spawn mode aggregates cluster-wide),
+	// served over HTTP for the lifetime of the run.
+	var reg *obs.Registry
+	if o.debugAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.ServeDebug(o.debugAddr, reg)
+		if err != nil {
+			return false, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /debug/pprof/\n", srv.URL())
 	}
-	return runDaemon(o, w)
+	if o.spawn > 0 {
+		return runSpawn(o, reg, w)
+	}
+	return runDaemon(o, reg, w)
 }
 
 // clampDelta caps δ at n−1 (the whole cluster), matching lbsim: a
@@ -119,7 +144,7 @@ func hotProbs(n, hot int, gen, con float64) (gp, cp []float64) {
 }
 
 // runSpawn launches a whole cluster in-process and reports it.
-func runSpawn(o options, w io.Writer) (bool, error) {
+func runSpawn(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 	n := o.spawn
 	if n < 2 {
 		return false, fmt.Errorf("-spawn %d: need at least 2 nodes", n)
@@ -133,13 +158,16 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 		}
 		transports = make([]wire.Transport, n)
 		for i, t := range ts {
+			t.Register(reg)
 			transports[i] = t
 		}
 	case "inproc":
 		net := wire.NewLoopback(n)
 		transports = make([]wire.Transport, n)
 		for i := range transports {
-			transports[i] = net.Transport(i)
+			ep := net.Transport(i)
+			ep.Register(reg)
+			transports[i] = ep
 		}
 	default:
 		return false, fmt.Errorf("unknown -transport %q (tcp, inproc)", o.transport)
@@ -152,6 +180,7 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 	res, err := cluster.RunCluster(cluster.ClusterConfig{
 		N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: gp, ConP: cp, Seed: o.seed, Timeout: o.timeout,
+		Obs: reg,
 	}, transports)
 	if err != nil {
 		return false, err
@@ -177,7 +206,7 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 }
 
 // runDaemon runs one node of a distributed cluster.
-func runDaemon(o options, w io.Writer) (bool, error) {
+func runDaemon(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 	table, err := parsePeers(o.peers)
 	if err != nil {
 		return false, err
@@ -203,6 +232,7 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	tp.Register(reg)
 	hot := o.hot
 	if hot < 0 {
 		hot = 0
@@ -215,6 +245,7 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 	rep, err := cluster.Run(cluster.Config{
 		ID: o.id, N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: genP, ConP: conP, Seed: o.seed, Transport: tp, Timeout: o.timeout,
+		Obs: reg,
 	})
 	if err != nil {
 		return false, err

@@ -8,16 +8,19 @@
 //	lbsim -algo rsu -pattern hotspot -n 64
 //	lbsim -topology torus -delta 4
 //	lbsim -algo netsim -drop 0.2 -crash 4        # asynchronous run with faults
+//	lbsim -algo netsim -metrics-dump             # JSON metrics registry after the run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lmbalance/internal/baseline"
 	"lmbalance/internal/core"
 	"lmbalance/internal/netsim"
+	"lmbalance/internal/obs"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/sim"
 	"lmbalance/internal/topology"
@@ -43,6 +46,7 @@ func main() {
 		drop    = flag.Float64("drop", 0, "netsim only: control-message drop probability in [0,1]")
 		delay   = flag.Int("delay", 0, "netsim only: maximum per-message delivery delay in ticks")
 		crash   = flag.Int("crash", 0, "netsim only: number of staggered fail-stop crashes per run")
+		dump    = flag.Bool("metrics-dump", false, "print the run's metrics registry as JSON after the run")
 	)
 	flag.Parse()
 
@@ -52,6 +56,7 @@ func main() {
 		algo: *algo, topo: *topo, pattern: *pattern, every: *every,
 		record: *record, replay: *replay,
 		drop: *drop, delay: *delay, crash: *crash,
+		metricsDump: *dump,
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
@@ -70,6 +75,20 @@ type options struct {
 	record, replay      string
 	drop                float64
 	delay, crash        int
+	metricsDump         bool
+}
+
+// metricsOut is where -metrics-dump writes; a variable so tests can
+// capture the dump without redirecting the process stdout.
+var metricsOut io.Writer = os.Stdout
+
+// dumpMetrics writes the registry as JSON when -metrics-dump asked for
+// one (reg is nil otherwise).
+func dumpMetrics(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	return reg.WriteJSON(metricsOut)
 }
 
 // graphFor maps a topology name to its graph; global selection has none.
@@ -112,8 +131,15 @@ func graphFor(topo string, n int) (*topology.Graph, error) {
 }
 
 func run(o options) error {
+	var reg *obs.Registry
+	if o.metricsDump {
+		reg = obs.NewRegistry()
+	}
 	if o.algo == "netsim" {
-		return runNetsim(o)
+		if err := runNetsim(o, reg); err != nil {
+			return err
+		}
+		return dumpMetrics(reg)
 	}
 	if o.drop != 0 || o.delay != 0 || o.crash != 0 {
 		return fmt.Errorf("-drop/-delay/-crash require -algo netsim (the synchronous simulator has no network to fault)")
@@ -251,7 +277,17 @@ func run(o options) error {
 		fmt.Printf("per-run: balance ops %.1f, migrations %.1f, total borrow %.2f, remote borrow %.3f, borrow fail %.3f, decrease sim %.2f\n",
 			m.BalanceOps, m.Migrations, m.TotalBorrow, m.RemoteBorrow, m.BorrowFail, m.DecreaseSim)
 	}
-	return nil
+	if reg != nil {
+		// The synchronous engine has no live instrumentation hooks, so
+		// the dump publishes the aggregate outcome: run count, total
+		// balancing activity, and the final-load variation density (a
+		// single-sample histogram whose mean is the value).
+		reg.Counter("sim_runs_total").Add(int64(runs))
+		reg.Counter("sim_balance_ops_total").Add(int64(res.CoreMetrics.BalanceOps))
+		reg.Counter("sim_migrations_total").Add(int64(res.CoreMetrics.Migrations))
+		reg.Histogram("sim_final_load_vd", obs.ExpBuckets(0.01, 2, 12)).Observe(res.FinalLoadVD)
+	}
+	return dumpMetrics(reg)
 }
 
 // netsimRates maps a workload pattern name to per-node generate/consume
@@ -279,8 +315,9 @@ func netsimRates(pattern string, n int) (gen, con []float64, err error) {
 }
 
 // runNetsim drives the asynchronous message-passing realization, with the
-// optional fault layer (-drop, -delay, -crash).
-func runNetsim(o options) error {
+// optional fault layer (-drop, -delay, -crash). A non-nil registry
+// accumulates every run's netsim_* totals for -metrics-dump.
+func runNetsim(o options, reg *obs.Registry) error {
 	if o.record != "" || o.replay != "" {
 		return fmt.Errorf("-record/-replay are engine workload traces; -algo netsim does not support them")
 	}
@@ -312,7 +349,7 @@ func runNetsim(o options) error {
 		}
 		res, err := netsim.Run(netsim.Config{
 			N: o.n, Delta: o.delta, F: o.f, Steps: o.steps,
-			GenP: gen, ConP: con, Graph: graph,
+			GenP: gen, ConP: con, Graph: graph, Obs: reg,
 			Seed: rng.Mix64(o.seed, uint64(run)),
 			Faults: netsim.Faults{
 				DropP:    o.drop,

@@ -75,6 +75,9 @@ var artifacts = []artifact{
 	{"wirecost", "wire-level cluster cost, inproc vs TCP (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.WireCost(s, seed)
 	}},
+	{"abortanatomy", "per-reason anatomy of the TCP abort fraction (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
+		return experiments.AbortAnatomy(s, seed)
+	}},
 	{"ablations", "design-choice ablations (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.Ablations(s, seed)
 	}},

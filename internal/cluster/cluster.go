@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"lmbalance/internal/obs"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/wire"
 )
@@ -85,6 +86,13 @@ type Config struct {
 	// Tick is the granularity at which a blocked node checks its
 	// timeouts. 0 selects DefaultTick.
 	Tick time.Duration
+	// Obs optionally attaches the node's instrumentation — per-reason
+	// abort counters, per-phase latency histograms, the live load
+	// distribution, and the protocol event trace — to a registry (see
+	// internal/obs and metrics.go). Nodes sharing one registry aggregate
+	// into cluster-wide series. Nil disables instrumentation at ~zero
+	// cost.
+	Obs *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -191,6 +199,9 @@ type Node struct {
 	ackedLoads []int
 	unacked    int // transfers sent but not yet acknowledged
 	protoAt    time.Time
+	staleSeen  bool        // stale-epoch reply arrived since initiate
+	errsAt     int64       // transport send errors at initiate
+	xferSent   []time.Time // Transfer send times awaiting ack, FIFO (metrics only)
 
 	// partner-side state
 	frozen    bool
@@ -204,6 +215,7 @@ type Node struct {
 	finished  bool
 	candBuf   []int
 	stats     Stats
+	met       nodeMetrics
 
 	// coordinator-side shutdown state
 	idleFrom map[int]bool
@@ -221,6 +233,7 @@ func New(cfg Config) (*Node, error) {
 		cfg:  cfg,
 		rng:  rng.New(rng.Mix64(cfg.Seed, uint64(cfg.ID))),
 		done: make(chan struct{}),
+		met:  newNodeMetrics(cfg.Obs, cfg.ID),
 	}
 	if cfg.ID == 0 {
 		n.idleFrom = make(map[int]bool, cfg.N)
@@ -349,10 +362,27 @@ func (n *Node) checkTimeouts() {
 	now := time.Now()
 	if n.inflight && now.Sub(n.protoAt) > n.cfg.timeout() {
 		n.stats.Timeouts++
+		// Attribute the timeout before the epoch bumps: transport send
+		// errors during the protocol mean the wire ate our messages;
+		// otherwise a stale-epoch reply means the partner answered a
+		// protocol we had already abandoned; otherwise it is a plain
+		// missing reply.
+		reason := AbortTimeout
+		switch {
+		case n.cfg.Transport.Stats().SendErrors > n.errsAt:
+			reason = AbortLinkDown
+		case n.staleSeen:
+			reason = AbortStaleEpoch
+		}
+		n.met.abort[reason].Inc()
+		n.met.trace(n.cfg.ID, "abort", "reason=%s seq=%d", reason, n.seq)
 		n.abandon()
 	}
 	if n.frozen && now.Sub(n.frozeAt) > n.cfg.freezeTimeout() {
 		n.stats.FreezeExpired++
+		n.met.freezeExpired.Inc()
+		n.met.phaseFrozen.ObserveSince(n.frozeAt)
+		n.met.trace(n.cfg.ID, "freeze_expired", "by=%d", n.frozenBy)
 		n.frozen = false
 	}
 }
@@ -368,6 +398,10 @@ func (n *Node) step() {
 		n.load--
 		n.stats.Consumed++
 	}
+	// One load sample per workload step: the cluster-wide histogram's
+	// online moments yield the live variation density (paper §5).
+	n.met.loadHist.Observe(float64(n.load))
+	n.met.loadGauge.Set(int64(n.load))
 	if n.backoff > 0 {
 		n.backoff--
 		return
@@ -393,9 +427,13 @@ func (n *Node) initiate() {
 	n.protoAt = time.Now()
 	n.awaiting = len(n.candBuf)
 	n.sawBusy = false
+	n.staleSeen = false
+	n.errsAt = n.cfg.Transport.Stats().SendErrors
 	n.ackedFrom = n.ackedFrom[:0]
 	n.ackedLoads = n.ackedLoads[:0]
 	n.stats.Initiated++
+	n.met.initiated.Inc()
+	n.met.trace(n.cfg.ID, "initiate", "seq=%d delta=%d load=%d", n.seq, len(n.candBuf), n.load)
 	for _, c := range n.candBuf {
 		n.send(c, wire.Msg{Kind: wire.FreezeReq, Seq: n.seq})
 	}
@@ -431,16 +469,19 @@ func (n *Node) handle(m wire.Msg) {
 		n.frozenBy = m.From
 		n.frozenSeq = m.Seq
 		n.frozeAt = time.Now()
+		n.met.trace(n.cfg.ID, "freeze", "by=%d seq=%d", m.From, m.Seq)
 		n.send(m.From, wire.Msg{Kind: wire.FreezeAck, Load: n.load, Seq: m.Seq})
 
 	case wire.FreezeAck:
 		if !n.inflight || m.Seq != n.seq {
 			// Stale ack from a protocol we abandoned: release the
 			// partner immediately rather than leave it to its timeout.
+			n.staleSeen = n.inflight
 			n.send(m.From, wire.Msg{Kind: wire.Release, Seq: m.Seq})
 			return
 		}
 		n.awaiting--
+		n.met.phaseReply.ObserveSince(n.protoAt)
 		n.ackedFrom = append(n.ackedFrom, m.From)
 		n.ackedLoads = append(n.ackedLoads, m.Load)
 		if n.awaiting == 0 {
@@ -449,9 +490,11 @@ func (n *Node) handle(m wire.Msg) {
 
 	case wire.FreezeBusy:
 		if !n.inflight || m.Seq != n.seq {
+			n.staleSeen = n.staleSeen || n.inflight
 			return
 		}
 		n.awaiting--
+		n.met.phaseReply.ObserveSince(n.protoAt)
 		n.sawBusy = true
 		if n.awaiting == 0 {
 			n.resolve()
@@ -466,17 +509,30 @@ func (n *Node) handle(m wire.Msg) {
 		n.load += m.Amount
 		n.send(m.From, wire.Msg{Kind: wire.TransferAck, Seq: m.Seq})
 		if !n.frozen || (n.frozenBy == m.From && n.frozenSeq == m.Seq) {
+			if n.frozen {
+				n.met.phaseFrozen.ObserveSince(n.frozeAt)
+			}
 			n.lOld = n.load
 			n.frozen = false
 		}
+		n.met.loadGauge.Set(int64(n.load))
 
 	case wire.TransferAck:
 		if n.unacked > 0 {
 			n.unacked--
+			// Acks within one protocol land in near-send order, so FIFO
+			// pairing against the send times is exact enough for the
+			// transfer_ack phase histogram.
+			if len(n.xferSent) > 0 {
+				n.met.phaseXfer.ObserveSince(n.xferSent[0])
+				copy(n.xferSent, n.xferSent[1:])
+				n.xferSent = n.xferSent[:len(n.xferSent)-1]
+			}
 		}
 
 	case wire.Release:
 		if n.frozen && n.frozenBy == m.From && n.frozenSeq == m.Seq {
+			n.met.phaseFrozen.ObserveSince(n.frozeAt)
 			n.frozen = false
 		}
 
@@ -513,6 +569,7 @@ func (n *Node) maybeQuit() {
 		return
 	}
 	n.quitSent = true
+	n.met.trace(n.cfg.ID, "quit_broadcast", "")
 	for i := 1; i < n.cfg.N; i++ {
 		n.send(i, wire.Msg{Kind: wire.Quit})
 	}
@@ -521,11 +578,14 @@ func (n *Node) maybeQuit() {
 // resolve finishes the initiator's protocol once all replies are in.
 func (n *Node) resolve() {
 	n.inflight = false
+	n.met.phaseCollect.ObserveSince(n.protoAt)
 	if n.sawBusy {
 		for _, p := range n.ackedFrom {
 			n.send(p, wire.Msg{Kind: wire.Release, Seq: n.seq})
 		}
 		n.stats.Aborted++
+		n.met.abort[AbortPeerFrozen].Inc()
+		n.met.trace(n.cfg.ID, "abort", "reason=%s seq=%d", AbortPeerFrozen, n.seq)
 		n.backoff = 1 + n.rng.Intn(defaultBackoffSteps)
 		return
 	}
@@ -552,6 +612,12 @@ func (n *Node) resolve() {
 	for i, p := range n.ackedFrom {
 		n.send(p, wire.Msg{Kind: wire.Transfer, Amount: share(i+1) - n.ackedLoads[i], Seq: n.seq})
 		n.unacked++
+		if n.met.phaseXfer != nil {
+			n.xferSent = append(n.xferSent, time.Now())
+		}
 	}
 	n.stats.Completed++
+	n.met.completed.Inc()
+	n.met.loadGauge.Set(int64(n.load))
+	n.met.trace(n.cfg.ID, "resolve", "seq=%d partners=%d load=%d", n.seq, len(n.ackedFrom), n.load)
 }

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+
+	"lmbalance/internal/obs"
+)
+
+// Abort reason labels, one per way a balancing protocol dies. They are
+// what the AbortAnatomy experiment and the /metrics endpoint report.
+const (
+	// AbortPeerFrozen: a partner answered FreezeBusy — it was already
+	// frozen or mid-protocol itself. The only abort cause that exists on
+	// an ideal network.
+	AbortPeerFrozen = "peer_frozen"
+	// AbortTimeout: the reply timeout fired with no further evidence —
+	// a partner is slow, dead, or its reply is still in flight.
+	AbortTimeout = "timeout"
+	// AbortStaleEpoch: the reply timeout fired after a stale-epoch reply
+	// (one carrying an old Seq) arrived — the partner answered a
+	// protocol this initiator had already abandoned, so the two sides
+	// chased each other across epochs.
+	AbortStaleEpoch = "stale_epoch"
+	// AbortLinkDown: the transport reported send errors during the
+	// protocol — messages were dropped on the wire, so the missing
+	// replies can never arrive.
+	AbortLinkDown = "link_down"
+)
+
+// Protocol phase labels for the cluster_phase_seconds histograms.
+const (
+	// PhaseReply: initiate → one partner's FreezeAck/FreezeBusy landing.
+	PhaseReply = "reply"
+	// PhaseCollect: initiate → all δ replies in (resolve entered).
+	PhaseCollect = "collect"
+	// PhaseTransferAck: Transfer sent → its TransferAck landing.
+	PhaseTransferAck = "transfer_ack"
+	// PhaseFrozen: a partner's freeze → its release, transfer, or expiry.
+	PhaseFrozen = "frozen"
+)
+
+// nodeMetrics is one node's resolved instrumentation handles. The
+// handles are looked up once in New and shared by every node pointed at
+// the same registry (cmd/lbnode -spawn), so the counters and histograms
+// are cluster-wide aggregates. With a nil registry every handle is nil
+// and the whole instrumentation compiles down to no-ops.
+type nodeMetrics struct {
+	initiated     *obs.Counter
+	completed     *obs.Counter
+	freezeExpired *obs.Counter
+
+	abort map[string]*obs.Counter // keyed by the Abort* reasons
+
+	phaseReply   *obs.Histogram
+	phaseCollect *obs.Histogram
+	phaseXfer    *obs.Histogram
+	phaseFrozen  *obs.Histogram
+
+	loadHist  *obs.Histogram // load observed once per workload step
+	loadGauge *obs.Gauge     // this node's instantaneous load
+
+	tracer *obs.Tracer
+}
+
+func newNodeMetrics(reg *obs.Registry, id int) nodeMetrics {
+	m := nodeMetrics{
+		initiated:     reg.Counter("cluster_protocols_initiated_total"),
+		completed:     reg.Counter("cluster_protocols_completed_total"),
+		freezeExpired: reg.Counter("cluster_freeze_expired_total"),
+		abort:         make(map[string]*obs.Counter, 4),
+		phaseReply:    reg.Histogram(phaseName(PhaseReply), obs.LatencyBuckets),
+		phaseCollect:  reg.Histogram(phaseName(PhaseCollect), obs.LatencyBuckets),
+		phaseXfer:     reg.Histogram(phaseName(PhaseTransferAck), obs.LatencyBuckets),
+		phaseFrozen:   reg.Histogram(phaseName(PhaseFrozen), obs.LatencyBuckets),
+		loadHist:      reg.Histogram("cluster_load", obs.LoadBuckets),
+		loadGauge:     reg.Gauge(fmt.Sprintf(`cluster_node_load{node="%d"}`, id)),
+		tracer:        reg.Tracer(),
+	}
+	for _, reason := range []string{AbortPeerFrozen, AbortTimeout, AbortStaleEpoch, AbortLinkDown} {
+		m.abort[reason] = reg.Counter(AbortMetric(reason))
+	}
+	return m
+}
+
+// AbortMetric returns the registry name of the abort counter for one
+// reason, e.g. `cluster_aborts_total{reason="timeout"}`.
+func AbortMetric(reason string) string {
+	return fmt.Sprintf("cluster_aborts_total{reason=%q}", reason)
+}
+
+// phaseName returns the registry name of one phase histogram.
+func phaseName(phase string) string {
+	return fmt.Sprintf("cluster_phase_seconds{phase=%q}", phase)
+}
+
+// trace records one protocol event, skipping the fmt work entirely when
+// tracing is disabled.
+func (m *nodeMetrics) trace(node int, kind, format string, args ...any) {
+	if m.tracer == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	m.tracer.Record(node, kind, detail)
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lmbalance/internal/obs"
+)
+
+// TestClusterMetricsPopulated runs a loopback cluster with a shared
+// registry and checks that the protocol's instrumentation — counters,
+// phase histograms, the load distribution and the event trace — agrees
+// with the per-node Stats the run already reports.
+func TestClusterMetricsPopulated(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := ClusterConfig{N: 8, Delta: 2, F: 1.2, Steps: 600, Seed: 42, Obs: reg}
+	res := runLoop(t, cfg)
+	if !res.Conserved() {
+		t.Fatalf("conservation violated: total %d", res.TotalLoad())
+	}
+
+	if got := reg.Counter("cluster_protocols_initiated_total").Value(); got != res.Initiated() {
+		t.Fatalf("initiated counter %d != stats %d", got, res.Initiated())
+	}
+	if got := reg.Counter("cluster_protocols_completed_total").Value(); got != res.Completed() {
+		t.Fatalf("completed counter %d != stats %d", got, res.Completed())
+	}
+	var aborted int64
+	for _, n := range res.Nodes {
+		aborted += n.Aborted
+	}
+	var byReason int64
+	for _, r := range []string{AbortPeerFrozen, AbortTimeout, AbortStaleEpoch, AbortLinkDown} {
+		byReason += reg.Counter(AbortMetric(r)).Value()
+	}
+	if byReason != aborted {
+		t.Fatalf("per-reason aborts %d != stats aborts %d", byReason, aborted)
+	}
+	// On loopback nothing times out: every abort is a busy partner.
+	if got := reg.Counter(AbortMetric(AbortPeerFrozen)).Value(); got != aborted {
+		t.Fatalf("loopback aborts should all be peer_frozen: %d of %d", got, aborted)
+	}
+
+	// Every initiated protocol resolves or abandons, so the collect
+	// histogram counts exactly the resolved ones; the load histogram
+	// carries one sample per workload step.
+	collect := reg.Histogram(phaseName(PhaseCollect), obs.LatencyBuckets)
+	if collect.Count() == 0 {
+		t.Fatal("collect phase histogram empty")
+	}
+	loadHist := reg.Histogram("cluster_load", obs.LoadBuckets)
+	if got, want := loadHist.Count(), int64(cfg.N*cfg.Steps); got != want {
+		t.Fatalf("load histogram has %d samples, want %d", got, want)
+	}
+	if vd := loadHist.VD(); vd < 0 {
+		t.Fatalf("negative variation density %v", vd)
+	}
+
+	// Trace carries the protocol's life cycle.
+	kinds := map[string]bool{}
+	for _, ev := range reg.Tracer().Events() {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{"initiate", "freeze", "resolve", "quit_broadcast"} {
+		if !kinds[k] {
+			t.Fatalf("trace missing %q events (saw %v)", k, kinds)
+		}
+	}
+
+	// The exposition carries the per-reason series and phase histograms.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`cluster_aborts_total{reason="peer_frozen"}`,
+		`cluster_phase_seconds_count{phase="collect"}`,
+		`cluster_node_load{node="0"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestClusterNilRegistry makes sure a run with instrumentation disabled
+// (the default) still works — every handle is nil and no-ops.
+func TestClusterNilRegistry(t *testing.T) {
+	res := runLoop(t, ClusterConfig{N: 4, Delta: 1, F: 1.3, Steps: 200, Seed: 7})
+	if !res.Conserved() {
+		t.Fatalf("conservation violated: total %d", res.TotalLoad())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"lmbalance/internal/obs"
 	"lmbalance/internal/wire"
 )
 
@@ -26,6 +27,10 @@ type ClusterConfig struct {
 	Seed uint64
 	// Timeout, FreezeTimeout, Tick as in Config.
 	Timeout, FreezeTimeout, Tick time.Duration
+	// Obs is handed to every node, so the whole cluster aggregates into
+	// one registry (abort reasons, phase timings, the live load
+	// distribution). Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func probAt(ps []float64, i int) float64 {
@@ -138,6 +143,7 @@ func RunCluster(cfg ClusterConfig, transports []wire.Transport) (*Result, error)
 			GenP: probAt(cfg.GenP, i), ConP: probAt(cfg.ConP, i),
 			Seed: cfg.Seed, Transport: transports[i],
 			Timeout: cfg.Timeout, FreezeTimeout: cfg.FreezeTimeout, Tick: cfg.Tick,
+			Obs: cfg.Obs,
 		})
 		if err != nil {
 			// Nothing started yet: close all transports and bail.

@@ -57,6 +57,7 @@ import (
 	"sync"
 	"time"
 
+	"lmbalance/internal/obs"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/topology"
 	"lmbalance/internal/trace"
@@ -104,6 +105,11 @@ type Config struct {
 	// Faults configures the fault-injection layer (see Faults). The zero
 	// value disables it.
 	Faults Faults
+	// Obs, if non-nil, receives the run's aggregate totals (netsim_*
+	// counters) and the final load distribution when Run returns. The
+	// totals are published once at the end — per-event instrumentation
+	// would put shared atomics in the simulator's hot loop.
+	Obs *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -341,7 +347,55 @@ func Run(cfg Config) (*Result, error) {
 		n.stats.FinalLoad = n.load
 		res.Nodes[i] = n.stats
 	}
+	publishObs(cfg.Obs, res)
 	return res, nil
+}
+
+// publishObs aggregates a finished run's per-node totals into an obs
+// registry: activity and fault counters under netsim_* names, plus the
+// final load distribution (whose online moments give the variation
+// density). Counters add, so repeated runs against one registry
+// accumulate like repeated scrape intervals.
+func publishObs(reg *obs.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	loads := reg.Histogram("netsim_final_load", obs.LoadBuckets)
+	var s NodeStats
+	for _, n := range res.Nodes {
+		loads.Observe(float64(n.FinalLoad))
+		s.Generated += n.Generated
+		s.Consumed += n.Consumed
+		s.Initiated += n.Initiated
+		s.Completed += n.Completed
+		s.Aborted += n.Aborted
+		s.MessagesSent += n.MessagesSent
+		s.Dropped += n.Dropped
+		s.LostAtCrash += n.LostAtCrash
+		s.Delayed += n.Delayed
+		s.Timeouts += n.Timeouts
+		s.FreezeExpired += n.FreezeExpired
+		s.Crashes += n.Crashes
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"netsim_generated_total", s.Generated},
+		{"netsim_consumed_total", s.Consumed},
+		{"netsim_protocols_initiated_total", s.Initiated},
+		{"netsim_protocols_completed_total", s.Completed},
+		{"netsim_aborts_total", s.Aborted},
+		{"netsim_msgs_total", s.MessagesSent},
+		{"netsim_dropped_total", s.Dropped},
+		{"netsim_lost_at_crash_total", s.LostAtCrash},
+		{"netsim_delayed_total", s.Delayed},
+		{"netsim_timeouts_total", s.Timeouts},
+		{"netsim_freeze_expired_total", s.FreezeExpired},
+		{"netsim_crashes_total", s.Crashes},
+	} {
+		reg.Counter(c.name).Add(c.v)
+	}
 }
 
 // send delivers m to peer id (counted).

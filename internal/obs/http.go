@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional HTTP debug endpoint of a running node or
+// cluster process. It serves:
+//
+//	/metrics      the registry in Prometheus text exposition format
+//	/debug/vars   expvar-style JSON (process vars plus the registry)
+//	/trace        the tracer's recent events as JSONL
+//	/healthz      liveness ("ok")
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// The server owns its listener and goroutine; Close shuts it down and
+// waits, so a stopping node leaks nothing (see TestDebugServerNoLeak).
+type DebugServer struct {
+	ln     net.Listener
+	srv    *http.Server
+	served chan struct{}
+}
+
+// ServeDebug starts a debug server on addr (e.g. "127.0.0.1:0") over
+// the given registry. A nil registry serves empty metrics — the
+// endpoints stay up so probes and dashboards need not care.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	s := &DebugServer{
+		ln:     ln,
+		served: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		serveVars(w, reg)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if reg != nil {
+			_ = reg.Tracer().WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.served)
+		_ = s.srv.Serve(ln) // returns on Shutdown/Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http base URL of the server.
+func (s *DebugServer) URL() string { return "http://" + s.Addr() }
+
+// Close gracefully shuts the server down and waits for its goroutines;
+// requests still running after a short grace window are cut off. Safe
+// to call more than once.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Stragglers (a running pprof profile) get cut off hard.
+		_ = s.srv.Close()
+	}
+	<-s.served
+	return err
+}
+
+// serveVars writes the expvar JSON document: every published process
+// var (importing expvar gives cmdline and memstats) plus the registry
+// under the "metrics" key.
+func serveVars(w http.ResponseWriter, reg *Registry) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprintf(w, ",")
+	}
+	fmt.Fprintf(w, "\n%q: ", "metrics")
+	if err := reg.WriteJSON(w); err != nil {
+		return
+	}
+	fmt.Fprintf(w, "}\n")
+}

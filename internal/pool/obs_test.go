@@ -1,0 +1,45 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lmbalance/internal/obs"
+)
+
+// TestRegisterMetrics checks that the registry sees the same live
+// counters Stats snapshots.
+func TestRegisterMetrics(t *testing.T) {
+	p, err := New(Config{Workers: 4, F: 1.5, Delta: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+
+	var ran atomic.Int64
+	for i := 0; i < 200; i++ {
+		p.Submit(func(w *Worker) { ran.Add(1) })
+	}
+	p.Wait()
+	defer p.Close()
+
+	st := p.Stats()
+	if got := reg.Counter("pool_tasks_submitted_total").Value(); got != st.Submitted {
+		t.Fatalf("pool_tasks_submitted_total = %d, want %d", got, st.Submitted)
+	}
+	if got := reg.Counter("pool_balances_total").Value(); got != st.Balances {
+		t.Fatalf("pool_balances_total = %d, want %d", got, st.Balances)
+	}
+	if got := reg.Counter("pool_tasks_migrated_total").Value(); got != st.Migrated {
+		t.Fatalf("pool_tasks_migrated_total = %d, want %d", got, st.Migrated)
+	}
+	if got := reg.Gauge("pool_tasks_queued").Value(); got != 0 {
+		t.Fatalf("pool_tasks_queued = %d after Wait, want 0", got)
+	}
+	if ran.Load() != 200 {
+		t.Fatalf("ran %d tasks, want 200", ran.Load())
+	}
+	// Registering into a nil registry must be a no-op, not a panic.
+	p.RegisterMetrics(nil)
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lmbalance/internal/obs"
 	"lmbalance/internal/rng"
 )
 
@@ -122,7 +123,7 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // Submit enqueues a task on this worker's own queue (local generation).
 func (w *Worker) Submit(t Task) {
 	w.pool.pending.Add(1)
-	w.pool.submitted.Add(1)
+	w.pool.submitted.Inc()
 	// Publish the queued task before it becomes visible in the queue so
 	// the dry-worker fast path can never observe "pool empty" while a
 	// queued task exists.
@@ -159,15 +160,18 @@ type Pool struct {
 	cfg     Config
 	workers []*Worker
 
-	pending   sync.WaitGroup // outstanding tasks
-	submitted atomic.Int64
-	balances  atomic.Int64
-	migrated  atomic.Int64
+	pending sync.WaitGroup // outstanding tasks
+	// Activity counters are obs metrics so RegisterMetrics can publish
+	// the live values without a parallel bookkeeping path; they count
+	// whether or not a registry is attached (zero values are ready).
+	submitted obs.Counter
+	balances  obs.Counter
+	migrated  obs.Counter
 	// queued counts tasks currently sitting in worker queues (not yet
 	// popped). Dry workers consult it before a balance attempt: when the
 	// whole pool is empty there is nothing to steal, so they back off
 	// without touching the shared RNG or any queue locks.
-	queued atomic.Int64
+	queued obs.Gauge
 
 	quit chan struct{}
 	done sync.WaitGroup // worker goroutines
@@ -223,9 +227,9 @@ func (p *Pool) Close() {
 func (p *Pool) Stats() Stats {
 	s := Stats{
 		Executed:  make([]int64, len(p.workers)),
-		Balances:  p.balances.Load(),
-		Migrated:  p.migrated.Load(),
-		Submitted: p.submitted.Load(),
+		Balances:  p.balances.Value(),
+		Migrated:  p.migrated.Value(),
+		Submitted: p.submitted.Value(),
 	}
 	for i, w := range p.workers {
 		s.Executed[i] = w.executed.Load()
@@ -235,6 +239,17 @@ func (p *Pool) Stats() Stats {
 
 // Workers returns the number of workers.
 func (p *Pool) Workers() int { return len(p.workers) }
+
+// RegisterMetrics attaches the pool's live activity counters and the
+// current queued-task gauge to an obs registry (nil no-ops). The
+// counters are the same objects Stats snapshots, so a /metrics scrape
+// and Stats always agree.
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	reg.Attach("pool_tasks_submitted_total", &p.submitted)
+	reg.Attach("pool_balances_total", &p.balances)
+	reg.Attach("pool_tasks_migrated_total", &p.migrated)
+	reg.Attach("pool_tasks_queued", &p.queued)
+}
 
 // trigger is the factor-f condition on queue lengths, with the same
 // strict-change guard as the simulator (see core/doc.go).
@@ -263,7 +278,7 @@ func (p *Pool) run(w *Worker) {
 			// to 32× IdleSleep) so a quiescent pool stops contending.
 			// Work can still reach our queue meanwhile: a submitting
 			// worker's trigger pushes tasks here via its own balance.
-			if p.queued.Load() == 0 {
+			if p.queued.Value() == 0 {
 				sleep := p.cfg.IdleSleep << min(idleSpins, 5)
 				if idleSpins < 5 {
 					idleSpins++
@@ -352,7 +367,7 @@ func (p *Pool) balance(init *Worker) {
 	for _, w := range parts {
 		all = append(all, w.queue...)
 	}
-	p.balances.Add(1)
+	p.balances.Inc()
 	pos := 0
 	for i, w := range parts {
 		cnt := want(i)

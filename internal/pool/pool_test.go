@@ -300,7 +300,7 @@ func TestIdleBackoffStillAcceptsWork(t *testing.T) {
 		if counter.Load() != n {
 			t.Fatalf("round %d: executed %d of %d", round, counter.Load(), n)
 		}
-		if q := p.queued.Load(); q != 0 {
+		if q := p.queued.Value(); q != 0 {
 			t.Fatalf("round %d: queued counter = %d after Wait, want 0", round, q)
 		}
 	}

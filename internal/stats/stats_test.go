@@ -284,3 +284,67 @@ func BenchmarkSeriesAdd(b *testing.B) {
 		s.Add(i%500, float64(i&255))
 	}
 }
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(0)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if len(s.Means()) != 0 || len(s.Mins()) != 0 || len(s.Maxs()) != 0 {
+		t.Fatal("empty series produced non-empty slices")
+	}
+	s.Merge(NewSeries(0)) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging series of different lengths should panic")
+		}
+	}()
+	s.Merge(NewSeries(1))
+}
+
+func TestSeriesSingleStep(t *testing.T) {
+	s := NewSeries(1)
+	s.Add(0, 2.5)
+	if got := s.At(0).Mean(); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if s.Means()[0] != 2.5 || s.Mins()[0] != 2.5 || s.Maxs()[0] != 2.5 {
+		t.Fatal("single-step projections wrong")
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	h := NewHistogram()
+	h.Add(7)
+	if h.Total() != 1 || h.Mean() != 7 {
+		t.Fatalf("single-sample histogram: total=%d mean=%v", h.Total(), h.Mean())
+	}
+	// Every quantile of one sample is that sample, including clamped
+	// out-of-range q.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	if s := h.Support(); len(s) != 1 || s[0] != 7 {
+		t.Fatalf("support = %v", s)
+	}
+}
+
+func TestQuantileSliceSingle(t *testing.T) {
+	xs := []float64{4.25}
+	for _, q := range []float64{-0.5, 0, 0.5, 1, 1.5} {
+		if got := Quantile(xs, q); got != 4.25 {
+			t.Fatalf("Quantile(%v) = %v, want 4.25", q, got)
+		}
+	}
+}
+
+func TestMeanOfEdge(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Fatal("MeanOf(nil) should be 0")
+	}
+	if MeanOf([]float64{3}) != 3 {
+		t.Fatal("MeanOf of one element should be that element")
+	}
+}

@@ -1,21 +1,25 @@
 package trace
 
-import "strings"
+import (
+	"math"
+	"strings"
+)
 
 // sparkLevels are the eight block elements used by Sparkline.
 var sparkLevels = []rune("▁▂▃▄▅▆▇█")
 
-// Sparkline renders values as a compact unicode bar chart, scaling to the
-// observed min..max range. The experiment harnesses attach these to their
-// tables so figure *shapes* are visible directly in the terminal output.
-// Empty input yields an empty string; a constant series renders at the
-// lowest level.
-func Sparkline(values []float64) string {
-	if len(values) == 0 {
-		return ""
-	}
-	lo, hi := values[0], values[0]
-	for _, v := range values[1:] {
+// finiteRange returns min/max over the finite values only, and whether
+// any finite value exists. NaN and ±Inf never contribute to the scale —
+// one stray non-finite sample must not flatten the rest of the row.
+func finiteRange(values []float64) (lo, hi float64, ok bool) {
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if !ok {
+			lo, hi, ok = v, v, true
+			continue
+		}
 		if v < lo {
 			lo = v
 		}
@@ -23,20 +27,44 @@ func Sparkline(values []float64) string {
 			hi = v
 		}
 	}
+	return lo, hi, ok
+}
+
+// level maps v onto [0, n) against lo with the given span. Non-finite
+// values (and a degenerate or non-finite span) map deterministically to
+// the lowest level; int(NaN) is implementation-defined in Go, so the
+// conversion is never reached for them.
+func level(v, lo, span float64, n int) int {
+	if !(span > 0) || math.IsInf(span, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	idx := int((v - lo) / span * float64(n-1))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}
+
+// Sparkline renders values as a compact unicode bar chart, scaling to the
+// observed min..max range of the finite values. The experiment harnesses
+// attach these to their tables so figure *shapes* are visible directly in
+// the terminal output. Empty input yields an empty string; a constant
+// series renders at the lowest level, as does any NaN or ±Inf sample.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi, ok := finiteRange(values)
+	span := 0.0
+	if ok {
+		span = hi - lo
+	}
 	var sb strings.Builder
-	span := hi - lo
 	for _, v := range values {
-		idx := 0
-		if span > 0 {
-			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= len(sparkLevels) {
-				idx = len(sparkLevels) - 1
-			}
-		}
-		sb.WriteRune(sparkLevels[idx])
+		sb.WriteRune(sparkLevels[level(v, lo, span, len(sparkLevels))])
 	}
 	return sb.String()
 }
@@ -67,36 +95,22 @@ func Downsample(values []float64, width int) []float64 {
 var heatShades = []rune(" ░▒▓█")
 
 // HeatRow renders values as shaded cells scaled to lo..hi (pass lo == hi
-// to scale to the row's own range).
+// to scale to the row's own finite range). Non-finite samples — and a
+// non-finite caller-supplied range — render at the lightest shade.
 func HeatRow(values []float64, lo, hi float64) string {
 	if len(values) == 0 {
 		return ""
 	}
-	if lo >= hi {
-		lo, hi = values[0], values[0]
-		for _, v := range values[1:] {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
+	if lo >= hi || math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		var ok bool
+		if lo, hi, ok = finiteRange(values); !ok {
+			lo, hi = 0, 0
 		}
 	}
 	var sb strings.Builder
 	span := hi - lo
 	for _, v := range values {
-		idx := 0
-		if span > 0 {
-			idx = int((v - lo) / span * float64(len(heatShades)-1))
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= len(heatShades) {
-				idx = len(heatShades) - 1
-			}
-		}
-		sb.WriteRune(heatShades[idx])
+		sb.WriteRune(heatShades[level(v, lo, span, len(heatShades))])
 	}
 	return sb.String()
 }

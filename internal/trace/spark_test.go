@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -89,5 +90,53 @@ func TestHeatRow(t *testing.T) {
 	r := []rune(clamped)
 	if r[0] != ' ' || r[1] != '█' {
 		t.Fatalf("clamping failed: %q", clamped)
+	}
+}
+
+func TestSparklineNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	// A stray NaN or ±Inf must render at the lowest level and must not
+	// flatten the scale of the finite values around it.
+	s := Sparkline([]float64{0, nan, 4, inf, 8, math.Inf(-1)})
+	runes := []rune(s)
+	if len(runes) != 6 {
+		t.Fatalf("length of %q", s)
+	}
+	if runes[1] != '▁' || runes[3] != '▁' || runes[5] != '▁' {
+		t.Fatalf("non-finite values not at lowest level: %q", s)
+	}
+	if runes[0] != '▁' || runes[4] != '█' {
+		t.Fatalf("finite scale poisoned by non-finite neighbors: %q", s)
+	}
+	if runes[2] == '▁' || runes[2] == '█' {
+		t.Fatalf("midpoint not mid-level: %q", s)
+	}
+	// All-non-finite input renders, deterministically, at the lowest level.
+	if got := Sparkline([]float64{nan, inf, math.Inf(-1)}); got != "▁▁▁" {
+		t.Fatalf("all-non-finite rendered %q", got)
+	}
+}
+
+func TestHeatRowNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	s := HeatRow([]float64{0, nan, 1, inf}, 0, 1)
+	runes := []rune(s)
+	if runes[1] != ' ' || runes[3] != ' ' {
+		t.Fatalf("non-finite cells not lightest shade: %q", s)
+	}
+	if runes[0] != ' ' || runes[2] != '█' {
+		t.Fatalf("finite cells wrong: %q", s)
+	}
+	// A non-finite caller-supplied range falls back to the row's own
+	// finite range instead of collapsing or garbling the row.
+	auto := HeatRow([]float64{2, nan, 4}, inf, nan)
+	r := []rune(auto)
+	if r[0] != ' ' || r[1] != ' ' || r[2] != '█' {
+		t.Fatalf("non-finite range not auto-rescaled: %q", auto)
+	}
+	if got := HeatRow([]float64{nan, nan}, 0, 0); got != "  " {
+		t.Fatalf("all-NaN row rendered %q", got)
 	}
 }

@@ -3,6 +3,8 @@ package wire
 import (
 	"fmt"
 	"sync"
+
+	"lmbalance/internal/obs"
 )
 
 // LoopbackNet is the in-memory Transport fabric: n endpoints connected
@@ -27,6 +29,13 @@ func NewLoopback(n int) *LoopbackNet {
 			inbox: make(chan Msg, 4*n+16),
 			done:  make(chan struct{}),
 		}
+		ids := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				ids = append(ids, j)
+			}
+		}
+		net.eps[i].ctr.initPeers(ids)
 	}
 	return net
 }
@@ -73,8 +82,7 @@ func (e *LoopEndpoint) Send(to int, m Msg) error {
 		// beats silently diverging from what TCP would deliver.
 		return fmt.Errorf("wire: loopback codec round-trip: %w", err)
 	}
-	e.ctr.msgsSent.Add(1)
-	e.ctr.bytesSent.Add(n)
+	e.ctr.countSend(to, n)
 	peer := e.net.eps[to]
 	select {
 	case <-peer.done:
@@ -85,8 +93,7 @@ func (e *LoopEndpoint) Send(to int, m Msg) error {
 	}
 	select {
 	case peer.inbox <- dm:
-		peer.ctr.msgsRecv.Add(1)
-		peer.ctr.bytesRecv.Add(n)
+		peer.ctr.countRecv(e.id, n)
 	case <-peer.done:
 		e.ctr.sendErrors.Add(1)
 	}
@@ -98,6 +105,13 @@ func (e *LoopEndpoint) Inbox() <-chan Msg { return e.inbox }
 
 // Stats snapshots the endpoint's counters.
 func (e *LoopEndpoint) Stats() Stats { return e.ctr.snapshot() }
+
+// PeerStats snapshots the traffic exchanged with one peer.
+func (e *LoopEndpoint) PeerStats(id int) Stats { return e.ctr.peerStats(id) }
+
+// Register attaches the endpoint's live traffic counters to an obs
+// registry, labeled with this endpoint's id.
+func (e *LoopEndpoint) Register(reg *obs.Registry) { e.ctr.register(reg, e.id) }
 
 // Close marks the endpoint gone; in-flight sends to it are dropped.
 func (e *LoopEndpoint) Close() error {

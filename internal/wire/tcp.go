@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"lmbalance/internal/obs"
 )
 
 // Dial/retry tuning for the TCP transport. Dial failures are expected
@@ -68,10 +70,24 @@ func NewTCP(id int, ln net.Listener, peers map[int]string) *TCP {
 		links: make(map[int]*peerLink),
 		conns: make(map[net.Conn]struct{}),
 	}
+	ids := make([]int, 0, len(peers))
+	for pid := range peers {
+		ids = append(ids, pid)
+	}
+	t.ctr.initPeers(ids)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t
 }
+
+// Register attaches the transport's live traffic counters — totals,
+// send-queue depth and the per-peer byte/msg series — to an obs
+// registry, labeled with this node's id. Call once at setup.
+func (t *TCP) Register(reg *obs.Registry) { t.ctr.register(reg, t.id) }
+
+// PeerStats snapshots the traffic exchanged with one peer (zero Stats
+// for a peer not in the table).
+func (t *TCP) PeerStats(id int) Stats { return t.ctr.peerStats(id) }
 
 // Addr returns the listener's address.
 func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
@@ -98,6 +114,7 @@ func (t *TCP) Send(to int, m Msg) error {
 	}
 	select {
 	case link.q <- m:
+		t.ctr.queueDepth.Add(1)
 		return nil
 	case <-t.done:
 		return ErrClosed
@@ -131,7 +148,7 @@ func (t *TCP) link(to int, addr string) (*peerLink, error) {
 	}
 	l, ok := t.links[to]
 	if !ok {
-		l = &peerLink{t: t, addr: addr, q: make(chan Msg, sendQueueLen)}
+		l = &peerLink{t: t, to: to, addr: addr, q: make(chan Msg, sendQueueLen)}
 		t.links[to] = l
 		t.wg.Add(1)
 		go l.writer()
@@ -177,8 +194,7 @@ func (t *TCP) readLoop(c net.Conn) {
 		if err != nil {
 			return // EOF on peer close, or a framing error: drop the conn
 		}
-		t.ctr.msgsRecv.Add(1)
-		t.ctr.bytesRecv.Add(int64(n))
+		t.ctr.countRecv(m.From, int64(n))
 		select {
 		case t.inbox <- m:
 		case <-t.done:
@@ -214,6 +230,7 @@ func ReadFrame(br *bufio.Reader) (Msg, int, error) {
 // peerLink is one outbound connection with its queue and writer.
 type peerLink struct {
 	t    *TCP
+	to   int
 	addr string
 	q    chan Msg
 
@@ -234,11 +251,13 @@ func (l *peerLink) writer() {
 	for {
 		select {
 		case m := <-l.q:
+			l.t.ctr.queueDepth.Add(-1)
 			l.write(m)
 		case <-l.t.done:
 			for {
 				select {
 				case m := <-l.q:
+					l.t.ctr.queueDepth.Add(-1)
 					l.write(m)
 				default:
 					return
@@ -260,8 +279,7 @@ func (l *peerLink) write(m Msg) {
 		}
 		l.enc = AppendFrame(l.enc[:0], m)
 		if _, err := l.conn.Write(l.enc); err == nil {
-			l.t.ctr.msgsSent.Add(1)
-			l.t.ctr.bytesSent.Add(int64(len(l.enc)))
+			l.t.ctr.countSend(l.to, int64(len(l.enc)))
 			return
 		}
 		l.conn.Close()

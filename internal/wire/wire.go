@@ -30,16 +30,21 @@
 //
 // # Byte accounting
 //
-// Both transports count every message and byte they move (Stats). The
+// Both transports count every message and byte they move (Stats), in
+// total and per peer (PeerStats), on atomic obs counters safe to bump
+// from writer and reader goroutines and to snapshot from anywhere. The
 // loopback transport still runs each message through the codec — what it
 // counts is exactly what TCP would have to say, minus the frame's length
 // prefix — so an inproc/TCP comparison isolates true wire overhead.
+// Register attaches the live counters (including the TCP send-queue
+// depth gauge) to an obs.Registry for the /metrics debug endpoint.
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
-	"sync/atomic"
+
+	"lmbalance/internal/obs"
 )
 
 // Version is the codec version; it leads every payload so incompatible
@@ -252,20 +257,103 @@ type Transport interface {
 	Close() error
 }
 
-// counters is the shared atomic implementation behind Stats.
+// counters is the shared atomic implementation behind Stats: obs
+// counters (atomic, usable without a registry) for the transport
+// totals plus a per-peer breakdown over the known peer set. Totals and
+// per-peer entries are incremented from writer/reader goroutines and
+// snapshotted from the owner — every field is atomic, so no lock.
 type counters struct {
-	msgsSent, msgsRecv     atomic.Int64
-	bytesSent, bytesRecv   atomic.Int64
-	sendErrors, redials    atomic.Int64
+	msgsSent, msgsRecv   obs.Counter
+	bytesSent, bytesRecv obs.Counter
+	sendErrors, redials  obs.Counter
+	queueDepth           obs.Gauge // TCP: messages sitting in send queues
+	perPeer              map[int]*peerCounters
+}
+
+// peerCounters is one peer's share of the traffic.
+type peerCounters struct {
+	msgsSent, msgsRecv   obs.Counter
+	bytesSent, bytesRecv obs.Counter
+}
+
+// initPeers seeds the per-peer table for a known peer set. The map is
+// read-only after construction, so lookups from concurrent reader and
+// writer goroutines need no lock.
+func (c *counters) initPeers(ids []int) {
+	c.perPeer = make(map[int]*peerCounters, len(ids))
+	for _, id := range ids {
+		c.perPeer[id] = &peerCounters{}
+	}
+}
+
+// countSend records one message of b bytes sent to peer `to`.
+func (c *counters) countSend(to int, b int64) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(b)
+	if p := c.perPeer[to]; p != nil {
+		p.msgsSent.Add(1)
+		p.bytesSent.Add(b)
+	}
+}
+
+// countRecv records one message of b bytes received from peer `from`.
+func (c *counters) countRecv(from int, b int64) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(b)
+	if p := c.perPeer[from]; p != nil {
+		p.msgsRecv.Add(1)
+		p.bytesRecv.Add(b)
+	}
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		MsgsSent:   c.msgsSent.Load(),
-		MsgsRecv:   c.msgsRecv.Load(),
-		BytesSent:  c.bytesSent.Load(),
-		BytesRecv:  c.bytesRecv.Load(),
-		SendErrors: c.sendErrors.Load(),
-		Redials:    c.redials.Load(),
+		MsgsSent:   c.msgsSent.Value(),
+		MsgsRecv:   c.msgsRecv.Value(),
+		BytesSent:  c.bytesSent.Value(),
+		BytesRecv:  c.bytesRecv.Value(),
+		SendErrors: c.sendErrors.Value(),
+		Redials:    c.redials.Value(),
+	}
+}
+
+// peerStats snapshots one peer's traffic (zero Stats for an unknown
+// peer; SendErrors and Redials are transport-wide, not per peer).
+func (c *counters) peerStats(id int) Stats {
+	p := c.perPeer[id]
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		MsgsSent:  p.msgsSent.Value(),
+		MsgsRecv:  p.msgsRecv.Value(),
+		BytesSent: p.bytesSent.Value(),
+		BytesRecv: p.bytesRecv.Value(),
+	}
+}
+
+// register attaches the transport's counters to an obs registry under
+// the wire_* namespace, labeled with this node's id: the totals, the
+// send-queue depth gauge, and the per-peer byte/msg series. Call once
+// at setup; the counters themselves are live (no copying), so the
+// registry always exports current values.
+func (c *counters) register(reg *obs.Registry, node int) {
+	if reg == nil {
+		return
+	}
+	n := fmt.Sprintf("node=\"%d\"", node)
+	reg.Attach(fmt.Sprintf("wire_msgs_sent_total{%s}", n), &c.msgsSent)
+	reg.Attach(fmt.Sprintf("wire_msgs_recv_total{%s}", n), &c.msgsRecv)
+	reg.Attach(fmt.Sprintf("wire_bytes_sent_total{%s}", n), &c.bytesSent)
+	reg.Attach(fmt.Sprintf("wire_bytes_recv_total{%s}", n), &c.bytesRecv)
+	reg.Attach(fmt.Sprintf("wire_send_errors_total{%s}", n), &c.sendErrors)
+	reg.Attach(fmt.Sprintf("wire_redials_total{%s}", n), &c.redials)
+	reg.Attach(fmt.Sprintf("wire_sendq_depth{%s}", n), &c.queueDepth)
+	for id, p := range c.perPeer {
+		pl := fmt.Sprintf("%s,peer=\"%d\"", n, id)
+		reg.Attach(fmt.Sprintf("wire_peer_msgs_sent_total{%s}", pl), &p.msgsSent)
+		reg.Attach(fmt.Sprintf("wire_peer_msgs_recv_total{%s}", pl), &p.msgsRecv)
+		reg.Attach(fmt.Sprintf("wire_peer_bytes_sent_total{%s}", pl), &p.bytesSent)
+		reg.Attach(fmt.Sprintf("wire_peer_bytes_recv_total{%s}", pl), &p.bytesRecv)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"lmbalance/internal/cluster"
 	"lmbalance/internal/core"
 	"lmbalance/internal/netsim"
+	"lmbalance/internal/obs"
 	"lmbalance/internal/pool"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/sim"
@@ -152,6 +153,27 @@ func StartNode(cfg NodeConfig) (*ClusterNode, error) {
 	}
 	n.Start()
 	return n, nil
+}
+
+// Registry collects live metrics (atomic counters, gauges, fixed-bucket
+// histograms) and an optional event tracer. A nil *Registry is a valid
+// no-op sink: instrumented components accept one in their configs
+// (NodeConfig.Obs, NetworkConfig.Obs, Pool.RegisterMetrics) and pay
+// ~1 ns per disabled metric operation.
+type Registry = obs.Registry
+
+// DebugServer serves a Registry over HTTP: /metrics (Prometheus text),
+// /debug/vars (expvar JSON), /trace (JSONL events), /healthz, and
+// net/http/pprof under /debug/pprof/.
+type DebugServer = obs.DebugServer
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ServeDebug starts a debug HTTP server for reg on addr (host:0 picks a
+// free port; see DebugServer.URL). Close releases the listener.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return obs.ServeDebug(addr, reg)
 }
 
 // SimConfig configures a discrete-time simulation (see internal/sim).
