@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench bench-obs fuzz experiments
+.PHONY: check race bench bench-obs bench-wire fuzz experiments
 
 # Tier-1 gate: everything must pass before a change lands.
 check:
@@ -21,6 +21,12 @@ bench:
 # the disabled path must stay ≤2 ns/op with zero allocations.
 bench-obs:
 	$(GO) test ./internal/obs/ -run xxx -bench 'BenchmarkObs' -benchmem
+
+# Wire codec microbenchmarks: v2 (op ids) encode/decode vs the v1
+# framing, plus frame reads (see results/BENCH_wire.json). The Op field
+# must cost ≤1 byte on v1-shaped messages (TestOpFieldOverhead).
+bench-wire:
+	$(GO) test ./internal/wire/ -run xxx -bench 'BenchmarkWire' -benchmem
 
 # Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:

@@ -1,7 +1,7 @@
 // Command lbnode runs the wire-level cluster: nodes that speak the
 // balancing protocol over real TCP sockets (or in-memory loopback).
 //
-// Two modes:
+// Three modes:
 //
 //   - Spawn mode launches an n-node cluster in one command, each node
 //     on its own loopback-TCP socket (or over the in-memory transport
@@ -19,14 +19,29 @@
 //     lbnode -id 1 -listen :7101 -peers 0=host0:7100,1=host1:7101,2=host2:7102
 //     lbnode -id 2 -listen :7102 -peers 0=host0:7100,1=host1:7101,2=host2:7102
 //
-// In either mode -debug-addr serves live debug endpoints while the run
-// executes: Prometheus /metrics (per-reason abort counters, per-phase
-// protocol latency histograms, the live load distribution, wire
-// traffic), expvar-style /debug/vars, the protocol event /trace
-// (JSONL), /healthz, and net/http/pprof:
+//   - Aggregator mode scrapes the debug endpoints of running nodes and
+//     merges them into one cluster-wide view: summed counters, the
+//     cluster load distribution and global variation density, and
+//     cross-node balancing-operation timelines stitched by op id. One
+//     shot by default; with -debug-addr it serves the merged view live:
+//
+//     lbnode -aggregate http://host0:7200,http://host1:7201
+//     lbnode -aggregate http://host0:7200,http://host1:7201 -debug-addr :7300
+//
+// In spawn and daemon mode -debug-addr serves live debug endpoints
+// while the run executes: Prometheus /metrics (per-reason abort
+// counters, per-phase protocol latency histograms, the live load
+// distribution, wire traffic), expvar-style /debug/vars, the protocol
+// event /trace (JSONL, ?op= filters one operation), the time-series
+// /series (recorder snapshots every -series-period), /healthz (node
+// identity and current protocol epoch), and net/http/pprof:
 //
 //	lbnode -spawn 16 -debug-addr 127.0.0.1:7200 &
 //	curl -s http://127.0.0.1:7200/metrics | grep cluster_aborts_total
+//
+// Spawn mode with -debug-per-node gives every node its own registry and
+// endpoint (ports -debug-addr+i) — the multi-process observability
+// shape in one command, ready for -aggregate to scrape.
 //
 // The exit status is nonzero if the node (or, in spawn mode, the
 // cluster) observed a packet-conservation violation — which would be a
@@ -37,10 +52,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"lmbalance/internal/cluster"
@@ -64,14 +82,20 @@ func main() {
 		hot       = flag.Int("hot", -1, "first k nodes generate hot (0.9/0.1); -1 = n/4 in spawn mode, 0 in daemon mode")
 		seed      = flag.Uint64("seed", 1993, "cluster-wide seed")
 		timeout   = flag.Duration("timeout", 0, "initiator reply timeout (0 = default)")
+		minGap    = flag.Duration("min-initiate-gap", 0, "minimum interval between a node's own balance initiations (0 = no pacing)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-node table")
-		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars, /trace and /debug/pprof on this address during the run (e.g. 127.0.0.1:7200)")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars, /trace, /series and /debug/pprof on this address during the run (e.g. 127.0.0.1:7200)")
+		perNode   = flag.Bool("debug-per-node", false, "spawn mode: per-node registries and debug endpoints on ports debug-addr+i (requires -debug-addr)")
+		seriesP   = flag.Duration("series-period", 100*time.Millisecond, "time-series recorder sampling period (with -debug-addr)")
+		aggregate = flag.String("aggregate", "", "aggregator mode: comma-separated upstream debug URLs to scrape and merge")
 	)
 	flag.Parse()
 	o := options{
 		spawn: *spawn, transport: *transport, id: *id, listen: *listen, peers: *peers,
 		f: *f, delta: *delta, steps: *steps, gen: *gen, con: *con, hot: *hot,
-		seed: *seed, timeout: *timeout, quiet: *quiet, debugAddr: *debugAddr,
+		seed: *seed, timeout: *timeout, minInitGap: *minGap, quiet: *quiet,
+		debugAddr: *debugAddr, debugPerNode: *perNode, seriesPeriod: *seriesP,
+		aggregate: *aggregate,
 	}
 	conserved, err := run(o, os.Stdout)
 	if err != nil {
@@ -85,38 +109,36 @@ func main() {
 }
 
 type options struct {
-	spawn            int
-	transport        string
-	id               int
-	listen, peers    string
-	f                float64
-	delta, steps     int
-	gen, con         float64
-	hot              int
-	seed             uint64
-	timeout          time.Duration
-	quiet            bool
-	debugAddr        string
+	spawn         int
+	transport     string
+	id            int
+	listen, peers string
+	f             float64
+	delta, steps  int
+	gen, con      float64
+	hot           int
+	seed          uint64
+	timeout       time.Duration
+	minInitGap    time.Duration
+	quiet         bool
+	debugAddr     string
+	debugPerNode  bool
+	seriesPeriod  time.Duration
+	aggregate     string
+
+	// stop, when non-nil, ends a serving aggregator as if interrupted
+	// (test hook; main leaves it nil and serves until SIGINT/SIGTERM).
+	stop <-chan struct{}
 }
 
 func run(o options, w io.Writer) (conserved bool, err error) {
-	// -debug-addr turns on instrumentation: one registry shared by
-	// every node in this process (spawn mode aggregates cluster-wide),
-	// served over HTTP for the lifetime of the run.
-	var reg *obs.Registry
-	if o.debugAddr != "" {
-		reg = obs.NewRegistry()
-		srv, err := obs.ServeDebug(o.debugAddr, reg)
-		if err != nil {
-			return false, err
-		}
-		defer srv.Close()
-		fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /debug/pprof/\n", srv.URL())
+	if o.aggregate != "" {
+		return runAggregate(o, w)
 	}
 	if o.spawn > 0 {
-		return runSpawn(o, reg, w)
+		return runSpawn(o, w)
 	}
-	return runDaemon(o, reg, w)
+	return runDaemon(o, w)
 }
 
 // clampDelta caps δ at n−1 (the whole cluster), matching lbsim: a
@@ -143,11 +165,65 @@ func hotProbs(n, hot int, gen, con float64) (gp, cp []float64) {
 	return gp, cp
 }
 
+// nodeHealth builds the /healthz identity callback for one node: its
+// cluster id and live protocol epoch, so a probe learns which node
+// answered and whether its protocol state is advancing.
+func nodeHealth(nd *cluster.Node) func() map[string]string {
+	return func() map[string]string {
+		return map[string]string{
+			"node":  strconv.Itoa(nd.ID()),
+			"epoch": strconv.FormatUint(nd.Epoch(), 10),
+		}
+	}
+}
+
+// perNodeAddr derives node i's debug address from the base -debug-addr:
+// same host, port+i (port 0 stays 0 — every node gets an ephemeral
+// port).
+func perNodeAddr(base string, i int) (string, error) {
+	host, ps, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("-debug-addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(ps)
+	if err != nil {
+		return "", fmt.Errorf("-debug-addr %q: port is not numeric: %w", base, err)
+	}
+	if port != 0 {
+		port += i
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
+}
+
 // runSpawn launches a whole cluster in-process and reports it.
-func runSpawn(o options, reg *obs.Registry, w io.Writer) (bool, error) {
+func runSpawn(o options, w io.Writer) (bool, error) {
 	n := o.spawn
 	if n < 2 {
 		return false, fmt.Errorf("-spawn %d: need at least 2 nodes", n)
+	}
+	if o.debugPerNode && o.debugAddr == "" {
+		return false, fmt.Errorf("-debug-per-node requires -debug-addr")
+	}
+	// Registries: one shared (cluster-aggregated) by default, one per
+	// node with -debug-per-node — the multi-process shape in one
+	// process, each node scrape-able on its own endpoint.
+	var shared *obs.Registry
+	var regs []*obs.Registry
+	if o.debugAddr != "" {
+		if o.debugPerNode {
+			regs = make([]*obs.Registry, n)
+			for i := range regs {
+				regs[i] = obs.NewRegistry()
+			}
+		} else {
+			shared = obs.NewRegistry()
+		}
+	}
+	regFor := func(i int) *obs.Registry {
+		if regs != nil {
+			return regs[i]
+		}
+		return shared
 	}
 	var transports []wire.Transport
 	switch o.transport {
@@ -158,15 +234,15 @@ func runSpawn(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 		}
 		transports = make([]wire.Transport, n)
 		for i, t := range ts {
-			t.Register(reg)
+			t.Register(regFor(i))
 			transports[i] = t
 		}
 	case "inproc":
-		net := wire.NewLoopback(n)
+		lnet := wire.NewLoopback(n)
 		transports = make([]wire.Transport, n)
 		for i := range transports {
-			ep := net.Transport(i)
-			ep.Register(reg)
+			ep := lnet.Transport(i)
+			ep.Register(regFor(i))
 			transports[i] = ep
 		}
 	default:
@@ -177,11 +253,76 @@ func runSpawn(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 		hot = n / 4
 	}
 	gp, cp := hotProbs(n, hot, o.gen, o.con)
-	res, err := cluster.RunCluster(cluster.ClusterConfig{
+	nodes, err := cluster.NewNodes(cluster.ClusterConfig{
 		N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: gp, ConP: cp, Seed: o.seed, Timeout: o.timeout,
-		Obs: reg,
+		MinInitGap: o.minInitGap,
+		Obs:        shared, ObsPerNode: regs,
 	}, transports)
+	if err != nil {
+		return false, err
+	}
+	// Debug servers and recorders come up after the nodes exist (the
+	// health callback reports live node state) but before any node
+	// starts: a bound port fails the run before cluster work begins.
+	closeTransports := func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}
+	var recs []*obs.Recorder
+	stopRecs := func() {
+		for _, rec := range recs {
+			rec.Stop()
+		}
+	}
+	if o.debugAddr != "" {
+		if o.debugPerNode {
+			ids := make([]int, 1)
+			for i, nd := range nodes {
+				ids[0] = i
+				rec := cluster.NewRecorder(regs[i], ids, 0)
+				rec.Start(o.seriesPeriod)
+				recs = append(recs, rec)
+				addr, err := perNodeAddr(o.debugAddr, i)
+				if err != nil {
+					stopRecs()
+					closeTransports()
+					return false, err
+				}
+				srv, err := obs.ServeDebugOpts(addr, regs[i], obs.DebugOptions{Health: nodeHealth(nd)})
+				if err != nil {
+					stopRecs()
+					closeTransports()
+					return false, fmt.Errorf("node %d: %w", i, err)
+				}
+				defer srv.Close()
+				fmt.Fprintf(w, "node %d debug endpoints at %s: /metrics /series /trace /healthz\n", i, srv.URL())
+			}
+		} else {
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			rec := cluster.NewRecorder(shared, ids, 0)
+			rec.Start(o.seriesPeriod)
+			recs = append(recs, rec)
+			srv, err := obs.ServeDebugOpts(o.debugAddr, shared, obs.DebugOptions{
+				Health: func() map[string]string {
+					return map[string]string{"mode": "spawn", "nodes": strconv.Itoa(n)}
+				},
+			})
+			if err != nil {
+				stopRecs()
+				closeTransports()
+				return false, err
+			}
+			defer srv.Close()
+			fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /series /debug/pprof/\n", srv.URL())
+		}
+	}
+	res, err := cluster.RunNodes(nodes)
+	stopRecs()
 	if err != nil {
 		return false, err
 	}
@@ -200,13 +341,21 @@ func runSpawn(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 	ok := res.Conserved() && res.Summary.Conserved()
 	fmt.Fprintf(w, "total load %d  spread %d  ops %d  messages %d  wire bytes %d  elapsed %v\n",
 		res.TotalLoad(), res.Spread(), res.Completed(), res.Messages(), res.Bytes(), res.Elapsed.Round(time.Millisecond))
+	if o.minInitGap > 0 {
+		var deferred int64
+		for _, nd := range res.Nodes {
+			deferred += nd.RateLimited
+		}
+		fmt.Fprintf(w, "initiation pacing: gap %v deferred %d of %d triggers\n",
+			o.minInitGap, deferred, deferred+res.Initiated())
+	}
 	fmt.Fprintf(w, "conservation: %s (generated %d − consumed %d = held %d)\n",
 		okString(ok), res.Summary.Generated, res.Summary.Consumed, res.Summary.TotalLoad)
 	return ok, nil
 }
 
 // runDaemon runs one node of a distributed cluster.
-func runDaemon(o options, reg *obs.Registry, w io.Writer) (bool, error) {
+func runDaemon(o options, w io.Writer) (bool, error) {
 	table, err := parsePeers(o.peers)
 	if err != nil {
 		return false, err
@@ -228,6 +377,10 @@ func runDaemon(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 			peers[pid] = addr
 		}
 	}
+	var reg *obs.Registry
+	if o.debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	tp, err := wire.ListenTCP(o.id, listen, peers)
 	if err != nil {
 		return false, err
@@ -241,12 +394,33 @@ func runDaemon(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 	if o.id < hot {
 		genP, conP = 0.9, 0.1
 	}
-	fmt.Fprintf(w, "lbnode %d/%d listening on %v, peers %v\n", o.id, n, tp.Addr(), o.peers)
-	rep, err := cluster.Run(cluster.Config{
+	nd, err := cluster.New(cluster.Config{
 		ID: o.id, N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: genP, ConP: conP, Seed: o.seed, Transport: tp, Timeout: o.timeout,
-		Obs: reg,
+		MinInitGap: o.minInitGap,
+		Obs:        reg,
 	})
+	if err != nil {
+		tp.Close()
+		return false, err
+	}
+	if o.debugAddr != "" {
+		rec := cluster.NewRecorder(reg, []int{o.id}, 0)
+		rec.Start(o.seriesPeriod)
+		defer rec.Stop()
+		// Fail fast, naming the node: a daemon that silently ran without
+		// its endpoints would be invisible to the aggregator.
+		srv, err := obs.ServeDebugOpts(o.debugAddr, reg, obs.DebugOptions{Health: nodeHealth(nd)})
+		if err != nil {
+			tp.Close()
+			return false, fmt.Errorf("node %d: %w", o.id, err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /series /debug/pprof/\n", srv.URL())
+	}
+	fmt.Fprintf(w, "lbnode %d/%d listening on %v, peers %v\n", o.id, n, tp.Addr(), o.peers)
+	nd.Start()
+	rep, err := nd.Wait()
 	if err != nil {
 		return false, err
 	}
@@ -260,6 +434,87 @@ func runDaemon(o options, reg *obs.Registry, w io.Writer) (bool, error) {
 	fmt.Fprintf(w, "cluster conservation: %s (%d nodes, generated %d − consumed %d = held %d)\n",
 		okString(ok), rep.Summary.Nodes, rep.Summary.Generated, rep.Summary.Consumed, rep.Summary.TotalLoad)
 	return ok, nil
+}
+
+// runAggregate scrapes the upstream debug endpoints and reports the
+// merged cluster view. With -debug-addr it serves the merged view live
+// (every request re-scrapes) until interrupted; otherwise it is a one
+// shot: scrape, print, exit.
+func runAggregate(o options, w io.Writer) (bool, error) {
+	var urls []string
+	for _, u := range strings.Split(o.aggregate, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, strings.TrimRight(u, "/"))
+	}
+	if len(urls) == 0 {
+		return false, fmt.Errorf("-aggregate lists no upstream URLs")
+	}
+	if o.debugAddr != "" {
+		srv, err := obs.ServeAggregator(o.debugAddr, urls)
+		if err != nil {
+			return false, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "aggregator endpoints at %s: /cluster /metrics /series /trace /healthz (%d upstreams)\n",
+			srv.URL(), len(urls))
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		select {
+		case <-sig:
+		case <-o.stop:
+		}
+		return true, nil
+	}
+	v, err := obs.Aggregate(urls)
+	if err != nil {
+		return false, err
+	}
+	tb := trace.NewTable(fmt.Sprintf("aggregated cluster view (%d upstreams)", len(urls)),
+		"upstream", "status")
+	for i := range v.Nodes {
+		status := "ok"
+		if v.Nodes[i].Err != nil {
+			status = v.Nodes[i].Err.Error()
+		}
+		tb.AddRow(v.Nodes[i].URL, status)
+	}
+	if err := tb.WriteText(w); err != nil {
+		return false, err
+	}
+	dn, mean, std, vd := v.Dist(obs.LoadGaugeBase)
+	fmt.Fprintf(w, "cluster load: %d nodes  mean %.2f  std %.2f  VD %.3f\n", dn, mean, std, vd)
+	fmt.Fprintf(w, "stitched operations: %d\n", len(v.Ops))
+	// Conservation, re-derived from the scrapes alone. Mid-run the
+	// totals legitimately differ by the load in flight, so the check is
+	// reported, not enforced.
+	sumBase := func(base string) (sum float64, series int) {
+		for name, val := range v.Metrics {
+			if strings.HasPrefix(name, base+"{") {
+				sum += val
+				series++
+			}
+		}
+		return sum, series
+	}
+	loads, _ := sumBase("cluster_node_load")
+	gens, nGen := sumBase("cluster_node_generated_total")
+	cons, nCon := sumBase("cluster_node_consumed_total")
+	if nGen > 0 && nCon > 0 {
+		if diff := gens - cons - loads; diff == 0 {
+			fmt.Fprintf(w, "conservation: EXACT (generated %.0f − consumed %.0f = held %.0f)\n", gens, cons, loads)
+		} else {
+			fmt.Fprintf(w, "conservation: %.0f in flight (generated %.0f − consumed %.0f vs held %.0f)\n",
+				diff, gens, cons, loads)
+		}
+	}
+	return true, nil
 }
 
 // parsePeers parses "0=host:port,1=host:port,..." into an id→addr

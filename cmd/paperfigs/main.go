@@ -78,6 +78,9 @@ var artifacts = []artifact{
 	{"abortanatomy", "per-reason anatomy of the TCP abort fraction (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.AbortAnatomy(s, seed)
 	}},
+	{"vdtraj", "variation-density trajectory: §5 convergence in t (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
+		return experiments.VDTrajectory(s, seed)
+	}},
 	{"ablations", "design-choice ablations (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.Ablations(s, seed)
 	}},

@@ -37,6 +37,7 @@ package cluster
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"lmbalance/internal/obs"
@@ -86,6 +87,15 @@ type Config struct {
 	// Tick is the granularity at which a blocked node checks its
 	// timeouts. 0 selects DefaultTick.
 	Tick time.Duration
+	// MinInitGap, when positive, is the minimum wall-clock interval
+	// between this node's own balance initiations: a trigger that fires
+	// sooner is deferred (the trigger condition re-evaluates on later
+	// steps, so the initiation is delayed, not lost unless the load
+	// recovers on its own). It paces initiation pressure on real
+	// networks, where simultaneous initiators freeze each other into
+	// near-total abort storms (see the ROADMAP's TCP abort item). 0
+	// disables pacing.
+	MinInitGap time.Duration
 	// Obs optionally attaches the node's instrumentation — per-reason
 	// abort counters, per-phase latency histograms, the live load
 	// distribution, and the protocol event trace — to a registry (see
@@ -111,7 +121,7 @@ func (c *Config) validate() error {
 		return fmt.Errorf("cluster: probabilities (%v, %v) outside [0,1]", c.GenP, c.ConP)
 	case c.Transport == nil:
 		return fmt.Errorf("cluster: nil Transport")
-	case c.Timeout < 0 || c.FreezeTimeout < 0 || c.Tick < 0:
+	case c.Timeout < 0 || c.FreezeTimeout < 0 || c.Tick < 0 || c.MinInitGap < 0:
 		return fmt.Errorf("cluster: negative timeout")
 	}
 	return nil
@@ -151,6 +161,7 @@ type Stats struct {
 	Aborted   int64 // protocols aborted (busy partner or timeout)
 	Timeouts  int64 // aborts caused by the reply timeout
 	FreezeExpired int64 // freezes released by the partner's own timeout
+	RateLimited   int64 // initiations deferred by MinInitGap pacing
 
 	// Wire-level counters, from the transport.
 	MsgsSent, MsgsRecv   int64
@@ -181,18 +192,22 @@ type Report struct {
 
 // Node is one running cluster node.
 type Node struct {
-	cfg  Config
-	rng  *rng.RNG
-	done chan struct{}
-	rep  *Report
-	err  error
+	cfg   Config
+	rng   *rng.RNG
+	opRNG *rng.RNG // dedicated stream for op ids; never touches workload draws
+	done  chan struct{}
+	rep   *Report
+	err   error
 
 	load int
 	lOld int
 
 	// initiator-side protocol state
 	inflight   bool
+	op         uint64 // current balancing-operation id (0 = none); minted per initiate
+	lastInitAt time.Time
 	seq        uint64 // protocol epoch; bumped per initiate and per abandon
+	epoch      atomic.Uint64 // mirrors seq for cross-goroutine readers (Epoch)
 	awaiting   int
 	sawBusy    bool
 	ackedFrom  []int
@@ -207,6 +222,7 @@ type Node struct {
 	frozen    bool
 	frozenBy  int
 	frozenSeq uint64
+	frozenOp  uint64 // the freezing operation's id, echoed on our replies
 	frozeAt   time.Time
 
 	stepsDone int
@@ -230,16 +246,44 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:  cfg,
-		rng:  rng.New(rng.Mix64(cfg.Seed, uint64(cfg.ID))),
-		done: make(chan struct{}),
-		met:  newNodeMetrics(cfg.Obs, cfg.ID),
+		cfg: cfg,
+		rng: rng.New(rng.Mix64(cfg.Seed, uint64(cfg.ID))),
+		// Op ids come from their own stream, salted off the workload
+		// stream's seed: minting an id must not perturb the Bernoulli
+		// draws, or turning tracing on would change the run.
+		opRNG: rng.New(rng.Mix64(rng.Mix64(cfg.Seed, uint64(cfg.ID)), opStreamSalt)),
+		done:  make(chan struct{}),
+		met:   newNodeMetrics(cfg.Obs, cfg.ID),
 	}
 	if cfg.ID == 0 {
 		n.idleFrom = make(map[int]bool, cfg.N)
 	}
 	return n, nil
 }
+
+// opStreamSalt separates the op-id rng stream from the workload stream
+// (which is seeded with Mix64(Seed, ID) directly).
+const opStreamSalt = 0x6f705f6964 // "op_id"
+
+// mintOp draws a fresh nonzero operation id. Ids are rng-derived, so a
+// given (seed, node) mints the same id sequence on every run — traces
+// are comparable across reruns — while distinct initiators collide with
+// probability ~2^-64.
+func (n *Node) mintOp() uint64 {
+	for {
+		if op := n.opRNG.Uint64(); op != 0 {
+			return op
+		}
+	}
+}
+
+// ID returns this node's cluster id.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Epoch returns the node's current protocol epoch (the Seq stamped on
+// its next initiation's messages). Safe to call from any goroutine —
+// /healthz reports it live.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
 
 // Start launches the node's event loop in its own goroutine.
 func (n *Node) Start() {
@@ -375,14 +419,14 @@ func (n *Node) checkTimeouts() {
 			reason = AbortStaleEpoch
 		}
 		n.met.abort[reason].Inc()
-		n.met.trace(n.cfg.ID, "abort", "reason=%s seq=%d", reason, n.seq)
+		n.met.traceOp(n.cfg.ID, n.op, "abort", "reason=%s seq=%d", reason, n.seq)
 		n.abandon()
 	}
 	if n.frozen && now.Sub(n.frozeAt) > n.cfg.freezeTimeout() {
 		n.stats.FreezeExpired++
 		n.met.freezeExpired.Inc()
 		n.met.phaseFrozen.ObserveSince(n.frozeAt)
-		n.met.trace(n.cfg.ID, "freeze_expired", "by=%d", n.frozenBy)
+		n.met.traceOp(n.cfg.ID, n.frozenOp, "freeze_expired", "by=%d", n.frozenBy)
 		n.frozen = false
 	}
 }
@@ -393,10 +437,12 @@ func (n *Node) step() {
 	if n.rng.Bernoulli(n.cfg.GenP) {
 		n.load++
 		n.stats.Generated++
+		n.met.generated.Inc()
 	}
 	if n.rng.Bernoulli(n.cfg.ConP) && n.load > 0 {
 		n.load--
 		n.stats.Consumed++
+		n.met.consumed.Inc()
 	}
 	// One load sample per workload step: the cluster-wide histogram's
 	// online moments yield the live variation density (paper §5).
@@ -407,6 +453,14 @@ func (n *Node) step() {
 		return
 	}
 	if n.trigger() {
+		// Pacing: a trigger inside the MinInitGap window is deferred,
+		// not serviced — the condition re-fires on a later step while
+		// the load imbalance persists.
+		if gap := n.cfg.MinInitGap; gap > 0 && !n.lastInitAt.IsZero() && time.Since(n.lastInitAt) < gap {
+			n.stats.RateLimited++
+			n.met.rateLimited.Inc()
+			return
+		}
 		n.initiate()
 	}
 }
@@ -424,7 +478,10 @@ func (n *Node) initiate() {
 	n.candBuf = n.rng.SampleDistinct(n.cfg.N, n.cfg.Delta, n.cfg.ID, n.candBuf)
 	n.inflight = true
 	n.seq++
+	n.epoch.Store(n.seq)
+	n.op = n.mintOp()
 	n.protoAt = time.Now()
+	n.lastInitAt = n.protoAt
 	n.awaiting = len(n.candBuf)
 	n.sawBusy = false
 	n.staleSeen = false
@@ -433,9 +490,9 @@ func (n *Node) initiate() {
 	n.ackedLoads = n.ackedLoads[:0]
 	n.stats.Initiated++
 	n.met.initiated.Inc()
-	n.met.trace(n.cfg.ID, "initiate", "seq=%d delta=%d load=%d", n.seq, len(n.candBuf), n.load)
+	n.met.traceOp(n.cfg.ID, n.op, "initiate", "seq=%d delta=%d load=%d", n.seq, len(n.candBuf), n.load)
 	for _, c := range n.candBuf {
-		n.send(c, wire.Msg{Kind: wire.FreezeReq, Seq: n.seq})
+		n.send(c, wire.Msg{Kind: wire.FreezeReq, Seq: n.seq, Op: n.op})
 	}
 }
 
@@ -445,9 +502,12 @@ func (n *Node) initiate() {
 func (n *Node) abandon() {
 	n.inflight = false
 	for _, p := range n.ackedFrom {
-		n.send(p, wire.Msg{Kind: wire.Release, Seq: n.seq})
+		n.met.traceOp(n.cfg.ID, n.op, "release", "to=%d seq=%d", p, n.seq)
+		n.send(p, wire.Msg{Kind: wire.Release, Seq: n.seq, Op: n.op})
 	}
 	n.seq++
+	n.epoch.Store(n.seq)
+	n.op = 0
 	n.awaiting = 0
 	n.sawBusy = false
 	n.stats.Aborted++
@@ -462,22 +522,23 @@ func (n *Node) handle(m wire.Msg) {
 	switch m.Kind {
 	case wire.FreezeReq:
 		if n.inflight || n.frozen {
-			n.send(m.From, wire.Msg{Kind: wire.FreezeBusy, Seq: m.Seq})
+			n.send(m.From, wire.Msg{Kind: wire.FreezeBusy, Seq: m.Seq, Op: m.Op})
 			return
 		}
 		n.frozen = true
 		n.frozenBy = m.From
 		n.frozenSeq = m.Seq
+		n.frozenOp = m.Op
 		n.frozeAt = time.Now()
-		n.met.trace(n.cfg.ID, "freeze", "by=%d seq=%d", m.From, m.Seq)
-		n.send(m.From, wire.Msg{Kind: wire.FreezeAck, Load: n.load, Seq: m.Seq})
+		n.met.traceOp(n.cfg.ID, m.Op, "freeze", "by=%d seq=%d load=%d", m.From, m.Seq, n.load)
+		n.send(m.From, wire.Msg{Kind: wire.FreezeAck, Load: n.load, Seq: m.Seq, Op: m.Op})
 
 	case wire.FreezeAck:
 		if !n.inflight || m.Seq != n.seq {
 			// Stale ack from a protocol we abandoned: release the
 			// partner immediately rather than leave it to its timeout.
 			n.staleSeen = n.inflight
-			n.send(m.From, wire.Msg{Kind: wire.Release, Seq: m.Seq})
+			n.send(m.From, wire.Msg{Kind: wire.Release, Seq: m.Seq, Op: m.Op})
 			return
 		}
 		n.awaiting--
@@ -507,7 +568,8 @@ func (n *Node) handle(m wire.Msg) {
 		// are actually in (a late transfer from an expired freeze must
 		// not terminate a newer protocol's freeze).
 		n.load += m.Amount
-		n.send(m.From, wire.Msg{Kind: wire.TransferAck, Seq: m.Seq})
+		n.met.traceOp(n.cfg.ID, m.Op, "transfer", "from=%d amount=%d load=%d", m.From, m.Amount, n.load)
+		n.send(m.From, wire.Msg{Kind: wire.TransferAck, Seq: m.Seq, Op: m.Op})
 		if !n.frozen || (n.frozenBy == m.From && n.frozenSeq == m.Seq) {
 			if n.frozen {
 				n.met.phaseFrozen.ObserveSince(n.frozeAt)
@@ -520,6 +582,7 @@ func (n *Node) handle(m wire.Msg) {
 	case wire.TransferAck:
 		if n.unacked > 0 {
 			n.unacked--
+			n.met.traceOp(n.cfg.ID, m.Op, "transfer_ack", "from=%d outstanding=%d", m.From, n.unacked)
 			// Acks within one protocol land in near-send order, so FIFO
 			// pairing against the send times is exact enough for the
 			// transfer_ack phase histogram.
@@ -533,6 +596,7 @@ func (n *Node) handle(m wire.Msg) {
 	case wire.Release:
 		if n.frozen && n.frozenBy == m.From && n.frozenSeq == m.Seq {
 			n.met.phaseFrozen.ObserveSince(n.frozeAt)
+			n.met.traceOp(n.cfg.ID, m.Op, "release", "by=%d seq=%d", m.From, m.Seq)
 			n.frozen = false
 		}
 
@@ -581,11 +645,13 @@ func (n *Node) resolve() {
 	n.met.phaseCollect.ObserveSince(n.protoAt)
 	if n.sawBusy {
 		for _, p := range n.ackedFrom {
-			n.send(p, wire.Msg{Kind: wire.Release, Seq: n.seq})
+			n.met.traceOp(n.cfg.ID, n.op, "release", "to=%d seq=%d", p, n.seq)
+			n.send(p, wire.Msg{Kind: wire.Release, Seq: n.seq, Op: n.op})
 		}
 		n.stats.Aborted++
 		n.met.abort[AbortPeerFrozen].Inc()
-		n.met.trace(n.cfg.ID, "abort", "reason=%s seq=%d", AbortPeerFrozen, n.seq)
+		n.met.traceOp(n.cfg.ID, n.op, "abort", "reason=%s seq=%d", AbortPeerFrozen, n.seq)
+		n.op = 0
 		n.backoff = 1 + n.rng.Intn(defaultBackoffSteps)
 		return
 	}
@@ -610,7 +676,7 @@ func (n *Node) resolve() {
 	n.load = share(0)
 	n.lOld = n.load
 	for i, p := range n.ackedFrom {
-		n.send(p, wire.Msg{Kind: wire.Transfer, Amount: share(i+1) - n.ackedLoads[i], Seq: n.seq})
+		n.send(p, wire.Msg{Kind: wire.Transfer, Amount: share(i+1) - n.ackedLoads[i], Seq: n.seq, Op: n.op})
 		n.unacked++
 		if n.met.phaseXfer != nil {
 			n.xferSent = append(n.xferSent, time.Now())
@@ -619,5 +685,6 @@ func (n *Node) resolve() {
 	n.stats.Completed++
 	n.met.completed.Inc()
 	n.met.loadGauge.Set(int64(n.load))
-	n.met.trace(n.cfg.ID, "resolve", "seq=%d partners=%d load=%d", n.seq, len(n.ackedFrom), n.load)
+	n.met.traceOp(n.cfg.ID, n.op, "resolve", "seq=%d partners=%d load=%d", n.seq, len(n.ackedFrom), n.load)
+	n.op = 0
 }

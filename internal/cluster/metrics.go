@@ -48,6 +48,14 @@ type nodeMetrics struct {
 	initiated     *obs.Counter
 	completed     *obs.Counter
 	freezeExpired *obs.Counter
+	rateLimited   *obs.Counter // initiations deferred by MinInitGap
+
+	// generated/consumed are per-node (unlike the shared counters
+	// above): together with the per-node load gauge they let an external
+	// aggregator (obs.Aggregate) re-derive the cluster conservation
+	// audit — Σ load == Σ generated − Σ consumed — from scrapes alone.
+	generated *obs.Counter
+	consumed  *obs.Counter
 
 	abort map[string]*obs.Counter // keyed by the Abort* reasons
 
@@ -67,6 +75,9 @@ func newNodeMetrics(reg *obs.Registry, id int) nodeMetrics {
 		initiated:     reg.Counter("cluster_protocols_initiated_total"),
 		completed:     reg.Counter("cluster_protocols_completed_total"),
 		freezeExpired: reg.Counter("cluster_freeze_expired_total"),
+		rateLimited:   reg.Counter("cluster_initiations_ratelimited_total"),
+		generated:     reg.Counter(fmt.Sprintf(`cluster_node_generated_total{node="%d"}`, id)),
+		consumed:      reg.Counter(fmt.Sprintf(`cluster_node_consumed_total{node="%d"}`, id)),
 		abort:         make(map[string]*obs.Counter, 4),
 		phaseReply:    reg.Histogram(phaseName(PhaseReply), obs.LatencyBuckets),
 		phaseCollect:  reg.Histogram(phaseName(PhaseCollect), obs.LatencyBuckets),
@@ -96,6 +107,13 @@ func phaseName(phase string) string {
 // trace records one protocol event, skipping the fmt work entirely when
 // tracing is disabled.
 func (m *nodeMetrics) trace(node int, kind, format string, args ...any) {
+	m.traceOp(node, 0, kind, format, args...)
+}
+
+// traceOp records one protocol event tagged with a balancing-operation
+// id, so the event joins that operation's cross-node timeline (op 0 is
+// the untagged case — events outside any operation).
+func (m *nodeMetrics) traceOp(node int, op uint64, kind, format string, args ...any) {
 	if m.tracer == nil {
 		return
 	}
@@ -103,5 +121,5 @@ func (m *nodeMetrics) trace(node int, kind, format string, args ...any) {
 	if len(args) > 0 {
 		detail = fmt.Sprintf(format, args...)
 	}
-	m.tracer.Record(node, kind, detail)
+	m.tracer.RecordOp(node, op, kind, detail)
 }

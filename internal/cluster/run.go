@@ -25,12 +25,17 @@ type ClusterConfig struct {
 	// Seed seeds the whole cluster; node i draws from the stream
 	// rng.Mix64(Seed, i).
 	Seed uint64
-	// Timeout, FreezeTimeout, Tick as in Config.
-	Timeout, FreezeTimeout, Tick time.Duration
+	// Timeout, FreezeTimeout, Tick, MinInitGap as in Config.
+	Timeout, FreezeTimeout, Tick, MinInitGap time.Duration
 	// Obs is handed to every node, so the whole cluster aggregates into
 	// one registry (abort reasons, phase timings, the live load
 	// distribution). Nil disables instrumentation.
 	Obs *obs.Registry
+	// ObsPerNode, when non-empty (length N), gives node i its own
+	// registry instead of the shared Obs — the multi-process
+	// observability shape run in one process: each node serves its own
+	// debug endpoint and obs.Aggregate merges the scrapes.
+	ObsPerNode []*obs.Registry
 }
 
 func probAt(ps []float64, i int) float64 {
@@ -122,6 +127,19 @@ func (r *Result) Conserved() bool {
 // cluster has retired through the two-phase shutdown. transports[i] is
 // node i's; each node closes its own transport.
 func RunCluster(cfg ClusterConfig, transports []wire.Transport) (*Result, error) {
+	nodes, err := NewNodes(cfg, transports)
+	if err != nil {
+		return nil, err
+	}
+	return RunNodes(nodes)
+}
+
+// NewNodes validates the configuration and constructs — without
+// starting — one node per transport. It exists for embedders that need
+// the node handles before the run begins (e.g. cmd/lbnode wiring each
+// node's id and live epoch into its own /healthz); RunNodes then runs
+// them. On error every transport is closed.
+func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 	if len(transports) != cfg.N {
 		return nil, fmt.Errorf("cluster: %d transports for %d nodes", len(transports), cfg.N)
 	}
@@ -129,6 +147,9 @@ func RunCluster(cfg ClusterConfig, transports []wire.Transport) (*Result, error)
 		if len(ps) > 1 && len(ps) != cfg.N {
 			return nil, fmt.Errorf("cluster: probability slice length %d, need 1 or %d", len(ps), cfg.N)
 		}
+	}
+	if len(cfg.ObsPerNode) > 0 && len(cfg.ObsPerNode) != cfg.N {
+		return nil, fmt.Errorf("cluster: %d per-node registries for %d nodes", len(cfg.ObsPerNode), cfg.N)
 	}
 	if len(cfg.GenP) == 0 {
 		cfg.GenP = []float64{0.5}
@@ -138,12 +159,17 @@ func RunCluster(cfg ClusterConfig, transports []wire.Transport) (*Result, error)
 	}
 	nodes := make([]*Node, cfg.N)
 	for i := 0; i < cfg.N; i++ {
+		reg := cfg.Obs
+		if len(cfg.ObsPerNode) > 0 {
+			reg = cfg.ObsPerNode[i]
+		}
 		n, err := New(Config{
 			ID: i, N: cfg.N, Delta: cfg.Delta, F: cfg.F, Steps: cfg.Steps,
 			GenP: probAt(cfg.GenP, i), ConP: probAt(cfg.ConP, i),
 			Seed: cfg.Seed, Transport: transports[i],
 			Timeout: cfg.Timeout, FreezeTimeout: cfg.FreezeTimeout, Tick: cfg.Tick,
-			Obs: cfg.Obs,
+			MinInitGap: cfg.MinInitGap,
+			Obs:        reg,
 		})
 		if err != nil {
 			// Nothing started yet: close all transports and bail.
@@ -154,11 +180,17 @@ func RunCluster(cfg ClusterConfig, transports []wire.Transport) (*Result, error)
 		}
 		nodes[i] = n
 	}
+	return nodes, nil
+}
+
+// RunNodes starts every prepared node and blocks until the cluster has
+// retired, assembling the combined Result.
+func RunNodes(nodes []*Node) (*Result, error) {
 	start := time.Now()
 	for _, n := range nodes {
 		n.Start()
 	}
-	res := &Result{Nodes: make([]Stats, cfg.N)}
+	res := &Result{Nodes: make([]Stats, len(nodes))}
 	var firstErr error
 	for i, n := range nodes {
 		rep, err := n.Wait()

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"time"
 )
 
@@ -15,8 +17,10 @@ import (
 //
 //	/metrics      the registry in Prometheus text exposition format
 //	/debug/vars   expvar-style JSON (process vars plus the registry)
-//	/trace        the tracer's recent events as JSONL
-//	/healthz      liveness ("ok")
+//	/trace        the tracer's recent events as JSONL; ?op=<id> keeps
+//	              only one balancing operation's events (decimal or 0x hex)
+//	/series       the attached time-series recorder as JSON
+//	/healthz      liveness ("ok", plus any configured identity lines)
 //	/debug/pprof  the standard Go profiler endpoints
 //
 // The server owns its listener and goroutine; Close shuts it down and
@@ -27,10 +31,24 @@ type DebugServer struct {
 	served chan struct{}
 }
 
+// DebugOptions tunes ServeDebugOpts beyond the registry.
+type DebugOptions struct {
+	// Health, when non-nil, is queried per /healthz request; its
+	// key=value pairs are appended (sorted by key) after the "ok" line,
+	// so a probe learns *which* node answered — id, current protocol
+	// epoch — not just that something did.
+	Health func() map[string]string
+}
+
 // ServeDebug starts a debug server on addr (e.g. "127.0.0.1:0") over
 // the given registry. A nil registry serves empty metrics — the
 // endpoints stay up so probes and dashboards need not care.
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeDebugOpts(addr, reg, DebugOptions{})
+}
+
+// ServeDebugOpts is ServeDebug with options (health identity lines).
+func ServeDebugOpts(addr string, reg *Registry, opts DebugOptions) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
@@ -43,6 +61,18 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		if opts.Health == nil {
+			return
+		}
+		kv := opts.Health()
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s=%s\n", k, kv[k])
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -51,11 +81,29 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		serveVars(w, reg)
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		if reg != nil {
-			_ = reg.Tracer().WriteJSONL(w)
+		if reg == nil {
+			return
 		}
+		if q := r.URL.Query().Get("op"); q != "" {
+			op, err := strconv.ParseUint(q, 0, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad op %q: %v", q, err), http.StatusBadRequest)
+				return
+			}
+			_ = reg.Tracer().WriteJSONLOp(w, op)
+			return
+		}
+		_ = reg.Tracer().WriteJSONL(w)
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var rec *Recorder
+		if reg != nil {
+			rec = reg.Recorder()
+		}
+		_ = rec.WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

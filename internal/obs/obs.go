@@ -114,6 +114,7 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]Metric
 	tracer  *Tracer
+	rec     *Recorder
 }
 
 // NewRegistry returns an empty registry.
@@ -212,6 +213,31 @@ func (r *Registry) SetTracer(t *Tracer) {
 	}
 	r.mu.Lock()
 	r.tracer = t
+	r.mu.Unlock()
+}
+
+// Recorder returns the registry's time-series recorder, or nil if none
+// was attached. Unlike Tracer it is not auto-created: a recorder's
+// columns are component-specific, so whoever owns the registry decides
+// what to record (e.g. cluster.NewRecorder) and attaches it with
+// SetRecorder.
+func (r *Registry) Recorder() *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rec
+}
+
+// SetRecorder attaches the registry's time-series recorder; the debug
+// server's /series endpoint exports it. Intended for setup time.
+func (r *Registry) SetRecorder(rec *Recorder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rec = rec
 	r.mu.Unlock()
 }
 

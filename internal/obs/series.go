@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultSeriesCapacity is the ring capacity NewRecorder uses when the
+// caller does not size one explicitly.
+const DefaultSeriesCapacity = 1024
+
+// Recorder is the time-series side of the observability layer: a
+// fixed-capacity ring of periodic snapshots over caller-selected
+// sources — gauges, histogram moments (mean/std/VD), counter values and
+// per-second counter rates. Where a Histogram answers "what is the
+// distribution so far", the recorder answers "how did it get there":
+// the paper's §5 claim is that the variation density converges *in t*,
+// and only a trajectory can show that.
+//
+// Columns are declared up front (Column and the typed helpers); Sample
+// then appends one row — one float64 per column plus a timestamp — and
+// Start runs Sample on a background ticker. Old rows are overwritten
+// once the ring is full, so a recorder never grows; recording never
+// allocates beyond the preallocated ring. All methods no-op on a nil
+// receiver, matching the rest of the package's disabled path.
+type Recorder struct {
+	mu   sync.Mutex
+	cols []seriesColumn
+	at   []int64     // unix microseconds, parallel to rows
+	rows [][]float64 // ring; each row has len(cols) values
+	next int
+	full bool
+
+	period time.Duration // last Start period (0 before Start)
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// seriesColumn is one recorded source. For rate columns the sampled
+// value is the per-second increase of fn since the previous sample.
+type seriesColumn struct {
+	name  string
+	fn    func() float64
+	rate  bool
+	prev  float64
+	prevT int64 // unix microseconds of the previous sample; 0 = none
+}
+
+// NewRecorder returns a recorder holding the last capacity samples
+// (DefaultSeriesCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &Recorder{
+		at:   make([]int64, capacity),
+		rows: make([][]float64, capacity),
+	}
+}
+
+// Column declares one sampled source. Declare every column before the
+// first Sample/Start: changing the column set afterwards resets the
+// ring (rows of a different width cannot be compared).
+func (r *Recorder) Column(name string, fn func() float64) *Recorder {
+	if r == nil || fn == nil {
+		return r
+	}
+	r.mu.Lock()
+	r.cols = append(r.cols, seriesColumn{name: name, fn: fn})
+	r.resetLocked()
+	r.mu.Unlock()
+	return r
+}
+
+// RateColumn declares a source recorded as a per-second rate: each
+// sample stores (fn − previous fn) / elapsed seconds. The first sample
+// of a rate column is 0 (no baseline yet). Use it to turn cumulative
+// counters — e.g. per-reason abort totals — into abort *rates* over the
+// run.
+func (r *Recorder) RateColumn(name string, fn func() float64) *Recorder {
+	if r == nil || fn == nil {
+		return r
+	}
+	r.mu.Lock()
+	r.cols = append(r.cols, seriesColumn{name: name, fn: fn, rate: true})
+	r.resetLocked()
+	r.mu.Unlock()
+	return r
+}
+
+// GaugeColumn records a gauge's instantaneous value.
+func (r *Recorder) GaugeColumn(name string, g *Gauge) *Recorder {
+	return r.Column(name, func() float64 { return float64(g.Value()) })
+}
+
+// CounterColumn records a counter's cumulative value.
+func (r *Recorder) CounterColumn(name string, c *Counter) *Recorder {
+	return r.Column(name, func() float64 { return float64(c.Value()) })
+}
+
+// CounterRateColumn records a counter as a per-second rate.
+func (r *Recorder) CounterRateColumn(name string, c *Counter) *Recorder {
+	return r.RateColumn(name, func() float64 { return float64(c.Value()) })
+}
+
+// HistogramColumns records a histogram's online moments — mean, std
+// and the paper's variation density — as three columns named
+// base_mean, base_std, base_vd.
+func (r *Recorder) HistogramColumns(base string, h *Histogram) *Recorder {
+	r.Column(base+"_mean", h.Mean)
+	r.Column(base+"_std", h.Std)
+	r.Column(base+"_vd", h.VD)
+	return r
+}
+
+// resetLocked drops buffered rows (the column set changed).
+func (r *Recorder) resetLocked() {
+	r.next, r.full = 0, false
+	for i := range r.rows {
+		r.rows[i] = nil
+	}
+}
+
+// Sample takes one snapshot of every column now.
+func (r *Recorder) Sample() {
+	if r == nil {
+		return
+	}
+	r.sampleAt(time.Now())
+}
+
+func (r *Recorder) sampleAt(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nowUS := now.UnixMicro()
+	row := r.rows[r.next]
+	if cap(row) < len(r.cols) {
+		row = make([]float64, len(r.cols))
+	}
+	row = row[:len(r.cols)]
+	for i := range r.cols {
+		c := &r.cols[i]
+		v := c.fn()
+		if c.rate {
+			rate := 0.0
+			if c.prevT != 0 && nowUS > c.prevT {
+				rate = (v - c.prev) / (float64(nowUS-c.prevT) / 1e6)
+			}
+			c.prev, c.prevT = v, nowUS
+			v = rate
+		}
+		row[i] = v
+	}
+	r.at[r.next] = nowUS
+	r.rows[r.next] = row
+	r.next++
+	if r.next == len(r.rows) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Start samples every period on a background goroutine until Stop.
+// A second Start replaces the previous schedule. Period <= 0 selects
+// 100 ms.
+func (r *Recorder) Start(period time.Duration) {
+	if r == nil {
+		return
+	}
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	r.Stop()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.mu.Lock()
+	r.period, r.stop, r.done = period, stop, done
+	r.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case t := <-tick.C:
+				r.sampleAt(t)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts background sampling (idempotent; buffered samples stay
+// readable) and waits for the sampling goroutine to exit.
+func (r *Recorder) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Columns returns the declared column names in declaration order.
+func (r *Recorder) Columns() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.cols))
+	for i := range r.cols {
+		out[i] = r.cols[i].name
+	}
+	return out
+}
+
+// Len returns the number of buffered samples.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.rows)
+	}
+	return r.next
+}
+
+// SeriesSample is one buffered snapshot: a timestamp plus one value per
+// column, in column order.
+type SeriesSample struct {
+	AtUS int64     `json:"at_us"` // unix microseconds
+	V    []float64 `json:"v"`
+}
+
+// Samples returns the buffered snapshots, oldest first. The returned
+// rows are copies, safe to hold across further sampling.
+func (r *Recorder) Samples() []SeriesSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := func(i int) int { return i }
+	n := r.next
+	if r.full {
+		n = len(r.rows)
+		idx = func(i int) int { return (r.next + i) % len(r.rows) }
+	}
+	out := make([]SeriesSample, n)
+	for i := 0; i < n; i++ {
+		j := idx(i)
+		out[i] = SeriesSample{AtUS: r.at[j], V: append([]float64(nil), r.rows[j]...)}
+	}
+	return out
+}
+
+// SeriesData is the JSON document /series serves and Aggregate
+// consumes: the column names, the sampling period, and the samples
+// oldest first.
+type SeriesData struct {
+	Columns  []string       `json:"columns"`
+	PeriodMS float64        `json:"period_ms"`
+	Samples  []SeriesSample `json:"samples"`
+}
+
+// Data snapshots the recorder as a SeriesData document. A nil recorder
+// yields an empty document (non-nil slices, so it marshals as [] not
+// null).
+func (r *Recorder) Data() SeriesData {
+	d := SeriesData{Columns: []string{}, Samples: []SeriesSample{}}
+	if r == nil {
+		return d
+	}
+	d.Columns = r.Columns()
+	if len(d.Columns) == 0 {
+		d.Columns = []string{}
+	}
+	if s := r.Samples(); s != nil {
+		d.Samples = s
+	}
+	r.mu.Lock()
+	d.PeriodMS = float64(r.period) / float64(time.Millisecond)
+	r.mu.Unlock()
+	return d
+}
+
+// WriteJSON writes the recorder as a SeriesData JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r.Data())
+}

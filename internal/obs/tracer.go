@@ -11,10 +11,15 @@ import (
 // the caller did not seed one explicitly.
 const DefaultTraceCapacity = 4096
 
-// Event is one traced protocol event.
+// Event is one traced protocol event. Op, when nonzero, is the
+// balancing-operation id the event belongs to: the initiator mints it,
+// the wire carries it (codec v2), and every process touched by the
+// operation tags its events with it — so one operation's cross-node
+// timeline can be stitched back together (see ByOp and obs.Aggregate).
 type Event struct {
 	At     time.Time `json:"at"`
 	Node   int       `json:"node"`
+	Op     uint64    `json:"op,omitempty"`
 	Kind   string    `json:"kind"`
 	Detail string    `json:"detail,omitempty"`
 }
@@ -46,6 +51,14 @@ func (t *Tracer) Record(node int, kind, detail string) {
 		return
 	}
 	t.RecordEvent(Event{At: time.Now(), Node: node, Kind: kind, Detail: detail})
+}
+
+// RecordOp appends one event tagged with a balancing-operation id.
+func (t *Tracer) RecordOp(node int, op uint64, kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.RecordEvent(Event{At: time.Now(), Node: node, Op: op, Kind: kind, Detail: detail})
 }
 
 // RecordEvent appends a prepared event (a zero At is stamped now).
@@ -107,11 +120,36 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// ByOp returns the buffered events carrying the given operation id,
+// oldest first. The zero id never matches (it is the "no operation"
+// tag), so ByOp(0) returns nil.
+func (t *Tracer) ByOp(op uint64) []Event {
+	if t == nil || op == 0 {
+		return nil
+	}
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Op == op {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
 // WriteJSONL writes the buffered events oldest-first, one JSON object
 // per line. A nil tracer writes nothing.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return writeJSONL(w, t.Events())
+}
+
+// WriteJSONLOp writes only the events of one operation id as JSONL.
+func (t *Tracer) WriteJSONLOp(w io.Writer, op uint64) error {
+	return writeJSONL(w, t.ByOp(op))
+}
+
+func writeJSONL(w io.Writer, evs []Event) error {
 	enc := json.NewEncoder(w) // Encode appends '\n' per call: JSONL
-	for _, ev := range t.Events() {
+	for _, ev := range evs {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}

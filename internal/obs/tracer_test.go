@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerConcurrentWraparound hammers a full-size ring from many
+// writers at once — far more events than capacity, so the ring wraps
+// many times mid-race. Run under -race this is the data-race gate for
+// the tracer; the invariants checked after the dust settles (exact
+// total, exact buffered count, every buffered event intact and
+// attributable to its writer) catch torn writes and lost increments.
+func TestTracerConcurrentWraparound(t *testing.T) {
+	tr := NewTracer(DefaultTraceCapacity) // the real 4096-event ring
+	const writers = 8
+	const perWriter = 3 * DefaultTraceCapacity / writers
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Writers alternate the three recording entry points so
+				// they all share the race gate.
+				switch i % 3 {
+				case 0:
+					tr.Record(w, "k", strconv.Itoa(i))
+				case 1:
+					tr.RecordOp(w, uint64(w+1), "k", strconv.Itoa(i))
+				default:
+					tr.RecordEvent(Event{Node: w, Kind: "k", Detail: strconv.Itoa(i)})
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers exercise the read side of the lock too.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.Events()
+				_ = tr.Len()
+				_ = tr.ByOp(3)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if got, want := tr.Total(), uint64(writers*perWriter); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	if got := tr.Len(); got != DefaultTraceCapacity {
+		t.Fatalf("Len after wraparound = %d, want %d", got, DefaultTraceCapacity)
+	}
+	evs := tr.Events()
+	if len(evs) != DefaultTraceCapacity {
+		t.Fatalf("Events len = %d, want %d", len(evs), DefaultTraceCapacity)
+	}
+	for i, ev := range evs {
+		if ev.Node < 0 || ev.Node >= writers || ev.Kind != "k" {
+			t.Fatalf("event %d corrupted: %+v", i, ev)
+		}
+		if seq, err := strconv.Atoi(ev.Detail); err != nil || seq < 0 || seq >= perWriter {
+			t.Fatalf("event %d has torn detail: %+v", i, ev)
+		}
+		if ev.At.IsZero() {
+			t.Fatalf("event %d missing timestamp: %+v", i, ev)
+		}
+		if ev.Op != 0 && (ev.Op < 1 || ev.Op > writers) {
+			t.Fatalf("event %d has torn op: %+v", i, ev)
+		}
+	}
+}
+
+// TestTraceJSONLRoundTrip re-parses the tracer's JSONL export (what the
+// /trace endpoint serves) field for field: every event must survive the
+// encode/decode cycle with node, op, kind, detail and timestamp intact
+// and in recording order.
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	want := []Event{
+		{At: base, Node: 0, Op: 0xdeadbeefcafe, Kind: "initiate", Detail: "f=0.50 target=3"},
+		{At: base.Add(time.Millisecond), Node: 3, Op: 0xdeadbeefcafe, Kind: "freeze", Detail: "from=0"},
+		{At: base.Add(2 * time.Millisecond), Node: 0, Kind: "resolve", Detail: "phase=idle"},
+		{At: base.Add(3 * time.Millisecond), Node: 7, Op: 1 << 63, Kind: "transfer", Detail: `amount=12 detail="quoted, with commas"`},
+		{At: base.Add(4 * time.Millisecond), Node: -1, Kind: "quit_broadcast"},
+	}
+	for _, ev := range want {
+		tr.RecordEvent(ev)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-tripped %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if !g.At.Equal(w.At) {
+			t.Errorf("event %d At = %v, want %v", i, g.At, w.At)
+		}
+		if g.Node != w.Node || g.Op != w.Op || g.Kind != w.Kind || g.Detail != w.Detail {
+			t.Errorf("event %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestTracerByOp checks the op-id index: only matching events, oldest
+// first, and the reserved zero id never matches.
+func TestTracerByOp(t *testing.T) {
+	tr := NewTracer(8)
+	tr.RecordOp(1, 42, "freeze", "a")
+	tr.Record(2, "noise", "")
+	tr.RecordOp(2, 42, "transfer", "b")
+	tr.RecordOp(3, 7, "freeze", "other op")
+	tr.RecordEvent(Event{Node: 4, Kind: "untagged"}) // Op == 0
+
+	evs := tr.ByOp(42)
+	if len(evs) != 2 || evs[0].Kind != "freeze" || evs[1].Kind != "transfer" {
+		t.Fatalf("ByOp(42) = %+v", evs)
+	}
+	if got := tr.ByOp(0); got != nil {
+		t.Fatalf("ByOp(0) = %+v, want nil (zero id is reserved)", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONLOp(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("WriteJSONLOp(7) wrote %d lines, want 1:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"op":7`) {
+		t.Fatalf("WriteJSONLOp(7) line missing op field:\n%s", buf.String())
+	}
+	// op is omitempty: untagged events must not carry the field at all.
+	var all bytes.Buffer
+	if err := tr.WriteJSONL(&all); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(all.String(), "\n") {
+		if strings.Contains(line, "untagged") && strings.Contains(line, `"op"`) {
+			t.Fatalf("untagged event leaked an op field: %s", line)
+		}
+	}
+
+	var nilT *Tracer
+	if nilT.ByOp(42) != nil {
+		t.Fatal("nil tracer ByOp should be nil")
+	}
+	nilT.RecordOp(1, 42, "k", "") // must not panic
+}

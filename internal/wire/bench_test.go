@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// The bench-wire suite (make bench-wire, results/BENCH_wire.json)
+// measures what the v2 op field costs on the codec hot path: encode and
+// decode of a representative protocol message mix, v2 against the
+// legacy v1 layout, plus the full framed read path.
+
+// benchMsgs is the protocol mix of a balancing operation: the initiator
+// round plus shutdown traffic. Op = 0 keeps the byte layout v1-shaped
+// so v1 and v2 benches move the same information.
+var benchMsgs = []Msg{
+	{Kind: FreezeReq, From: 3, Seq: 17},
+	{Kind: FreezeAck, From: 9, Seq: 17, Load: 128},
+	{Kind: Transfer, From: 3, Seq: 17, Amount: -42},
+	{Kind: TransferAck, From: 9, Seq: 17},
+	{Kind: Release, From: 3, Seq: 18},
+	{Kind: Bye, From: 9, Load: 64, Gen: 100000, Con: 99936},
+}
+
+func BenchmarkWireEncodeV2(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := benchMsgs[i%len(benchMsgs)]
+		m.Op = 0xdeadbeef // typical in-flight op id
+		buf = AppendMsg(buf[:0], m)
+	}
+	_ = buf
+}
+
+// BenchmarkWireEncodeV2NoOp is the v1-shaped case: no operation in
+// flight (Op = 0), where v2 must cost exactly one extra byte.
+func BenchmarkWireEncodeV2NoOp(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMsg(buf[:0], benchMsgs[i%len(benchMsgs)])
+	}
+	_ = buf
+}
+
+func BenchmarkWireEncodeV1(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendMsgV1(buf[:0], benchMsgs[i%len(benchMsgs)])
+	}
+	_ = buf
+}
+
+func benchPayloads(encode func([]byte, Msg) []byte) [][]byte {
+	out := make([][]byte, len(benchMsgs))
+	for i, m := range benchMsgs {
+		out[i] = encode(nil, m)
+	}
+	return out
+}
+
+func BenchmarkWireDecodeV2(b *testing.B) {
+	ps := benchPayloads(AppendMsg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMsg(ps[i%len(ps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeV1(b *testing.B) {
+	ps := benchPayloads(appendMsgV1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMsg(ps[i%len(ps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireReadFrame is the inbound hot path as TCP runs it: length
+// prefix, payload, strict decode.
+func BenchmarkWireReadFrame(b *testing.B) {
+	var stream []byte
+	for _, m := range benchMsgs {
+		stream = AppendFrame(stream, m)
+	}
+	r := bytes.NewReader(stream)
+	br := bufio.NewReader(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%len(benchMsgs) == 0 {
+			r.Reset(stream)
+			br.Reset(r)
+		}
+		if _, _, err := ReadFrame(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

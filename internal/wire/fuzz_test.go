@@ -9,25 +9,31 @@ import (
 // FuzzWireRoundTrip drives the codec from both ends. The fuzz input is
 // interpreted twice:
 //
-//  1. as message fields — every syntactically valid Msg must survive
-//     encode→decode unchanged, and its frame must read back identically
-//     through ReadFrame;
+//  1. as message fields — every syntactically valid Msg (including its
+//     v2 op id) must survive encode→decode unchanged, and its frame
+//     must read back identically through ReadFrame;
 //  2. as a raw byte stream — the decoder must reject or accept without
 //     panicking, truncated and oversized frames must error, and any
-//     stream the decoder accepts must re-encode to the same bytes
-//     (canonical encoding).
+//     stream the decoder accepts must re-encode to the same bytes under
+//     the version it arrived in (canonical encoding) — legacy v1
+//     payloads included, which must decode with Op = 0.
 func FuzzWireRoundTrip(f *testing.F) {
 	for _, m := range sampleMsgs() {
-		f.Add(byte(m.Kind), int64(m.From), m.Seq, int64(m.Load), int64(m.Amount), m.Gen, m.Con, AppendFrame(nil, m))
+		f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, AppendFrame(nil, m))
+		// Seed the raw direction with v1 payloads too, so the legacy
+		// decode path stays covered.
+		if m.Op == 0 {
+			f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, appendMsgV1(nil, m))
+		}
 	}
-	f.Add(byte(0), int64(0), uint64(0), int64(0), int64(0), int64(0), int64(0), []byte{0xff, 0xff, 0x03, 0x00})
-	f.Fuzz(func(t *testing.T, kind byte, from int64, seq uint64, load, amount, gen, con int64, raw []byte) {
+	f.Add(byte(0), int64(0), uint64(0), uint64(0), int64(0), int64(0), int64(0), int64(0), []byte{0xff, 0xff, 0x03, 0x00})
+	f.Fuzz(func(t *testing.T, kind byte, from int64, seq, op uint64, load, amount, gen, con int64, raw []byte) {
 		// Direction 1: struct → bytes → struct.
-		m := Msg{Kind: Kind(kind), From: int(from), Seq: seq,
+		m := Msg{Kind: Kind(kind), From: int(from), Seq: seq, Op: op,
 			Load: int(load), Amount: int(amount), Gen: gen, Con: con}
 		if m.Kind.valid() {
 			// Fields a kind does not carry are not encoded; zero them so
-			// equality is meaningful.
+			// equality is meaningful. (Op travels on every v2 message.)
 			switch m.Kind {
 			case FreezeAck:
 				m.Amount, m.Gen, m.Con = 0, 0, 0
@@ -49,6 +55,15 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if dm != m {
 				t.Fatalf("payload round trip: sent %+v got %+v", m, dm)
 			}
+			// The v1 encoding of the same message (op id stripped) must
+			// still be decodable, yielding the op-less message.
+			v1m := m
+			v1m.Op = 0
+			if dm, err := DecodeMsg(appendMsgV1(nil, v1m)); err != nil {
+				t.Fatalf("decode of v1 encoding of %+v: %v", v1m, err)
+			} else if dm != v1m {
+				t.Fatalf("v1 round trip: sent %+v got %+v", v1m, dm)
+			}
 			frame := AppendFrame(nil, m)
 			fm, n, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
 			if err != nil {
@@ -66,9 +81,22 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 
 		// Direction 2: arbitrary bytes through both decoders. Must not
-		// panic; on success the encoding must be canonical.
+		// panic; on success the encoding must be canonical under the
+		// version the bytes declared.
 		if dm, err := DecodeMsg(raw); err == nil {
-			if re := AppendMsg(nil, dm); !bytes.Equal(re, raw) {
+			var re []byte
+			switch raw[0] {
+			case Version:
+				re = AppendMsg(nil, dm)
+			case VersionV1:
+				if dm.Op != 0 {
+					t.Fatalf("v1 payload %x decoded with nonzero op %d", raw, dm.Op)
+				}
+				re = appendMsgV1(nil, dm)
+			default:
+				t.Fatalf("decoder accepted unknown version %d: %x", raw[0], raw)
+			}
+			if !bytes.Equal(re, raw) {
 				t.Fatalf("non-canonical payload: %x decodes to %+v which re-encodes to %x", raw, dm, re)
 			}
 		}

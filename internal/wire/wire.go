@@ -8,7 +8,7 @@
 // Every message travels as one frame:
 //
 //	frame   := uvarint(len(payload)) payload
-//	payload := version(1B) kind(1B) zigzag(from) uvarint(seq) extras
+//	payload := version(1B) kind(1B) zigzag(from) uvarint(seq) uvarint(op) extras
 //
 // where extras depend on the kind:
 //
@@ -19,9 +19,21 @@
 //
 // Varints are the standard LEB128 base-128 encoding (encoding/binary);
 // signed fields use zigzag so small magnitudes of either sign stay short.
-// A freeze request is 5 bytes on the wire, a typical transfer 6–8 — the
+// A freeze request is 6 bytes on the wire, a typical transfer 7–9 — the
 // paper's point that balancing cost is organization, not data volume,
 // measured in actual bytes.
+//
+// # Versioning
+//
+// The current codec is version 2, which added the op field: a 64-bit
+// operation id minted by the initiator of a balancing operation and
+// echoed on every message of that operation, so one operation's
+// freeze→collect→transfer→ack→release timeline can be stitched across
+// processes (see internal/obs and internal/cluster). The encoder always
+// emits v2; the strict decoder still accepts v1 payloads (which have no
+// op field) and decodes them with Op = 0, the "no operation id" value.
+// On a message whose Op is zero or small the field costs exactly one
+// byte over the v1 encoding (see TestOpFieldOverhead).
 //
 // Payloads are capped at MaxPayload; a decoder rejects oversized frames
 // before allocating, so a corrupt or adversarial length prefix cannot
@@ -47,9 +59,15 @@ import (
 	"lmbalance/internal/obs"
 )
 
-// Version is the codec version; it leads every payload so incompatible
-// peers fail loudly at the first frame rather than corrupting state.
-const Version = 1
+// Version is the current codec version; it leads every payload so
+// incompatible peers fail loudly at the first frame rather than
+// corrupting state. The decoder additionally accepts VersionV1.
+const Version = 2
+
+// VersionV1 is the legacy codec version (no op field). Still decoded —
+// a v2 node interoperates with frames recorded or sent by v1 peers —
+// but never emitted.
+const VersionV1 = 1
 
 // MaxPayload caps the encoded payload size. The largest legal payload
 // (Bye with three maximal varints) is well under this; anything larger
@@ -108,6 +126,7 @@ type Msg struct {
 	Kind Kind
 	From int    // sender's node id
 	Seq  uint64 // sender's protocol epoch; replies and releases echo it
+	Op   uint64 // balancing-operation id (0 = none); echoed by every reply
 	Load int    // FreezeAck: partner load; Bye: final load
 	Amount int  // Transfer: signed load delta
 	Gen  int64  // Bye: lifetime generated count
@@ -118,11 +137,29 @@ func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // AppendMsg appends m's encoded payload (no frame prefix) to buf and
-// returns the extended slice.
+// returns the extended slice. The current (v2) layout is emitted.
 func AppendMsg(buf []byte, m Msg) []byte {
 	buf = append(buf, Version, byte(m.Kind))
 	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
 	buf = binary.AppendUvarint(buf, m.Seq)
+	buf = binary.AppendUvarint(buf, m.Op)
+	return appendExtras(buf, m)
+}
+
+// appendMsgV1 encodes m in the legacy v1 layout (no op field). Kept for
+// the compatibility tests, the fuzz canonicality check, and the
+// bench-wire v1-vs-v2 comparison; m.Op is not representable and must be
+// zero for a faithful round trip.
+func appendMsgV1(buf []byte, m Msg) []byte {
+	buf = append(buf, VersionV1, byte(m.Kind))
+	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
+	buf = binary.AppendUvarint(buf, m.Seq)
+	return appendExtras(buf, m)
+}
+
+// appendExtras appends the kind-dependent tail fields (identical in v1
+// and v2).
+func appendExtras(buf []byte, m Msg) []byte {
 	switch m.Kind {
 	case FreezeAck:
 		buf = binary.AppendUvarint(buf, zig(int64(m.Load)))
@@ -148,7 +185,9 @@ func AppendFrame(buf []byte, m Msg) []byte {
 }
 
 // DecodeMsg parses one payload. It is strict: version and kind must be
-// known, every varint well-formed, and no bytes may trail the message.
+// known, every varint well-formed (and minimal), and no bytes may trail
+// the message. Both the current v2 layout and legacy v1 payloads are
+// accepted; a v1 payload decodes with Op = 0.
 func DecodeMsg(p []byte) (Msg, error) {
 	var m Msg
 	if len(p) > MaxPayload {
@@ -157,7 +196,8 @@ func DecodeMsg(p []byte) (Msg, error) {
 	if len(p) < 2 {
 		return m, fmt.Errorf("wire: payload truncated (%d bytes)", len(p))
 	}
-	if p[0] != Version {
+	version := p[0]
+	if version != Version && version != VersionV1 {
 		return m, fmt.Errorf("wire: unknown version %d", p[0])
 	}
 	m.Kind = Kind(p[1])
@@ -185,6 +225,11 @@ func DecodeMsg(p []byte) (Msg, error) {
 	m.From = int(unzig(v))
 	if m.Seq, err = next(); err != nil {
 		return m, err
+	}
+	if version >= 2 {
+		if m.Op, err = next(); err != nil {
+			return m, err
+		}
 	}
 	switch m.Kind {
 	case FreezeAck:

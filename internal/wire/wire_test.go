@@ -16,13 +16,14 @@ func sampleMsgs() []Msg {
 	return []Msg{
 		{Kind: FreezeReq, From: 0, Seq: 1},
 		{Kind: FreezeReq, From: 1023, Seq: 1 << 40},
+		{Kind: FreezeReq, From: 4, Seq: 2, Op: 0xdeadbeefcafe},
 		{Kind: FreezeAck, From: 3, Seq: 7, Load: 0},
-		{Kind: FreezeAck, From: 3, Seq: 7, Load: 123456},
-		{Kind: FreezeBusy, From: 2, Seq: 9},
+		{Kind: FreezeAck, From: 3, Seq: 7, Op: 1 << 63, Load: 123456},
+		{Kind: FreezeBusy, From: 2, Seq: 9, Op: 12345},
 		{Kind: Transfer, From: 5, Seq: 11, Amount: -4231},
-		{Kind: Transfer, From: 5, Seq: 11, Amount: 17},
-		{Kind: TransferAck, From: 6, Seq: 11},
-		{Kind: Release, From: 7, Seq: 12},
+		{Kind: Transfer, From: 5, Seq: 11, Op: 987654321, Amount: 17},
+		{Kind: TransferAck, From: 6, Seq: 11, Op: 987654321},
+		{Kind: Release, From: 7, Seq: 12, Op: 3},
 		{Kind: Idle, From: 8},
 		{Kind: Quit, From: 0},
 		{Kind: Bye, From: 9, Load: 42, Gen: 10000, Con: 9958},
@@ -93,6 +94,53 @@ func TestDecodeRejectsCorruptPayloads(t *testing.T) {
 	for name, p := range cases {
 		if _, err := DecodeMsg(p); err == nil {
 			t.Errorf("%s: decode accepted %x", name, p)
+		}
+	}
+}
+
+// TestDecodeV1Compat: the strict decoder must keep accepting legacy v1
+// payloads (no op field), decoding them with Op = 0 and all other
+// fields intact — a v2 node interoperates with a v1 peer's frames.
+func TestDecodeV1Compat(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Op != 0 {
+			continue // v1 cannot carry an op id
+		}
+		p := appendMsgV1(nil, m)
+		if p[0] != VersionV1 {
+			t.Fatalf("v1 encoder emitted version %d", p[0])
+		}
+		dm, err := DecodeMsg(p)
+		if err != nil {
+			t.Fatalf("v1 payload for %+v rejected: %v", m, err)
+		}
+		if dm != m {
+			t.Fatalf("v1 round trip changed message: sent %+v got %+v", m, dm)
+		}
+		// The same corruption rules apply to v1: trailing bytes and
+		// truncated varints must still be errors.
+		if _, err := DecodeMsg(append(append([]byte{}, p...), 0x00)); err == nil {
+			t.Fatalf("v1 payload with trailing byte accepted: %x", p)
+		}
+		if _, err := DecodeMsg(p[:len(p)-1]); err == nil {
+			t.Fatalf("truncated v1 payload accepted: %x", p)
+		}
+	}
+}
+
+// TestOpFieldOverhead pins the cost of the v2 op field: on a v1-shaped
+// message (Op = 0) the v2 encoding is exactly one byte longer than the
+// v1 encoding — the single 0x00 uvarint.
+func TestOpFieldOverhead(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Op != 0 {
+			continue
+		}
+		v1 := appendMsgV1(nil, m)
+		v2 := AppendMsg(nil, m)
+		if len(v2) != len(v1)+1 {
+			t.Fatalf("%+v: v2 payload %d bytes, v1 %d — op field must cost exactly 1 byte",
+				m, len(v2), len(v1))
 		}
 	}
 }

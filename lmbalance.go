@@ -176,6 +176,22 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	return obs.ServeDebug(addr, reg)
 }
 
+// AggView is a merged cluster view: metrics summed across nodes, the
+// per-node load distribution, and balancing-operation traces stitched
+// across processes by op id.
+type AggView = obs.AggView
+
+// Aggregate scrapes the debug endpoints (/metrics, /series, /trace) of
+// every URL in parallel and merges them into one cluster view.
+func Aggregate(urls []string) (*AggView, error) { return obs.Aggregate(urls) }
+
+// ServeAggregator serves a live merged view of the upstream debug
+// endpoints (/cluster, /metrics, /series, /trace, /healthz), scraping
+// the upstreams on every request.
+func ServeAggregator(addr string, urls []string) (*DebugServer, error) {
+	return obs.ServeAggregator(addr, urls)
+}
+
 // SimConfig configures a discrete-time simulation (see internal/sim).
 type SimConfig = sim.Config
 

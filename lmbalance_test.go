@@ -116,3 +116,40 @@ func TestClusterNodeFacade(t *testing.T) {
 		t.Fatal("invalid node config accepted")
 	}
 }
+
+func TestAggregateFacade(t *testing.T) {
+	// Two "nodes", each a registry behind its own debug server, merged
+	// through the facade aggregator: metrics sum by name and the
+	// per-node load gauges fold into one distribution.
+	urls := make([]string, 2)
+	for i := range urls {
+		reg := NewRegistry()
+		reg.Counter(`cluster_ops_total`).Add(int64(10 * (i + 1)))
+		reg.Gauge(`cluster_node_load{node="` + []string{"0", "1"}[i] + `"}`).Set(int64(100 + 20*i))
+		srv, err := ServeDebug("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		urls[i] = srv.URL()
+	}
+	v, err := Aggregate(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Value("cluster_ops_total"); got != 30 {
+		t.Fatalf("summed counter = %v, want 30", got)
+	}
+	n, mean, _, _ := v.Dist("cluster_node_load")
+	if n != 2 || mean != 110 {
+		t.Fatalf("load distribution n=%d mean=%v, want n=2 mean=110", n, mean)
+	}
+	agg, err := ServeAggregator("127.0.0.1:0", urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	if agg.URL() == "" {
+		t.Fatal("aggregator has no URL")
+	}
+}
