@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check race bench bench-obs bench-wire fuzz experiments
+.PHONY: check race bench bench-obs bench-wire bench-shard fuzz experiments
 
 # Tier-1 gate: everything must pass before a change lands.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pool ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs
 
 # Race-detector pass over the concurrent packages and the core they drive.
 race:
@@ -27,6 +27,13 @@ bench-obs:
 # must cost ≤1 byte on v1-shaped messages (TestOpFieldOverhead).
 bench-wire:
 	$(GO) test ./internal/wire/ -run xxx -bench 'BenchmarkWire' -benchmem
+
+# Sharded-engine within-run scaling: proc-steps/sec vs worker count on
+# the identical (seed, shards) simulation, with cross-worker bit-identity
+# asserted. The checked-in results/BENCH_shard.json was captured with
+# -sizes 65536,1000000; the CI pass keeps to the CI-sized sweep.
+bench-shard:
+	$(GO) run ./cmd/shardbench -sizes 65536
 
 # Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:

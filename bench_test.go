@@ -8,6 +8,7 @@ package lmbalance_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -18,8 +19,10 @@ import (
 	"lmbalance/internal/netsim"
 	"lmbalance/internal/pool"
 	"lmbalance/internal/rng"
+	"lmbalance/internal/sim"
 	"lmbalance/internal/theory"
 	"lmbalance/internal/topology"
+	"lmbalance/internal/workload"
 )
 
 // BenchmarkFig6VariationDensity regenerates Fig. 6 (variation density
@@ -172,6 +175,38 @@ func BenchmarkScaling(b *testing.B) {
 		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
 		b.ReportMetric(first.RatioOneProducer, fmt.Sprintf("ratio(n=%d)", first.N))
 		b.ReportMetric(last.RatioOneProducer, fmt.Sprintf("ratio(n=%d)", last.N))
+	}
+}
+
+// BenchmarkShardedEngine measures the sharded within-run engine on the
+// mixed workload at workers = 1 and workers = GOMAXPROCS. The two
+// sub-benchmarks simulate the exact same (seed, shards) system — worker
+// count is pure execution parallelism — so their ratio is the within-run
+// speedup (cmd/shardbench sweeps this properly and records
+// results/BENCH_shard.json).
+func BenchmarkShardedEngine(b *testing.B) {
+	const n, steps, shards = 16384, 30, 64
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					N: n, Steps: steps, Runs: 1, Seed: 1,
+					Shards: shards, Workers: workers, StatsEvery: steps,
+					NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
+						return core.NewSystem(n, core.Params{F: 1.1, Delta: 1, C: 4}, topology.NewGlobal(n), r)
+					},
+					NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+						return workload.Uniform{GenP: 0.5, ConP: 0.4}, nil
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Avg.At(steps-1).Mean(), "finalAvg")
+			}
+			b.ReportMetric(float64(n*steps)/(float64(b.Elapsed().Nanoseconds())/float64(b.N))*1e9, "procSteps/sec")
+		})
 	}
 }
 

@@ -9,6 +9,8 @@
 //	lbsim -topology torus -delta 4
 //	lbsim -algo netsim -drop 0.2 -crash 4        # asynchronous run with faults
 //	lbsim -algo netsim -metrics-dump             # JSON metrics registry after the run
+//	lbsim -n 1000000 -shards 64 -pattern oneproducer -stats-every 8000000
+//	lbsim -n 4096 -cpuprofile cpu.out            # profile the hot path
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lmbalance/internal/baseline"
 	"lmbalance/internal/core"
@@ -47,6 +51,12 @@ func main() {
 		delay   = flag.Int("delay", 0, "netsim only: maximum per-message delivery delay in ticks")
 		crash   = flag.Int("crash", 0, "netsim only: number of staggered fail-stop crashes per run")
 		dump    = flag.Bool("metrics-dump", false, "print the run's metrics registry as JSON after the run")
+
+		shards     = flag.Int("shards", 0, "partition each run into this many shards stepped in parallel (0 = sequential engine; requires -algo lm)")
+		workers    = flag.Int("workers", 0, "cap worker goroutines (0 = GOMAXPROCS); never changes results")
+		statsEvery = flag.Int("stats-every", 0, "sample the per-step load scan every k steps (0 = every step)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -57,10 +67,38 @@ func main() {
 		record: *record, replay: *replay,
 		drop: *drop, delay: *delay, crash: *crash,
 		metricsDump: *dump,
+		shards:      *shards,
+		workers:     *workers,
+		statsEvery:  *statsEvery,
+	}
+	if *cpuprofile != "" {
+		file, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(1)
+	}
+	if *memprofile != "" {
+		file, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // surface live allocations, not transient garbage
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		file.Close()
 	}
 }
 
@@ -76,6 +114,8 @@ type options struct {
 	drop                float64
 	delay, crash        int
 	metricsDump         bool
+	shards, workers     int
+	statsEvery          int
 }
 
 // metricsOut is where -metrics-dump writes; a variable so tests can
@@ -136,6 +176,9 @@ func run(o options) error {
 		reg = obs.NewRegistry()
 	}
 	if o.algo == "netsim" {
+		if o.shards != 0 || o.statsEvery != 0 {
+			return fmt.Errorf("-shards/-stats-every drive the synchronous engine; -algo netsim has neither")
+		}
 		if err := runNetsim(o, reg); err != nil {
 			return err
 		}
@@ -143,6 +186,9 @@ func run(o options) error {
 	}
 	if o.drop != 0 || o.delay != 0 || o.crash != 0 {
 		return fmt.Errorf("-drop/-delay/-crash require -algo netsim (the synchronous simulator has no network to fault)")
+	}
+	if o.shards != 0 && o.algo != "lm" {
+		return fmt.Errorf("-shards requires -algo lm (the sharded engine steps the core system's lanes directly)")
 	}
 	n, steps, runs, seed := o.n, o.steps, o.runs, o.seed
 	f, delta, c := o.f, o.delta, o.c
@@ -252,6 +298,7 @@ func run(o options) error {
 
 	cfg := sim.Config{
 		N: n, Steps: steps, Runs: runs, Seed: seed,
+		Shards: o.shards, Workers: o.workers, StatsEvery: o.statsEvery,
 		NewBalancer: newBalancer,
 		NewPattern:  newPattern,
 	}
@@ -264,6 +311,9 @@ func run(o options) error {
 		fmt.Sprintf("%s | %s workload | n=%d steps=%d runs=%d", algo, pattern, n, steps, runs),
 		"step", "avg", "min", "max", "spread")
 	for s := every - 1; s < steps; s += every {
+		if !res.Avg.Sampled(s) {
+			continue
+		}
 		tb.AddRow(s+1,
 			res.Avg.At(s).Mean(), res.Min.At(s).Min(), res.Max.At(s).Max(),
 			res.Spread.At(s).Mean())

@@ -1,0 +1,43 @@
+package core
+
+import "lmbalance/internal/rng"
+
+// Batched balancing entry points for the sharded simulation engine
+// (internal/sim). During a tick's step phase each shard drives its Lane
+// and defers every balancing condition into a per-shard mailbox; at the
+// tick barrier the engine sorts the deferred operations into canonical
+// (shard, local index) order and resolves them through these entry points.
+// Trigger operations over disjoint participant sets execute concurrently
+// on worker goroutines, each with its private per-operation RNG stream, a
+// per-worker Scratch and a per-worker Metrics; settlements run serially on
+// the barrier stream. Because a balancing operation reads and writes only
+// its δ+1 participants plus the caller-owned triple, concurrent execution
+// of disjoint operations is equivalent to executing them serially in
+// canonical order — which is what keeps the sharded engine bit-identical
+// for every worker count.
+
+// SelectPartners draws δ distinct balancing partners for an initiation by
+// init from the given stream, appending to dst. The sharded engine
+// pre-draws partners from each operation's private stream during barrier
+// planning, before deciding which operations may resolve concurrently.
+func (s *System) SelectPartners(init int, r *rng.RNG, dst []int) []int {
+	return s.sel.Select(init, s.params.Delta, r, dst)
+}
+
+// BalanceWithPartners performs one full balancing operation initiated by
+// init with the partner set already drawn (via SelectPartners from the
+// same stream r). All mutated state belongs to the participants, r, sc
+// and m, so calls over disjoint participant sets may run concurrently.
+func (s *System) BalanceWithPartners(init int, partners []int, r *rng.RNG, sc *Scratch, m *Metrics) {
+	s.balanceSet(init, partners, r, sc, m)
+}
+
+// SettleConsume completes a consume that a Lane deferred because it
+// required marker settlement. It runs the full sequential consume path —
+// settlement, class recovery, any cascading balancing operations — against
+// the System's own scratch and metrics, and must only be called serially
+// (the barrier's settlement pass). It returns whether a packet was
+// consumed.
+func (s *System) SettleConsume(i int, r *rng.RNG) bool {
+	return s.consume(i, r, s.sc, &s.metrics)
+}

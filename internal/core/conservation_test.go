@@ -115,7 +115,7 @@ func TestBalanceLeavesClassTotalsInvariant(t *testing.T) {
 			totalB += v
 		}
 		init := r.Intn(n)
-		s.balance(init)
+		s.balance(init, s.rng, s.sc, &s.metrics)
 		for j := 0; j < n; j++ {
 			after, afterB := 0, 0
 			for p := 0; p < n; p++ {

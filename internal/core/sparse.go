@@ -11,15 +11,17 @@ type classEntry struct {
 // sparseRow stores the per-class state of one processor compactly: only
 // classes with d > 0 or b > 0 occupy an entry, except the processor's own
 // class, which is pinned at entries[0] (even when zero) so the factor-f
-// trigger can read d[i][i] without a search. A processor's active set is
-// bounded by its load plus outstanding markers, so lookups scan a handful
-// of entries; no per-row index structure is worth its constant factor
-// (a position map was measured slower on every benchmark workload).
+// trigger can read d[i][i] without a search.
 //
-// Entries are unordered (insertion order with swap-removal). Every
-// RNG-consuming iteration over a row sorts the relevant classes first so
-// that the random stream is identical to a dense ascending-class scan —
-// the property the differential test against the dense reference pins down.
+// Invariant: entries[1:] is sorted ascending by class and holds no empty
+// entries (removal shifts, insertion binary-searches, and rebuild emits
+// the already-sorted union). Keeping the tail sorted is what lets every
+// RNG-consuming iteration visit classes in ascending order — identical to
+// a dense 0..n-1 scan, the property the dense differential test pins down
+// — without sorting per operation: profiles of the mixed workload showed
+// a third of total runtime in per-balancing-op sorts once rows grow to
+// hundreds of classes. Lookups binary-search the tail; no per-row map is
+// worth its constant factor (measured slower on every benchmark workload).
 type sparseRow struct {
 	self    int
 	entries []classEntry
@@ -28,13 +30,29 @@ type sparseRow struct {
 // own returns the pinned self-class entry.
 func (r *sparseRow) own() *classEntry { return &r.entries[0] }
 
+// search binary-searches the sorted tail for cls, returning the smallest
+// index k >= 1 with entries[k].cls >= cls (== len(entries) if none).
+func (r *sparseRow) search(cls int) int {
+	lo, hi := 1, len(r.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.entries[mid].cls < cls {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // find returns a pointer to the entry of cls, or nil if the row does not
 // hold the class. The pointer is invalidated by any row mutation.
 func (r *sparseRow) find(cls int) *classEntry {
-	for k := range r.entries {
-		if r.entries[k].cls == cls {
-			return &r.entries[k]
-		}
+	if r.entries[0].cls == cls {
+		return &r.entries[0]
+	}
+	if k := r.search(cls); k < len(r.entries) && r.entries[k].cls == cls {
+		return &r.entries[k]
 	}
 	return nil
 }
@@ -55,19 +73,24 @@ func (r *sparseRow) getB(cls int) int {
 	return 0
 }
 
-// ensure returns the index of cls's entry, creating an empty one if absent.
+// ensure returns the index of cls's entry, creating an empty one at its
+// sorted tail position if absent.
 func (r *sparseRow) ensure(cls int) int {
-	for k := range r.entries {
-		if r.entries[k].cls == cls {
-			return k
-		}
+	if r.entries[0].cls == cls {
+		return 0
 	}
-	r.entries = append(r.entries, classEntry{cls: cls})
-	return len(r.entries) - 1
+	k := r.search(cls)
+	if k < len(r.entries) && r.entries[k].cls == cls {
+		return k
+	}
+	r.entries = append(r.entries, classEntry{})
+	copy(r.entries[k+1:], r.entries[k:])
+	r.entries[k] = classEntry{cls: cls}
+	return k
 }
 
-// compact swap-removes the entry at idx if both its counts reached zero.
-// The self entry is never removed.
+// compact shift-removes the entry at idx if both its counts reached zero,
+// preserving the sorted-tail invariant. The self entry is never removed.
 func (r *sparseRow) compact(idx int) {
 	if idx == 0 {
 		return
@@ -77,7 +100,7 @@ func (r *sparseRow) compact(idx int) {
 		return
 	}
 	last := len(r.entries) - 1
-	r.entries[idx] = r.entries[last]
+	copy(r.entries[idx:], r.entries[idx+1:])
 	r.entries = r.entries[:last]
 }
 
@@ -114,9 +137,10 @@ func (r *sparseRow) setB(cls, v int) {
 // rebuild replaces the row's whole contents after a balancing operation:
 // classes[ci] receives the counts dMat[ci*m+k] and bMat[ci*m+k], where k
 // is this processor's participant index. Classes with both counts zero
-// are skipped, so the row comes out compact. classes must cover every
-// class the row held before (redistribution guarantees this: it operates
-// on the union of the participants' active sets).
+// are skipped, so the row comes out compact; classes is ascending, so the
+// tail comes out sorted. classes must cover every class the row held
+// before (redistribution guarantees this: it operates on the union of the
+// participants' active sets).
 func (r *sparseRow) rebuild(classes, dMat, bMat []int, k, m int) {
 	r.entries[0].d = 0
 	r.entries[0].b = 0

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"lmbalance/internal/rng"
 	"lmbalance/internal/topology"
@@ -12,8 +11,12 @@ import (
 // balancing algorithm. It is driven step-by-step by a simulator calling
 // Generate and Consume; all balancing activity happens inside those calls,
 // exactly as in the appendix algorithm. A System is not safe for concurrent
-// use; the concurrent realizations live in internal/pool (shared-memory
-// worker pool) and internal/netsim (message-passing network).
+// use through the sequential API; the sharded simulation engine drives
+// disjoint processor ranges concurrently through Lane views and resolves
+// cross-range balancing operations through the batched entry points in
+// batch.go. Other concurrent realizations live in internal/pool
+// (shared-memory worker pool) and internal/netsim (message-passing
+// network).
 //
 // Per-class state is stored sparsely: processor i keeps a compact row of
 // the classes it actually holds (see sparse.go) instead of dense length-n
@@ -23,6 +26,13 @@ import (
 // consumes the RNG stream exactly like the dense formulation, so results
 // are bit-identical to the original dense implementation (enforced by
 // TestSparseMatchesDenseReference).
+//
+// Every randomized internal operation threads an explicit (rng, scratch,
+// metrics) triple instead of touching System-level fields: the sequential
+// API passes the System's own triple, while the sharded engine passes
+// per-worker scratch and metrics plus deterministic per-operation RNG
+// streams so operations over disjoint participant sets can run on any
+// worker with identical results.
 type System struct {
 	n      int
 	params Params
@@ -37,18 +47,54 @@ type System struct {
 
 	metrics Metrics
 
-	// scratch buffers reused across operations
+	// sc is the scratch for the sequential API; concurrent deferred-op
+	// workers allocate their own with NewScratch.
+	sc *Scratch
+}
+
+// Scratch holds the reusable buffers one balancing operation needs. The
+// sequential API uses the System's embedded Scratch; the sharded engine
+// gives every resolution worker its own so operations over disjoint
+// participant sets can execute concurrently without sharing any mutable
+// state beyond the participants themselves.
+type Scratch struct {
 	candBuf    []int
 	setBuf     []int
 	oldL       []int
 	newL       []int
 	newBTot    []int
-	classBuf   []int // qualifying classes collected by randClass
+	classBuf   []int // qualifying classes collected by randClassRow
 	unionBuf   []int // active-class union of a participant set
-	mark       []int // per-class stamp marks backing activeUnion
+	mergeCur   []int // per-participant tail cursors of the union merge
+	mergeSelf  []int // per-participant pending self classes of the merge
+	mark       []int // per-class stamp marks backing CheckInvariants
 	stamp      int
 	classIdx   []int // class -> position in the current union
 	dMat, bMat []int // union×participants gather matrices for redistribute
+}
+
+// newScratch builds a Scratch for n processors and balancing sets of at
+// most m participants.
+func newScratch(n, m int) *Scratch {
+	return &Scratch{
+		candBuf:   make([]int, 0, m),
+		setBuf:    make([]int, 0, m),
+		oldL:      make([]int, m),
+		newL:      make([]int, m),
+		newBTot:   make([]int, m),
+		mergeCur:  make([]int, m),
+		mergeSelf: make([]int, m),
+		mark:      make([]int, n),
+		classIdx:  make([]int, n),
+	}
+}
+
+// NewScratch returns a fresh Scratch sized for this system, for callers
+// that resolve deferred balancing operations concurrently (one Scratch per
+// worker; a Scratch must not be shared between concurrently executing
+// operations).
+func (s *System) NewScratch() *Scratch {
+	return newScratch(s.n, s.params.Delta+2)
 }
 
 // NewSystem creates a balanced-empty system of n processors. The selector
@@ -77,22 +123,16 @@ func NewSystem(n int, p Params, sel topology.Selector, r *rng.RNG) (*System, err
 		rows[i] = sparseRow{self: i, entries: backing[i : i+1 : i+1]}
 	}
 	return &System{
-		n:       n,
-		params:  p,
-		sel:     sel,
-		rng:     r,
-		rows:    rows,
-		l:       make([]int, n),
-		bTot:    make([]int, n),
-		lOld:    make([]int, n),
-		localT:  make([]int, n),
-		candBuf: make([]int, 0, p.Delta),
-		setBuf:  make([]int, 0, m),
-		oldL:    make([]int, m),
-		newL:    make([]int, m),
-		newBTot:  make([]int, m),
-		mark:     make([]int, n),
-		classIdx: make([]int, n),
+		n:      n,
+		params: p,
+		sel:    sel,
+		rng:    r,
+		rows:   rows,
+		l:      make([]int, n),
+		bTot:   make([]int, n),
+		lOld:   make([]int, n),
+		localT: make([]int, n),
+		sc:     newScratch(n, m),
 	}, nil
 }
 
@@ -137,6 +177,11 @@ func (s *System) TriggerBase(i int) int { return s.lOld[i] }
 // Metrics returns a snapshot of the activity counters.
 func (s *System) Metrics() Metrics { return s.metrics }
 
+// AbsorbMetrics folds externally accumulated counters (per-lane or
+// per-worker partial Metrics from a sharded run) into the system's own, so
+// Metrics and CheckInvariants see the complete totals.
+func (s *System) AbsorbMetrics(m Metrics) { s.metrics.Add(m) }
+
 // D returns d[i][j] (real packets of class j on i); for tests and
 // experiment introspection.
 func (s *System) D(i, j int) int { return s.rows[i].getD(j) }
@@ -164,40 +209,44 @@ func (s *System) NNZ() int {
 // ForceBalance initiates a balancing operation on processor i regardless of
 // the factor-f trigger. It exists for benchmarks and experiment harnesses;
 // the algorithm itself only balances through the trigger.
-func (s *System) ForceBalance(i int) { s.balance(i) }
+func (s *System) ForceBalance(i int) { s.balance(i, s.rng, s.sc, &s.metrics) }
 
 // Generate adds one self-generated packet to processor i. If i holds
 // borrow markers, the new packet repays a debt instead (appendix: the
 // marker's class receives the packet), leaving virtual loads unchanged.
 // May trigger a balancing operation.
-func (s *System) Generate(i int) {
+func (s *System) Generate(i int) { s.generate(i, s.rng, s.sc, &s.metrics) }
+
+func (s *System) generate(i int, r *rng.RNG, sc *Scratch, m *Metrics) {
 	if s.bTot[i] > 0 {
-		j := s.randClass(i, func(e *classEntry) bool { return e.b > 0 })
+		j := s.randClass(i, func(e *classEntry) bool { return e.b > 0 }, r, sc)
 		s.rows[i].add(j, +1, -1)
 		s.bTot[i]--
 	} else {
 		s.rows[i].own().d++
 	}
 	s.l[i]++
-	s.metrics.Generated++
-	s.maybeBalance(i)
+	m.Generated++
+	s.maybeBalance(i, r, sc, m)
 }
 
 // Consume removes one packet from processor i, borrowing from a foreign
 // class if i has no self-generated packets left. It returns false if i has
 // no load at all. May trigger balancing operations (on i, or on a class
 // owner during borrow settlement).
-func (s *System) Consume(i int) bool {
+func (s *System) Consume(i int) bool { return s.consume(i, s.rng, s.sc, &s.metrics) }
+
+func (s *System) consume(i int, r *rng.RNG, sc *Scratch, m *Metrics) bool {
 	if s.l[i] == 0 {
-		s.metrics.ConsumeNoLoad++
+		m.ConsumeNoLoad++
 		return false
 	}
 	row := &s.rows[i]
 	if row.own().d > 0 {
 		row.own().d--
 		s.l[i]--
-		s.metrics.Consumed++
-		s.maybeBalance(i)
+		m.Consumed++
+		s.maybeBalance(i, r, sc, m)
 		return true
 	}
 	// d[i][i] == 0 but l > 0: borrow. Each settlement clears at least one
@@ -205,38 +254,38 @@ func (s *System) Consume(i int) bool {
 	for attempt := 0; attempt <= s.params.C+2; attempt++ {
 		if s.l[i] == 0 {
 			// Settlement rebalancing may have migrated all load away.
-			s.metrics.ConsumeNoLoad++
+			m.ConsumeNoLoad++
 			return false
 		}
 		if row.own().d > 0 {
 			// Settlement rebalancing gave i self packets back.
 			row.own().d--
 			s.l[i]--
-			s.metrics.Consumed++
-			s.maybeBalance(i)
+			m.Consumed++
+			s.maybeBalance(i, r, sc, m)
 			return true
 		}
 		if s.bTot[i] < s.params.C {
-			j := s.randClass(i, func(e *classEntry) bool { return e.d > 0 && e.b == 0 })
+			j := s.randClass(i, func(e *classEntry) bool { return e.d > 0 && e.b == 0 }, r, sc)
 			if j >= 0 {
 				row.add(j, -1, +1)
 				s.bTot[i]++
 				s.l[i]--
-				s.metrics.TotalBorrow++
-				s.metrics.Consumed++
+				m.TotalBorrow++
+				m.Consumed++
 				return true
 			}
 		}
 		// No borrow slot: settle a random outstanding marker first.
-		j := s.randClass(i, func(e *classEntry) bool { return e.b > 0 })
+		j := s.randClass(i, func(e *classEntry) bool { return e.b > 0 }, r, sc)
 		if j < 0 {
 			// No markers and no borrowable class would mean l == 0;
 			// unreachable, but fail safe rather than loop.
 			break
 		}
-		s.settle(i, j)
+		s.settle(i, j, r, sc, m)
 	}
-	s.metrics.ConsumeNoLoad++
+	m.ConsumeNoLoad++
 	return false
 }
 
@@ -246,39 +295,70 @@ func (s *System) Consume(i int) bool {
 // order keeps the RNG consumption identical to a dense 0..n-1 scan (zero
 // cells never qualify under any of the algorithm's predicates). It returns
 // -1 if no class qualifies.
-func (s *System) randClass(i int, pred func(e *classEntry) bool) int {
-	row := &s.rows[i]
-	buf := s.classBuf[:0]
-	for k := range row.entries {
-		if pred(&row.entries[k]) {
-			buf = append(buf, row.entries[k].cls)
+func (s *System) randClass(i int, pred func(e *classEntry) bool, r *rng.RNG, sc *Scratch) int {
+	pick, buf := randClassRow(&s.rows[i], pred, r, sc.classBuf)
+	sc.classBuf = buf
+	return pick
+}
+
+// randClassRow is randClass over an explicit row and caller-owned buffer,
+// shared between the sequential path and the per-shard Lane path (which
+// must not touch the System's scratch). The sorted-tail row invariant
+// yields the qualifying classes in ascending order directly — the self
+// entry, pinned out of place at index 0, is slotted into position on the
+// fly — so no per-call sort is needed. It returns the pick and the
+// (possibly regrown) buffer.
+func randClassRow(row *sparseRow, pred func(e *classEntry) bool, r *rng.RNG, buf []int) (int, []int) {
+	buf = buf[:0]
+	selfCls := row.entries[0].cls
+	selfDone := !pred(&row.entries[0])
+	for k := 1; k < len(row.entries); k++ {
+		e := &row.entries[k]
+		if !selfDone && e.cls > selfCls {
+			buf = append(buf, selfCls)
+			selfDone = true
+		}
+		if pred(e) {
+			buf = append(buf, e.cls)
 		}
 	}
-	sort.Ints(buf)
+	if !selfDone {
+		buf = append(buf, selfCls)
+	}
 	pick := -1
 	for k, cls := range buf {
-		if s.rng.Intn(k+1) == 0 {
+		if r.Intn(k+1) == 0 {
 			pick = cls
 		}
 	}
-	s.classBuf = buf
-	return pick
+	return pick, buf
+}
+
+// trigFired reports the factor-f condition on a self-load d against the
+// trigger base old. The strict-change guard (d != old) keeps the old == 0
+// case from firing continuously (see doc.go).
+func trigFired(d, old int, f float64) bool {
+	if d > old && float64(d) >= f*float64(old) {
+		return true
+	}
+	return d < old && float64(d)*f <= float64(old)
+}
+
+// TriggerPending reports whether processor i's factor-f trigger condition
+// currently holds — the condition under which the sequential path fires a
+// balancing operation. The sharded engine uses it to re-verify a deferred
+// initiation at the tick barrier: an earlier operation in the same barrier
+// may have included i as a partner and reset its trigger base.
+func (s *System) TriggerPending(i int) bool {
+	return trigFired(s.rows[i].own().d, s.lOld[i], s.params.F)
 }
 
 // maybeBalance fires a balancing operation if processor i's self-generated
 // load has changed by at least the factor f since its last balancing
-// operation. The strict-change guard (d != lOld) keeps the lOld == 0 case
-// from firing continuously (see doc.go).
-func (s *System) maybeBalance(i int) {
-	d := s.rows[i].own().d
-	old := s.lOld[i]
-	f := s.params.F
-	if d > old && float64(d) >= f*float64(old) {
-		s.balance(i)
-		return
-	}
-	if d < old && float64(d)*f <= float64(old) {
-		s.balance(i)
+// operation.
+func (s *System) maybeBalance(i int, r *rng.RNG, sc *Scratch, m *Metrics) {
+	if trigFired(s.rows[i].own().d, s.lOld[i], s.params.F) {
+		s.balance(i, r, sc, m)
 	}
 }
 
@@ -287,13 +367,21 @@ func (s *System) maybeBalance(i int) {
 // participants are snake-redistributed. Every participant's local clock
 // ticks, lOld resets, and own-class borrow markers are cleared (simulated
 // decrease).
-func (s *System) balance(init int) {
-	s.candBuf = s.sel.Select(init, s.params.Delta, s.rng, s.candBuf)
-	s.setBuf = append(s.setBuf[:0], init)
-	s.setBuf = append(s.setBuf, s.candBuf...)
-	set := s.setBuf
-	s.metrics.BalanceOps++
-	s.redistribute(set)
+func (s *System) balance(init int, r *rng.RNG, sc *Scratch, m *Metrics) {
+	sc.candBuf = s.sel.Select(init, s.params.Delta, r, sc.candBuf)
+	s.balanceSet(init, sc.candBuf, r, sc, m)
+}
+
+// balanceSet is balance with the δ partners already chosen; the sharded
+// engine pre-draws them from the operation's private stream during barrier
+// planning (the participant set decides which operations may resolve
+// concurrently).
+func (s *System) balanceSet(init int, partners []int, r *rng.RNG, sc *Scratch, m *Metrics) {
+	sc.setBuf = append(sc.setBuf[:0], init)
+	sc.setBuf = append(sc.setBuf, partners...)
+	set := sc.setBuf
+	m.BalanceOps++
+	s.redistribute(set, r, sc, m)
 	for _, p := range set {
 		if !s.params.InitiatorOnlyReset || p == init {
 			s.lOld[p] = s.rows[p].own().d
@@ -305,36 +393,59 @@ func (s *System) balance(init int) {
 			// The owner consumes its own phantoms: simulated decrease.
 			s.bTot[p] -= own
 			s.rows[p].own().b = 0
-			s.metrics.DecreaseSim++
+			m.DecreaseSim++
 		}
 	}
 }
 
-// activeUnion collects the sorted union of classes held (d or b nonzero)
-// by any processor in set and records each class's union position in
-// classIdx. The stamp-marking scratch keeps it O(active entries + sort)
-// without clearing an O(n) array per call.
-func (s *System) activeUnion(set []int) []int {
-	s.stamp++
-	buf := s.unionBuf[:0]
-	for _, p := range set {
-		entries := s.rows[p].entries
-		for k := range entries {
-			e := &entries[k]
-			if e.d == 0 && e.b == 0 {
-				continue // pinned empty self entry
-			}
-			if s.mark[e.cls] != s.stamp {
-				s.mark[e.cls] = s.stamp
-				buf = append(buf, e.cls)
-			}
+// activeUnion collects the ascending union of classes held (d or b
+// nonzero) by any processor in set and records each class's union position
+// in sc.classIdx. The sorted-tail row invariant turns this into an np-way
+// merge — one cursor per participant tail, plus each participant's pinned
+// self entry slotted in by value — costing O(union × np) comparisons where
+// the former collect-and-sort paid O(union log union); with rows hundreds
+// of classes wide under load-accumulating workloads, that sort dominated
+// whole-simulation profiles.
+func (s *System) activeUnion(set []int, sc *Scratch) []int {
+	const maxInt = int(^uint(0) >> 1)
+	np := len(set)
+	cur := sc.mergeCur[:np]
+	selfs := sc.mergeSelf[:np]
+	for k, p := range set {
+		cur[k] = 1
+		e := &s.rows[p].entries[0]
+		if e.d != 0 || e.b != 0 {
+			selfs[k] = e.cls
+		} else {
+			selfs[k] = maxInt // pinned empty self entry: not active
 		}
 	}
-	sort.Ints(buf)
-	for ci, cls := range buf {
-		s.classIdx[cls] = ci
+	buf := sc.unionBuf[:0]
+	for {
+		best := maxInt
+		for k, p := range set {
+			if ents := s.rows[p].entries; cur[k] < len(ents) && ents[cur[k]].cls < best {
+				best = ents[cur[k]].cls
+			}
+			if selfs[k] < best {
+				best = selfs[k]
+			}
+		}
+		if best == maxInt {
+			break
+		}
+		for k, p := range set {
+			if ents := s.rows[p].entries; cur[k] < len(ents) && ents[cur[k]].cls == best {
+				cur[k]++
+			}
+			if selfs[k] == best {
+				selfs[k] = maxInt
+			}
+		}
+		sc.classIdx[best] = len(buf)
+		buf = append(buf, best)
 	}
-	s.unionBuf = buf
+	sc.unionBuf = buf
 	return buf
 }
 
@@ -346,25 +457,25 @@ func (s *System) activeUnion(set []int) []int {
 // participants' counts are gathered into union×m scratch matrices and the
 // rows rebuilt wholesale afterwards, keeping the hot loop free of row
 // searches.
-func (s *System) redistribute(set []int) {
-	m := len(set)
-	oldL := s.oldL[:m]
-	newL := s.newL[:m]
-	newBTot := s.newBTot[:m]
+func (s *System) redistribute(set []int, r *rng.RNG, sc *Scratch, m *Metrics) {
+	np := len(set)
+	oldL := sc.oldL[:np]
+	newL := sc.newL[:np]
+	newBTot := sc.newBTot[:np]
 	for k, p := range set {
 		oldL[k] = s.l[p]
 		newL[k] = 0
 		newBTot[k] = 0
 	}
-	classes := s.activeUnion(set)
+	classes := s.activeUnion(set, sc)
 	u := len(classes)
-	need := u * m
-	if cap(s.dMat) < need {
-		s.dMat = make([]int, need)
-		s.bMat = make([]int, need)
+	need := u * np
+	if cap(sc.dMat) < need {
+		sc.dMat = make([]int, need)
+		sc.bMat = make([]int, need)
 	}
-	dMat := s.dMat[:need]
-	bMat := s.bMat[:need]
+	dMat := sc.dMat[:need]
+	bMat := sc.bMat[:need]
 	for i := range dMat {
 		dMat[i] = 0
 		bMat[i] = 0
@@ -376,14 +487,14 @@ func (s *System) redistribute(set []int) {
 			if ent.d == 0 && ent.b == 0 {
 				continue
 			}
-			ci := s.classIdx[ent.cls]
-			dMat[ci*m+k] = ent.d
-			bMat[ci*m+k] = ent.b
+			ci := sc.classIdx[ent.cls]
+			dMat[ci*np+k] = ent.d
+			bMat[ci*np+k] = ent.b
 		}
 	}
-	cur := newSnakeCursor(m, s.rng.Intn(m))
+	cur := newSnakeCursor(np, r.Intn(np))
 	for ci := 0; ci < u; ci++ {
-		row := dMat[ci*m : ci*m+m]
+		row := dMat[ci*np : ci*np+np]
 		total := 0
 		for _, v := range row {
 			total += v
@@ -397,7 +508,7 @@ func (s *System) redistribute(set []int) {
 		})
 	}
 	for ci := 0; ci < u; ci++ {
-		row := bMat[ci*m : ci*m+m]
+		row := bMat[ci*np : ci*np+np]
 		total := 0
 		for _, v := range row {
 			total += v
@@ -411,11 +522,11 @@ func (s *System) redistribute(set []int) {
 		})
 	}
 	for k, p := range set {
-		s.rows[p].rebuild(classes, dMat, bMat, k, m)
+		s.rows[p].rebuild(classes, dMat, bMat, k, np)
 		s.l[p] = newL[k]
 		s.bTot[p] = newBTot[k]
 		if recv := newL[k] - oldL[k]; recv > 0 {
-			s.metrics.Migrations += int64(recv)
+			m.Migrations += int64(recv)
 		}
 	}
 }
@@ -424,16 +535,18 @@ func (s *System) redistribute(set []int) {
 // non-negative counts, l[i] == Σ_j d[i][j], bTot[i] == Σ_j b[i][j], exact
 // packet conservation (TotalLoad == Generated − Consumed) — plus the
 // sparse bookkeeping: every row's self entry is pinned at index 0, no
-// foreign entry is empty, and no class appears in a row twice. It is
-// O(total nonzero + n) and intended for tests.
+// foreign entry is empty, the tail is sorted ascending by class, and no
+// class appears in a row twice. It is O(total nonzero + n) and intended
+// for tests.
 func (s *System) CheckInvariants() error {
+	sc := s.sc
 	var totalLoad int64
 	for i := 0; i < s.n; i++ {
 		row := &s.rows[i]
 		if len(row.entries) == 0 || row.entries[0].cls != i || row.self != i {
 			return fmt.Errorf("core: row %d: self entry not pinned at index 0", i)
 		}
-		s.stamp++
+		sc.stamp++
 		sumD, sumB := 0, 0
 		for k := range row.entries {
 			e := &row.entries[k]
@@ -446,12 +559,16 @@ func (s *System) CheckInvariants() error {
 			if e.b < 0 {
 				return fmt.Errorf("core: b[%d][%d] = %d < 0", i, e.cls, e.b)
 			}
-			if s.mark[e.cls] == s.stamp {
+			if sc.mark[e.cls] == sc.stamp {
 				return fmt.Errorf("core: row %d: class %d appears twice", i, e.cls)
 			}
-			s.mark[e.cls] = s.stamp
+			sc.mark[e.cls] = sc.stamp
 			if k > 0 && e.d == 0 && e.b == 0 {
 				return fmt.Errorf("core: row %d: empty entry for class %d not compacted", i, e.cls)
+			}
+			if k > 1 && e.cls <= row.entries[k-1].cls {
+				return fmt.Errorf("core: row %d: tail not sorted at index %d (%d after %d)",
+					i, k, e.cls, row.entries[k-1].cls)
 			}
 			sumD += e.d
 			sumB += e.b
@@ -472,31 +589,31 @@ func (s *System) CheckInvariants() error {
 
 // settle resolves one outstanding borrow marker b[i][j] (see doc.go for
 // the three cases).
-func (s *System) settle(i, j int) {
+func (s *System) settle(i, j int, r *rng.RNG, sc *Scratch, m *Metrics) {
 	if j == i {
 		// The owner clears its own phantoms: simulated decrease.
 		own := s.rows[i].own()
 		s.bTot[i] -= own.b
 		own.b = 0
-		s.metrics.DecreaseSim++
+		m.DecreaseSim++
 		return
 	}
 	if s.rows[j].own().d > 0 {
-		s.exchange(i, j)
+		s.exchange(i, j, r, sc, m)
 		return
 	}
 	// Borrow fail: the class owner has no real self packets. Run the §4
 	// recovery — a class-j-only balancing over j, δ random candidates and
 	// i — then settle if it produced packets at j.
-	s.metrics.BorrowFail++
-	s.classBalance(j, i)
+	m.BorrowFail++
+	s.classBalance(j, i, r, sc, m)
 	if s.rows[i].getB(j) == 0 {
 		// The marker migrated away (another participant now carries the
 		// debt); i is free to borrow again.
 		return
 	}
 	if s.rows[j].own().d > 0 {
-		s.exchange(i, j)
+		s.exchange(i, j, r, sc, m)
 		return
 	}
 	// Class j has no real packets among the participants: force-clear the
@@ -505,23 +622,23 @@ func (s *System) settle(i, j int) {
 	// schedules.
 	s.rows[i].add(j, 0, -1)
 	s.bTot[i]--
-	s.metrics.ForcedSettle++
-	s.metrics.DecreaseSim++
+	m.ForcedSettle++
+	m.DecreaseSim++
 }
 
 // exchange performs the paper's remote-borrow settlement: processor j
 // migrates one real class-j packet to i, i clears its class-j marker, and
 // j treats the loss as a simulated workload decrease (which may trigger a
 // balancing operation on j).
-func (s *System) exchange(i, j int) {
+func (s *System) exchange(i, j int, r *rng.RNG, sc *Scratch, m *Metrics) {
 	s.rows[j].own().d--
 	s.l[j]--
 	s.rows[i].add(j, +1, -1)
 	s.l[i]++
 	s.bTot[i]--
-	s.metrics.RemoteBorrow++
-	s.metrics.DecreaseSim++
-	s.maybeBalance(j)
+	m.RemoteBorrow++
+	m.DecreaseSim++
+	s.maybeBalance(j, r, sc, m)
 }
 
 // classBalance redistributes only class cls over the owner, δ random
@@ -529,35 +646,35 @@ func (s *System) exchange(i, j int) {
 // every other class untouched. Markers of class cls arriving at the owner
 // are consumed (the paper: "at least one processor migrates its borrowed
 // packet to j where it is also consumed").
-func (s *System) classBalance(owner, extra int) {
+func (s *System) classBalance(owner, extra int, r *rng.RNG, sc *Scratch, m *Metrics) {
 	cls := owner // the class being balanced is the owner's own class
-	s.metrics.ClassBalanceOps++
-	s.candBuf = s.sel.Select(owner, s.params.Delta, s.rng, s.candBuf)
-	s.setBuf = append(s.setBuf[:0], owner)
-	for _, c := range s.candBuf {
+	m.ClassBalanceOps++
+	sc.candBuf = s.sel.Select(owner, s.params.Delta, r, sc.candBuf)
+	sc.setBuf = append(sc.setBuf[:0], owner)
+	for _, c := range sc.candBuf {
 		if c != extra {
-			s.setBuf = append(s.setBuf, c)
+			sc.setBuf = append(sc.setBuf, c)
 		}
 	}
 	if extra != owner {
-		s.setBuf = append(s.setBuf, extra)
+		sc.setBuf = append(sc.setBuf, extra)
 	}
-	set := s.setBuf
-	m := len(set)
+	set := sc.setBuf
+	np := len(set)
 
 	totalD, totalB := 0, 0
 	for _, p := range set {
 		totalD += s.rows[p].getD(cls)
 		totalB += s.rows[p].getB(cls)
 	}
-	cur := newSnakeCursor(m, s.rng.Intn(m))
+	cur := newSnakeCursor(np, r.Intn(np))
 	cur.distribute(totalD, func(k, cnt int) {
 		p := set[k]
 		delta := cnt - s.rows[p].getD(cls)
 		s.rows[p].setD(cls, cnt)
 		s.l[p] += delta
 		if delta > 0 {
-			s.metrics.Migrations += int64(delta)
+			m.Migrations += int64(delta)
 		}
 	})
 	cur.distribute(totalB, func(k, cnt int) {
@@ -570,6 +687,6 @@ func (s *System) classBalance(owner, extra int) {
 	if own := s.rows[owner].own().b; own > 0 {
 		s.bTot[owner] -= own
 		s.rows[owner].own().b = 0
-		s.metrics.DecreaseSim++
+		m.DecreaseSim++
 	}
 }

@@ -545,6 +545,6 @@ func BenchmarkBalanceOp(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.balance(i % 256)
+		s.balance(i%256, s.rng, s.sc, &s.metrics)
 	}
 }

@@ -13,24 +13,50 @@ import (
 	"lmbalance/internal/workload"
 )
 
-// ScalingNs are the network sizes of the size-independence study. The
-// sparse core (O(nnz+n) memory, balancing cost independent of n) makes
-// n = 4096 tractable; the dense representation previously capped the sweep
-// at 1024.
+// ScalingNs are the network sizes of the size-independence study that every
+// scale runs. The sparse core (O(nnz+n) memory, balancing cost independent
+// of n) makes n = 4096 tractable; the dense representation previously
+// capped the sweep at 1024.
 var ScalingNs = []int{16, 64, 256, 1024, 4096}
 
-// scalingRuns returns the repetition count for one network size. The
-// simulation engine itself is O(n·steps) per run regardless of the
-// balancer, so the largest sizes use fewer repetitions to keep the sweep
-// tractable; their per-processor averages still pool thousands of
-// processors per run.
-func scalingRuns(scale Scale, n int) int {
+// ScalingMillionN is the headline size the sharded engine adds at full
+// scale: a million processors in one in-process run.
+const ScalingMillionN = 1_000_000
+
+// ScalingSizes returns the sweep sizes for a scale: quick keeps the
+// CI-sized list, full appends the million-processor row.
+func ScalingSizes(scale Scale) []int {
+	sizes := append([]int(nil), ScalingNs...)
+	if scale == ScaleFull {
+		sizes = append(sizes, ScalingMillionN)
+	}
+	return sizes
+}
+
+// scalingShards picks the within-run shard count for one network size.
+// The one-producer model always runs sharded: its workload is
+// workload.Sparse, and the sharded engine's active-set fast path is what
+// makes 8n steps at large n affordable (the sequential engine would pay
+// O(n) pattern calls per tick for one active processor). The mixed
+// workload runs sequentially below 65536 processors — at small n the
+// per-run worker pool over 100 runs is the better parallelism — and
+// sharded above.
+func scalingShards(n int) int {
+	if n < 64 {
+		return n
+	}
+	return 64
+}
+
+// scalingMixedRuns returns the repetition count of the mixed-workload part
+// for one size. All sizes the paper's hardware could reach use the full
+// run count; the million-processor row pools 10⁶ processors per run, so a
+// handful of runs already pins its per-processor averages, and 100 runs of
+// a ~500 M-balancing-op simulation would dominate the whole sweep.
+func scalingMixedRuns(scale Scale, n int) int {
 	runs := scale.runs()
-	if n >= 2048 {
-		runs = (runs + 4) / 5
-		if runs < 2 {
-			runs = 2
-		}
+	if n >= ScalingMillionN && runs > 3 {
+		runs = 3
 	}
 	return runs
 }
@@ -38,15 +64,18 @@ func scalingRuns(scale Scale, n int) int {
 // ScalingRow is one network size's measurement.
 type ScalingRow struct {
 	N int
-	// Runs is the number of independent repetitions behind this row.
+	// Runs is the number of repetitions behind the one-producer ratio.
 	Runs int
+	// MixedRuns is the number of repetitions behind the mixed-workload
+	// columns (smaller only for the million-processor row).
+	MixedRuns int
 	// RatioOneProducer is the measured E(l₁)/E(lᵢ) in the
 	// one-processor-generator model.
 	RatioOneProducer float64
 	// Fix and Limit are the corresponding closed forms.
 	Fix, Limit float64
 	// SpreadMixed is the tail load spread under the uniform mixed
-	// workload, normalized per processor count below in Render.
+	// workload.
 	SpreadMixed float64
 	// BalanceOpsPerProcStep is balancing operations per processor per
 	// step under the mixed workload — the per-node organizational cost.
@@ -63,13 +92,15 @@ type ScalingResult struct {
 }
 
 // Scaling measures the expected-load ratio (one-producer model) and the
-// mixed-workload spread across network sizes 16..1024.
+// mixed-workload spread across network sizes — 16 up to one million
+// processors at full scale.
 func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 	out := &ScalingResult{Runs: scale.runs()}
 	params := core.Params{F: 1.1, Delta: 1, C: 4}
-	for i, n := range ScalingNs {
+	for i, n := range ScalingSizes(scale) {
 		n := n
-		runs := scalingRuns(scale, n)
+		runs := scale.runs()
+		mixedRuns := scalingMixedRuns(scale, n)
 		// Scale the horizon with n so the per-processor load is large
 		// enough (≈8 packets) that the ±1 integer granularity does not
 		// swamp the expectation the theory speaks about.
@@ -78,10 +109,15 @@ func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 			steps = 8 * n
 		}
 		out.Steps = steps
-		// One-producer ratio.
+		// One-producer ratio, on the sharded engine's sparse fast path.
+		// Only the final-step snapshot is read, so the per-step load scan
+		// is strided out entirely (StatsEvery = steps samples just the
+		// last tick).
 		cfg := sim.Config{
 			N: n, Steps: steps, Runs: runs, Seed: seed + uint64(i),
 			SnapshotAt: []int{steps - 1},
+			Shards:     scalingShards(n),
+			StatsEvery: steps,
 			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
 				return core.NewSystem(n, params, topology.NewGlobal(n), r)
 			},
@@ -101,9 +137,12 @@ func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 		}
 		others /= float64(n - 1)
 
-		// Mixed workload spread.
+		// Mixed workload spread. Sequential (runs-parallel) below 65536
+		// processors, sharded above; the million-processor row strides
+		// the per-step statistics to every 5th tick to bound the O(n)
+		// scan cost.
 		mixed := sim.Config{
-			N: n, Steps: 500, Runs: runs, Seed: seed + 1000 + uint64(i),
+			N: n, Steps: 500, Runs: mixedRuns, Seed: seed + 1000 + uint64(i),
 			NewBalancer: func(run int, r *rng.RNG) (sim.Balancer, error) {
 				return core.NewSystem(n, params, topology.NewGlobal(n), r)
 			},
@@ -111,20 +150,29 @@ func Scaling(scale Scale, seed uint64) (*ScalingResult, error) {
 				return workload.Uniform{GenP: 0.5, ConP: 0.4}, nil
 			},
 		}
+		if n >= 65536 {
+			mixed.Shards = scalingShards(n)
+			mixed.StatsEvery = 5
+		}
 		mres, err := sim.Run(mixed)
 		if err != nil {
 			return nil, fmt.Errorf("scaling n=%d mixed: %w", n, err)
 		}
-		spread := 0.0
+		spread, cnt := 0.0, 0
 		for s := 375; s < 500; s++ {
+			if !mres.Spread.Sampled(s) {
+				continue
+			}
 			spread += mres.Spread.At(s).Mean()
+			cnt++
 		}
-		spread /= 125
-		perProcStep := float64(mres.CoreMetrics.BalanceOps) / float64(runs) / float64(n) / 500
+		spread /= float64(cnt)
+		perProcStep := float64(mres.CoreMetrics.BalanceOps) / float64(mixedRuns) / float64(n) / 500
 
 		out.Rows = append(out.Rows, ScalingRow{
 			N:                     n,
 			Runs:                  runs,
+			MixedRuns:             mixedRuns,
 			RatioOneProducer:      gen / others,
 			Fix:                   theory.FIX(n, params.Delta, params.F),
 			Limit:                 theory.FixLimit(params.Delta, params.F),
@@ -141,9 +189,10 @@ func (r *ScalingResult) Render(w io.Writer) error {
 		return err
 	}
 	tb := trace.NewTable("balance quality and per-node cost vs network size",
-		"n", "runs", "ratio (1-producer)", "FIX", "δ/(δ+1−f)", "spread (mixed)", "balance ops/proc/step")
+		"n", "runs (1p/mixed)", "ratio (1-producer)", "FIX", "δ/(δ+1−f)", "spread (mixed)", "balance ops/proc/step")
 	for _, row := range r.Rows {
-		tb.AddRow(row.N, row.Runs, row.RatioOneProducer, row.Fix, row.Limit,
+		tb.AddRow(row.N, fmt.Sprintf("%d/%d", row.Runs, row.MixedRuns),
+			row.RatioOneProducer, row.Fix, row.Limit,
 			row.SpreadMixed, row.BalanceOpsPerProcStep)
 	}
 	return tb.WriteText(w)

@@ -206,6 +206,27 @@ func (r *RNG) SampleDistinct(n, k, skip int, dst []int) []int {
 		}
 		return v
 	}
+	// Duplicate detection: for the small k of the balancer's δ-selection a
+	// linear scan over the picks so far beats a map and allocates nothing —
+	// SampleDistinct sits on the hot path of every balancing operation. The
+	// map path serves large k. Both consume the identical Intn sequence and
+	// produce identical picks, so the choice is invisible to the stream.
+	if k <= 16 {
+		var picks [16]int
+		for j := avail - k; j < avail; j++ {
+			t := r.Intn(j + 1)
+			np := len(dst)
+			for i := 0; i < np; i++ {
+				if picks[i] == t {
+					t = j
+					break
+				}
+			}
+			picks[np] = t
+			dst = append(dst, translate(t))
+		}
+		return dst
+	}
 	seen := make(map[int]struct{}, k)
 	for j := avail - k; j < avail; j++ {
 		t := r.Intn(j + 1)

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"lmbalance/internal/core"
+	"lmbalance/internal/rng"
+	"lmbalance/internal/topology"
+	"lmbalance/internal/workload"
+)
+
+// shardedTestConfig is the uniform-workload config the sharded tests run:
+// busy enough that triggers, borrows and settlements all occur.
+func shardedTestConfig(n, steps, runs, shards int, seed uint64) Config {
+	return Config{
+		N:     n,
+		Steps: steps,
+		Seed:  seed,
+		Runs:  runs,
+		NewBalancer: func(run int, r *rng.RNG) (Balancer, error) {
+			return core.NewSystem(n, core.DefaultParams(), topology.NewGlobal(n), r)
+		},
+		NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+			return workload.Uniform{GenP: 0.5, ConP: 0.4}, nil
+		},
+		Shards: shards,
+	}
+}
+
+// resultsEqual compares two Results bit-exactly on everything the engine
+// reports.
+func resultsEqual(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.CoreMetrics != b.CoreMetrics {
+		t.Fatalf("metrics differ:\n  a: %+v\n  b: %+v", a.CoreMetrics, b.CoreMetrics)
+	}
+	if a.FinalLoadVD != b.FinalLoadVD {
+		t.Fatalf("final VD differs: %v vs %v", a.FinalLoadVD, b.FinalLoadVD)
+	}
+	pairs := []struct {
+		name string
+		x, y []float64
+	}{
+		{"avg means", a.Avg.Means(), b.Avg.Means()},
+		{"min mins", a.Min.Mins(), b.Min.Mins()},
+		{"max maxs", a.Max.Maxs(), b.Max.Maxs()},
+		{"spread means", a.Spread.Means(), b.Spread.Means()},
+	}
+	for _, p := range pairs {
+		if len(p.x) != len(p.y) {
+			t.Fatalf("%s: length %d vs %d", p.name, len(p.x), len(p.y))
+		}
+		for i := range p.x {
+			if p.x[i] != p.y[i] {
+				t.Fatalf("%s: slot %d: %v vs %v", p.name, i, p.x[i], p.y[i])
+			}
+		}
+	}
+	for at, accs := range a.Snapshots {
+		baccs, ok := b.Snapshots[at]
+		if !ok {
+			t.Fatalf("snapshot %d missing in b", at)
+		}
+		for i := range accs {
+			if accs[i].Mean() != baccs[i].Mean() {
+				t.Fatalf("snapshot %d proc %d: %v vs %v", at, i, accs[i].Mean(), baccs[i].Mean())
+			}
+		}
+	}
+}
+
+// TestShardedWorkerInvariance is the engine's central determinism claim:
+// for a fixed (Seed, Shards) pair, the worker count changes only speed,
+// never a single bit of the results.
+func TestShardedWorkerInvariance(t *testing.T) {
+	workerCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0) + 1}
+	var ref *Result
+	for _, w := range workerCounts {
+		cfg := shardedTestConfig(192, 150, 2, 4, 99)
+		cfg.Workers = w
+		cfg.SnapshotAt = []int{149}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		resultsEqual(t, ref, res)
+	}
+}
+
+// TestShardedSeedDeterminism re-runs the same (Seed, Shards) twice and a
+// different seed once: identical and different results respectively.
+func TestShardedSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) *Result {
+		cfg := shardedTestConfig(128, 120, 1, 4, seed)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(7), run(7)
+	resultsEqual(t, a, b)
+	c := run(8)
+	if a.CoreMetrics == c.CoreMetrics {
+		t.Fatal("different seeds produced identical metrics")
+	}
+}
+
+// TestShardedMatchesSequential is the differential test against the
+// sequential engine. The two engines walk different (equally valid) sample
+// paths, so the comparison is statistical: aggregate observables over
+// enough runs must agree within tolerance.
+func TestShardedMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential test needs multiple runs")
+	}
+	const (
+		n, steps, runs = 256, 300, 12
+		seed           = 12345
+	)
+	seq := shardedTestConfig(n, steps, runs, 0, seed)
+	shr := shardedTestConfig(n, steps, runs, 8, seed)
+	seqRes, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrRes, err := Run(shr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean load trajectory is workload-driven and must agree tightly.
+	relDiff := func(a, b float64) float64 {
+		if a == 0 && b == 0 {
+			return 0
+		}
+		return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+	}
+	last := steps - 1
+	if d := relDiff(seqRes.Avg.At(last).Mean(), shrRes.Avg.At(last).Mean()); d > 0.10 {
+		t.Errorf("final avg load: seq %.3f shard %.3f (rel diff %.3f)",
+			seqRes.Avg.At(last).Mean(), shrRes.Avg.At(last).Mean(), d)
+	}
+	// Balancing quality: mean spread over the second half of the run.
+	window := func(r *Result) float64 {
+		sum, cnt := 0.0, 0
+		for tt := steps / 2; tt < steps; tt++ {
+			sum += r.Spread.At(tt).Mean()
+			cnt++
+		}
+		return sum / float64(cnt)
+	}
+	ws, wh := window(seqRes), window(shrRes)
+	if d := relDiff(ws, wh); d > 0.25 {
+		t.Errorf("mean spread window: seq %.3f shard %.3f (rel diff %.3f)", ws, wh, d)
+	}
+	// Activity rates per processor-step.
+	rate := func(v int64) float64 { return float64(v) / float64(n*steps*runs) }
+	sm, hm := seqRes.CoreMetrics, shrRes.CoreMetrics
+	if d := relDiff(rate(sm.Generated), rate(hm.Generated)); d > 0.02 {
+		t.Errorf("generate rate: seq %.4f shard %.4f", rate(sm.Generated), rate(hm.Generated))
+	}
+	if d := relDiff(rate(sm.Consumed), rate(hm.Consumed)); d > 0.05 {
+		t.Errorf("consume rate: seq %.4f shard %.4f", rate(sm.Consumed), rate(hm.Consumed))
+	}
+	if d := relDiff(rate(sm.BalanceOps), rate(hm.BalanceOps)); d > 0.15 {
+		t.Errorf("balance-op rate: seq %.4f shard %.4f", rate(sm.BalanceOps), rate(hm.BalanceOps))
+	}
+}
+
+// TestShardedOneProducer drives the §3 one-producer model through the
+// sparse fast path and checks exact packet conservation plus the
+// Theorem 2 shape (the generator keeps roughly f/(δ+1−f)·avg more load
+// than the rest — here just sanity: its load is positive and bounded).
+func TestShardedOneProducer(t *testing.T) {
+	const n, steps = 64, 8 * 64
+	cfg := Config{
+		N:     n,
+		Steps: steps,
+		Seed:  5,
+		Runs:  3,
+		NewBalancer: func(run int, r *rng.RNG) (Balancer, error) {
+			return core.NewSystem(n, core.DefaultParams(), topology.NewGlobal(n), r)
+		},
+		NewPattern: func(run int, r *rng.RNG) (workload.Pattern, error) {
+			return workload.OneProducer{}, nil
+		},
+		Shards:     4,
+		StatsEvery: steps, // only the final tick is scanned
+		SnapshotAt: []int{steps - 1},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact conservation: one packet generated per tick, none consumed.
+	if got := res.CoreMetrics.Generated; got != int64(steps*cfg.Runs) {
+		t.Fatalf("generated %d, want %d", got, steps*cfg.Runs)
+	}
+	if res.CoreMetrics.Consumed != 0 {
+		t.Fatalf("consumed %d, want 0", res.CoreMetrics.Consumed)
+	}
+	// The final average load per processor is steps/n = 8 exactly.
+	if avg := res.Avg.At(steps - 1).Mean(); math.Abs(avg-8) > 1e-9 {
+		t.Fatalf("final avg %.4f, want 8", avg)
+	}
+	// Balancing must have spread load off the generator: max far below
+	// the total, min above zero.
+	if max := res.Max.At(steps - 1).Mean(); max >= float64(steps)/2 {
+		t.Fatalf("final max %.1f: no balancing happened", max)
+	}
+}
+
+// TestShardedStatsEvery checks the strided statistics path on the
+// sequential engine too: stride 1 and stride k agree on sampled steps.
+func TestShardedStatsEvery(t *testing.T) {
+	base := shardedTestConfig(64, 100, 2, 0, 3)
+	strided := base
+	strided.StatsEvery = 10
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(strided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Avg.Stride() != 10 || b.Avg.Len() != 100 {
+		t.Fatalf("stride %d len %d", b.Avg.Stride(), b.Avg.Len())
+	}
+	for tt := 0; tt < 100; tt++ {
+		if !b.Avg.Sampled(tt) {
+			continue
+		}
+		if got, want := b.Avg.At(tt).Mean(), a.Avg.At(tt).Mean(); got != want {
+			t.Fatalf("step %d: strided avg %v, per-step avg %v", tt, got, want)
+		}
+		if got, want := b.Spread.At(tt).Mean(), a.Spread.At(tt).Mean(); got != want {
+			t.Fatalf("step %d: strided spread %v, per-step spread %v", tt, got, want)
+		}
+	}
+}
+
+// TestShardedValidation covers the new Config fields.
+func TestShardedValidation(t *testing.T) {
+	good := shardedTestConfig(64, 10, 1, 4, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Shards = -1
+	if bad.Validate() == nil {
+		t.Fatal("Shards=-1 accepted")
+	}
+	bad = good
+	bad.Shards = 65
+	if bad.Validate() == nil {
+		t.Fatal("Shards>N accepted")
+	}
+	bad = good
+	bad.Workers = -2
+	if bad.Validate() == nil {
+		t.Fatal("Workers=-2 accepted")
+	}
+	bad = good
+	bad.StatsEvery = -1
+	if bad.Validate() == nil {
+		t.Fatal("StatsEvery=-1 accepted")
+	}
+	// Sharded engine refuses non-core balancers at run time.
+	nc := good
+	nc.NewBalancer = func(run int, r *rng.RNG) (Balancer, error) {
+		sys, err := core.NewSystem(nc.N, core.DefaultParams(), topology.NewGlobal(nc.N), r)
+		return struct{ Balancer }{sys}, err
+	}
+	if _, err := Run(nc); err == nil {
+		t.Fatal("sharded run with non-core balancer accepted")
+	}
+}

@@ -67,6 +67,35 @@ type Config struct {
 	// indices — implementations must partition their state by run. The
 	// balancer must not be retained.
 	Observe func(run, t int, bal Balancer)
+	// Shards, when > 0, selects the sharded engine: the N processors are
+	// partitioned into Shards contiguous shards driven concurrently
+	// within each run, with cross-shard balancing operations resolved at
+	// a deterministic per-tick barrier (see sharded.go). Results are
+	// bit-deterministic for a fixed (Seed, Shards) pair, for any Workers
+	// value. Requires the balancer to be a *core.System. 0 (the default)
+	// runs the original sequential per-run engine, bit-identical to
+	// earlier releases.
+	Shards int
+	// Workers bounds the goroutines used for parallelism: the per-run
+	// worker pool of the sequential engine, and the shard/operation
+	// workers of the sharded engine. 0 means GOMAXPROCS. Workers affects
+	// only speed, never results.
+	Workers int
+	// StatsEvery strides the per-step load statistics: only steps t with
+	// (t+1) % StatsEvery == 0 are scanned and recorded (see
+	// stats.NewSeriesStride). 0 or 1 records every step. Snapshots and
+	// final-load statistics are unaffected. Striding bounds both the
+	// memory of the per-step series and the O(N) per-tick scan cost on
+	// multi-million-step runs.
+	StatsEvery int
+}
+
+// statsStride returns the effective series stride.
+func (c *Config) statsStride() int {
+	if c.StatsEvery < 1 {
+		return 1
+	}
+	return c.StatsEvery
 }
 
 // Validate checks the configuration.
@@ -82,6 +111,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: NewBalancer is nil")
 	case c.NewPattern == nil:
 		return fmt.Errorf("sim: NewPattern is nil")
+	case c.Shards < 0 || c.Shards > c.N:
+		return fmt.Errorf("sim: Shards = %d, need 0 <= Shards <= N", c.Shards)
+	case c.Workers < 0:
+		return fmt.Errorf("sim: Workers = %d, need >= 0", c.Workers)
+	case c.StatsEvery < 0:
+		return fmt.Errorf("sim: StatsEvery = %d, need >= 0", c.StatsEvery)
 	}
 	for _, s := range c.SnapshotAt {
 		if s < 0 || s >= c.Steps {
@@ -150,32 +185,46 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	results := make([]runResult, cfg.Runs)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.Runs {
-		workers = cfg.Runs
+	if cfg.Shards > 0 {
+		// Sharded engine: parallelism lives inside each run (shard and
+		// operation workers), so runs execute sequentially — which also
+		// bounds peak memory to one system at the multi-million-processor
+		// sizes the sharded engine exists for.
+		for run := 0; run < cfg.Runs; run++ {
+			results[run] = shardedOneRun(cfg, run)
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if cfg.Workers > 0 && cfg.Workers < workers {
+			workers = cfg.Workers
+		}
+		if workers > cfg.Runs {
+			workers = cfg.Runs
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for run := range next {
+					results[run] = oneRun(cfg, run)
+				}
+			}()
+		}
+		for run := 0; run < cfg.Runs; run++ {
+			next <- run
+		}
+		close(next)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range next {
-				results[run] = oneRun(cfg, run)
-			}
-		}()
-	}
-	for run := 0; run < cfg.Runs; run++ {
-		next <- run
-	}
-	close(next)
-	wg.Wait()
 
+	stride := cfg.statsStride()
 	res := &Result{
-		Avg:       stats.NewSeries(cfg.Steps),
-		Min:       stats.NewSeries(cfg.Steps),
-		Max:       stats.NewSeries(cfg.Steps),
-		Spread:    stats.NewSeries(cfg.Steps),
+		Avg:       stats.NewSeriesStride(cfg.Steps, stride),
+		Min:       stats.NewSeriesStride(cfg.Steps, stride),
+		Max:       stats.NewSeriesStride(cfg.Steps, stride),
+		Spread:    stats.NewSeriesStride(cfg.Steps, stride),
 		Snapshots: make(map[int][]stats.Accumulator, len(cfg.SnapshotAt)),
 		Runs:      cfg.Runs,
 	}
@@ -219,11 +268,12 @@ func oneRun(cfg Config, run int) runResult {
 	balancerRNG := master.Split()
 	orderRNG := master.Split()
 
+	stride := cfg.statsStride()
 	out := runResult{
-		avg:       stats.NewSeries(cfg.Steps),
-		min:       stats.NewSeries(cfg.Steps),
-		max:       stats.NewSeries(cfg.Steps),
-		spread:    stats.NewSeries(cfg.Steps),
+		avg:       stats.NewSeriesStride(cfg.Steps, stride),
+		min:       stats.NewSeriesStride(cfg.Steps, stride),
+		max:       stats.NewSeriesStride(cfg.Steps, stride),
+		spread:    stats.NewSeriesStride(cfg.Steps, stride),
 		snapshots: make(map[int][]float64, len(cfg.SnapshotAt)),
 	}
 	bal, err := cfg.NewBalancer(run, balancerRNG)
@@ -268,22 +318,26 @@ func oneRun(cfg Config, run int) runResult {
 		if tk, ok := bal.(Ticker); ok {
 			tk.Tick(t)
 		}
-		loads = bal.Loads(loads)
-		lo, hi := stats.MinMaxInts(loads)
-		sum := 0
-		for _, v := range loads {
-			sum += v
-		}
-		out.avg.Add(t, float64(sum)/float64(cfg.N))
-		out.min.Add(t, float64(lo))
-		out.max.Add(t, float64(hi))
-		out.spread.Add(t, float64(hi-lo))
-		if snapshotWanted[t] {
-			snap := make([]float64, cfg.N)
-			for i, v := range loads {
-				snap[i] = float64(v)
+		if out.avg.Sampled(t) || snapshotWanted[t] {
+			loads = bal.Loads(loads)
+			if out.avg.Sampled(t) {
+				lo, hi := stats.MinMaxInts(loads)
+				sum := 0
+				for _, v := range loads {
+					sum += v
+				}
+				out.avg.Add(t, float64(sum)/float64(cfg.N))
+				out.min.Add(t, float64(lo))
+				out.max.Add(t, float64(hi))
+				out.spread.Add(t, float64(hi-lo))
 			}
-			out.snapshots[t] = snap
+			if snapshotWanted[t] {
+				snap := make([]float64, cfg.N)
+				for i, v := range loads {
+					snap[i] = float64(v)
+				}
+				out.snapshots[t] = snap
+			}
 		}
 		if cfg.Observe != nil {
 			cfg.Observe(run, t, bal)
@@ -296,6 +350,7 @@ func oneRun(cfg Config, run int) runResult {
 			return out
 		}
 	}
+	loads = bal.Loads(loads)
 	out.finalLoads = make([]float64, cfg.N)
 	for i, v := range loads {
 		out.finalLoads[i] = float64(v)

@@ -141,29 +141,62 @@ func (a *Accumulator) String() string {
 // aggregating one observation per step per run. It is the backbone of the
 // Fig. 7/8 reproduction (average/min/max load per global time step over 100
 // runs).
+//
+// A Series may be strided: with stride k > 1 only steps t with
+// (t+1) % k == 0 own an accumulator, and the backing vector holds
+// ⌈steps/k⌉ slots instead of steps. Strided series keep the memory of
+// multi-million-step simulations bounded (a per-step series over 8·10⁶
+// steps would cost >1 GB across the four observables) while the caller
+// still addresses accumulators by global time step.
 type Series struct {
-	acc []Accumulator
+	acc    []Accumulator
+	steps  int
+	stride int
 }
 
-// NewSeries returns a Series with the given number of time steps.
+// NewSeries returns a per-step Series with the given number of time steps.
 func NewSeries(steps int) *Series {
-	return &Series{acc: make([]Accumulator, steps)}
+	return NewSeriesStride(steps, 1)
 }
 
-// Len returns the number of time steps.
-func (s *Series) Len() int { return len(s.acc) }
+// NewSeriesStride returns a Series over steps time steps that records only
+// every stride-th step (those t with (t+1) % stride == 0). stride < 1 is
+// treated as 1.
+func NewSeriesStride(steps, stride int) *Series {
+	if stride < 1 {
+		stride = 1
+	}
+	slots := steps / stride
+	if steps%stride != 0 {
+		slots++
+	}
+	return &Series{acc: make([]Accumulator, slots), steps: steps, stride: stride}
+}
 
-// Add incorporates observation x at time step t.
-func (s *Series) Add(t int, x float64) { s.acc[t].Add(x) }
+// Len returns the number of time steps (not slots).
+func (s *Series) Len() int { return s.steps }
 
-// At returns the accumulator for time step t.
-func (s *Series) At(t int) *Accumulator { return &s.acc[t] }
+// Stride returns the sampling stride (1 for a per-step series).
+func (s *Series) Stride() int { return s.stride }
 
-// Merge combines another series of the same length into s.
-// It panics if the lengths differ.
+// Sampled reports whether time step t owns an accumulator.
+func (s *Series) Sampled(t int) bool { return (t+1)%s.stride == 0 }
+
+// Add incorporates observation x at time step t. For a strided series t
+// must be a sampled step.
+func (s *Series) Add(t int, x float64) { s.acc[t/s.stride].Add(x) }
+
+// At returns the accumulator for time step t. For a strided series,
+// non-sampled steps map to the slot of the nearest sampled step at or
+// before t+stride-1; callers should consult Sampled when exactness
+// matters.
+func (s *Series) At(t int) *Accumulator { return &s.acc[t/s.stride] }
+
+// Merge combines another series of the same length and stride into s.
+// It panics if the shapes differ.
 func (s *Series) Merge(o *Series) {
-	if len(s.acc) != len(o.acc) {
-		panic("stats: merging series of different lengths")
+	if len(s.acc) != len(o.acc) || s.stride != o.stride {
+		panic("stats: merging series of different shapes")
 	}
 	for i := range s.acc {
 		s.acc[i].Merge(&o.acc[i])

@@ -62,6 +62,22 @@ type Pattern interface {
 	Step(proc, t int, r *rng.RNG) Action
 }
 
+// Sparse is an optional Pattern refinement for patterns whose activity is
+// confined to a fixed small set of processors. The sharded engine uses it
+// to step only the processors that can ever act, which is what makes the
+// §3 one-producer model tractable at n = 10⁶ (8n global steps would
+// otherwise cost 8n² pattern calls). A Sparse pattern must return Idle for
+// every processor outside ActiveProcs at every step, and must not consume
+// RNG state for those processors (both OneProducer and ProducerConsumer
+// draw nothing for idle processors, so skipping them leaves every stream
+// untouched).
+type Sparse interface {
+	Pattern
+	// ActiveProcs returns the sorted, duplicate-free set of processors
+	// that may ever return a non-Idle action.
+	ActiveProcs() []int
+}
+
 // Phase is one activity window of a processor: between Start and End
 // (inclusive) the processor generates with probability G and otherwise
 // consumes with probability C, per step.
@@ -202,6 +218,9 @@ func (OneProducer) Step(proc, t int, r *rng.RNG) Action {
 	return Idle
 }
 
+// ActiveProcs implements Sparse: only processor 0 ever acts.
+func (OneProducer) ActiveProcs() []int { return []int{0} }
+
 // ProducerConsumer is the §3 one-processor-producer-consumer model:
 // processor 0 generates with probability genP and consumes with probability
 // 1−genP; all other processors idle.
@@ -226,6 +245,9 @@ func (p ProducerConsumer) Step(proc, t int, r *rng.RNG) Action {
 	}
 	return Consume
 }
+
+// ActiveProcs implements Sparse: only processor 0 ever acts.
+func (p ProducerConsumer) ActiveProcs() []int { return []int{0} }
 
 // Uniform has every processor generate with probability GenP and consume
 // with probability ConP each step, homogeneously.
