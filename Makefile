@@ -1,17 +1,17 @@
 GO ?= go
 
-.PHONY: check race bench bench-obs bench-wire bench-shard fuzz experiments
+.PHONY: check race bench bench-obs bench-wire bench-shard bench-pace fuzz experiments
 
 # Tier-1 gate: everything must pass before a change lands.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./cmd/lbnode
 
 # Race-detector pass over the concurrent packages and the core they drive.
 race:
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./cmd/lbnode
 
 # Microbenchmarks for the sparse core (see results/BENCH_sparse.json).
 bench:
@@ -34,6 +34,14 @@ bench-wire:
 # -sizes 65536,1000000; the CI pass keeps to the CI-sized sweep.
 bench-shard:
 	$(GO) run ./cmd/shardbench -sizes 65536
+
+# Initiation pacing on real TCP sockets at the pathological size
+# (n=16, hot-quarter): completion rate and msgs per completed op under
+# off / fixed / adaptive AIMD pacing. Fails unless conservation holds
+# and adaptive beats free-running. The checked-in results/BENCH_pace.json
+# was captured with -out results/BENCH_pace.json.
+bench-pace:
+	$(GO) run ./cmd/pacebench
 
 # Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:

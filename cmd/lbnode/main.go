@@ -82,7 +82,11 @@ func main() {
 		hot       = flag.Int("hot", -1, "first k nodes generate hot (0.9/0.1); -1 = n/4 in spawn mode, 0 in daemon mode")
 		seed      = flag.Uint64("seed", 1993, "cluster-wide seed")
 		timeout   = flag.Duration("timeout", 0, "initiator reply timeout (0 = default)")
-		minGap    = flag.Duration("min-initiate-gap", 0, "minimum interval between a node's own balance initiations (0 = no pacing)")
+		minGap    = flag.Duration("min-initiate-gap", 0, "minimum interval between a node's own balance initiations (fixed: the whole policy, 0 = off; adaptive: the controller's lower bound)")
+		pace      = flag.String("pace", "fixed", "initiation pacing policy: off, fixed (-min-initiate-gap floor), or adaptive (AIMD controller)")
+		paceMax   = flag.Duration("pace-max-gap", 0, "adaptive pacing: cap on the dynamic initiation gap (0 = default)")
+		paceMult  = flag.Float64("pace-mult", 0, "adaptive pacing: multiplicative gap increase per peer_frozen abort (0 = default)")
+		paceDec   = flag.Duration("pace-dec", 0, "adaptive pacing: additive gap decrease per successful collect (0 = default)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-node table")
 		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars, /trace, /series and /debug/pprof on this address during the run (e.g. 127.0.0.1:7200)")
 		perNode   = flag.Bool("debug-per-node", false, "spawn mode: per-node registries and debug endpoints on ports debug-addr+i (requires -debug-addr)")
@@ -90,10 +94,16 @@ func main() {
 		aggregate = flag.String("aggregate", "", "aggregator mode: comma-separated upstream debug URLs to scrape and merge")
 	)
 	flag.Parse()
+	paceMode, err := cluster.ParsePaceMode(*pace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbnode: -pace:", err)
+		os.Exit(1)
+	}
 	o := options{
 		spawn: *spawn, transport: *transport, id: *id, listen: *listen, peers: *peers,
 		f: *f, delta: *delta, steps: *steps, gen: *gen, con: *con, hot: *hot,
 		seed: *seed, timeout: *timeout, minInitGap: *minGap, quiet: *quiet,
+		pace: paceMode, paceMaxGap: *paceMax, paceMult: *paceMult, paceDec: *paceDec,
 		debugAddr: *debugAddr, debugPerNode: *perNode, seriesPeriod: *seriesP,
 		aggregate: *aggregate,
 	}
@@ -120,6 +130,10 @@ type options struct {
 	seed          uint64
 	timeout       time.Duration
 	minInitGap    time.Duration
+	pace          cluster.PaceMode
+	paceMaxGap    time.Duration
+	paceMult      float64
+	paceDec       time.Duration
 	quiet         bool
 	debugAddr     string
 	debugPerNode  bool
@@ -256,8 +270,9 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 	nodes, err := cluster.NewNodes(cluster.ClusterConfig{
 		N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: gp, ConP: cp, Seed: o.seed, Timeout: o.timeout,
-		MinInitGap: o.minInitGap,
-		Obs:        shared, ObsPerNode: regs,
+		MinInitGap: o.minInitGap, Pace: o.pace,
+		PaceMaxGap: o.paceMaxGap, PaceMult: o.paceMult, PaceDec: o.paceDec,
+		Obs: shared, ObsPerNode: regs,
 	}, transports)
 	if err != nil {
 		return false, err
@@ -341,13 +356,15 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 	ok := res.Conserved() && res.Summary.Conserved()
 	fmt.Fprintf(w, "total load %d  spread %d  ops %d  messages %d  wire bytes %d  elapsed %v\n",
 		res.TotalLoad(), res.Spread(), res.Completed(), res.Messages(), res.Bytes(), res.Elapsed.Round(time.Millisecond))
-	if o.minInitGap > 0 {
-		var deferred int64
+	if o.pace == cluster.PaceAdaptive || o.minInitGap > 0 {
+		episodes, steps := res.RateLimited()
+		var backoffs, recovers int64
 		for _, nd := range res.Nodes {
-			deferred += nd.RateLimited
+			backoffs += nd.PaceBackoffs
+			recovers += nd.PaceRecovers
 		}
-		fmt.Fprintf(w, "initiation pacing: gap %v deferred %d of %d triggers\n",
-			o.minInitGap, deferred, deferred+res.Initiated())
+		fmt.Fprintf(w, "initiation pacing: %s  deferral episodes %d (%d trigger firings)  backoffs %d  recoveries %d  mean final gap %v\n",
+			o.pace, episodes, steps, backoffs, recovers, res.MeanPaceGap().Round(time.Microsecond))
 	}
 	fmt.Fprintf(w, "conservation: %s (generated %d − consumed %d = held %d)\n",
 		okString(ok), res.Summary.Generated, res.Summary.Consumed, res.Summary.TotalLoad)
@@ -397,8 +414,9 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 	nd, err := cluster.New(cluster.Config{
 		ID: o.id, N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: genP, ConP: conP, Seed: o.seed, Transport: tp, Timeout: o.timeout,
-		MinInitGap: o.minInitGap,
-		Obs:        reg,
+		MinInitGap: o.minInitGap, Pace: o.pace,
+		PaceMaxGap: o.paceMaxGap, PaceMult: o.paceMult, PaceDec: o.paceDec,
+		Obs: reg,
 	})
 	if err != nil {
 		tp.Close()

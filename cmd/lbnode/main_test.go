@@ -17,13 +17,13 @@ func TestParsePeers(t *testing.T) {
 		t.Fatalf("parsed %v", table)
 	}
 	for _, bad := range []string{
-		"",                      // empty
-		"0=a:1,0=b:2",           // duplicate id
-		"0=a:1,2=b:2",           // gap
-		"1=a:1,2=b:2",           // not starting at 0
-		"0=a:1,x=b:2",           // non-numeric id
-		"0=a:1,1",               // missing =
-		"0=a:1,1=",              // empty address
+		"",            // empty
+		"0=a:1,0=b:2", // duplicate id
+		"0=a:1,2=b:2", // gap
+		"1=a:1,2=b:2", // not starting at 0
+		"0=a:1,x=b:2", // non-numeric id
+		"0=a:1,1",     // missing =
+		"0=a:1,1=",    // empty address
 	} {
 		if _, err := parsePeers(bad); err == nil {
 			t.Errorf("parsePeers(%q) accepted", bad)

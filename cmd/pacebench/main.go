@@ -1,0 +1,167 @@
+// Command pacebench measures what each initiation-pacing policy costs
+// and buys on the pathological configuration: n=16 over real TCP
+// sockets, hot-quarter workload. For off, fixed (1ms), and adaptive it
+// reports the completion rate, wire traffic per completed op, and
+// wall-clock — the bench-sized version of the full PacerSweep
+// (results/pacer.txt). The run fails if any cell violates packet
+// conservation or if the adaptive policy does not beat the free-running
+// completion rate.
+//
+// Examples:
+//
+//	pacebench                                # CI-sized run, table to stdout
+//	pacebench -out results/BENCH_pace.json   # the checked-in capture
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lmbalance/internal/cluster"
+	"lmbalance/internal/trace"
+	"lmbalance/internal/wire"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 16, "cluster size")
+		steps = flag.Int("steps", 20000, "workload steps per node")
+		seed  = flag.Uint64("seed", 1993, "cluster-wide seed")
+		gap   = flag.Duration("gap", time.Millisecond, "the fixed policy's gap")
+		out   = flag.String("out", "", "also write the measurements as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*n, *steps, *seed, *gap, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "pacebench:", err)
+		os.Exit(1)
+	}
+}
+
+// row is one pacing policy's measurement.
+type row struct {
+	Pace      string  `json:"pace"`
+	Initiated int64   `json:"initiated"`
+	Completed int64   `json:"completed"`
+	Rate      float64 `json:"completion_rate"`
+	Messages  int64   `json:"messages"`
+	MsgsPerOp float64 `json:"msgs_per_completed_op"`
+	MeanGapUS int64   `json:"mean_final_gap_us"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// report is the JSON document -out writes.
+type report struct {
+	Description string  `json:"description"`
+	Machine     string  `json:"machine"`
+	Date        string  `json:"date"`
+	N           int     `json:"n"`
+	Steps       int     `json:"steps"`
+	FixedGapUS  int64   `json:"fixed_gap_us"`
+	Rows        []row   `json:"rows"`
+	AdaptiveVs  float64 `json:"adaptive_rate_vs_off"`
+}
+
+func run(n, steps int, seed uint64, gap time.Duration, out string) error {
+	gen := make([]float64, n)
+	con := make([]float64, n)
+	for i := range gen {
+		if i < n/4 {
+			gen[i], con[i] = 0.9, 0.1
+		} else {
+			gen[i], con[i] = 0.1, 0.3
+		}
+	}
+
+	tb := trace.NewTable(
+		fmt.Sprintf("initiation pacing on tcp | hot-quarter | n=%d steps=%d seed=%d", n, steps, seed),
+		"pace", "initiated", "completed", "rate", "messages", "msgs/op", "mean gap", "seconds")
+	var rows []row
+	for _, mode := range []cluster.PaceMode{cluster.PaceOff, cluster.PaceFixed, cluster.PaceAdaptive} {
+		ts, err := wire.NewLocalCluster(n)
+		if err != nil {
+			return err
+		}
+		transports := make([]wire.Transport, n)
+		for i, t := range ts {
+			transports[i] = t
+		}
+		cfg := cluster.ClusterConfig{
+			N: n, Delta: 2, F: 1.2, Steps: steps,
+			GenP: gen, ConP: con, Seed: seed, Pace: mode,
+		}
+		if mode == cluster.PaceFixed {
+			cfg.MinInitGap = gap
+		}
+		start := time.Now()
+		res, err := cluster.RunCluster(cfg, transports)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode, err)
+		}
+		secs := time.Since(start).Seconds()
+		if !res.Conserved() {
+			return fmt.Errorf("%s: packet conservation violated", mode)
+		}
+		r := row{
+			Pace:      mode.String(),
+			Initiated: res.Initiated(),
+			Completed: res.Completed(),
+			Messages:  res.Messages(),
+			MeanGapUS: res.MeanPaceGap().Microseconds(),
+			Seconds:   secs,
+			Rate:      1,
+		}
+		if r.Initiated > 0 {
+			r.Rate = float64(r.Completed) / float64(r.Initiated)
+		}
+		if r.Completed > 0 {
+			r.MsgsPerOp = float64(r.Messages) / float64(r.Completed)
+		}
+		rows = append(rows, r)
+		tb.AddRow(r.Pace, r.Initiated, r.Completed, r.Rate, r.Messages,
+			r.MsgsPerOp, res.MeanPaceGap().String(), secs)
+	}
+	if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	off, adapt := rows[0], rows[2]
+	vs := adapt.Rate
+	if off.Rate > 0 {
+		vs = adapt.Rate / off.Rate
+	}
+	if adapt.Rate <= off.Rate {
+		return fmt.Errorf("adaptive pacing did not beat the free-running completion rate: %.4f vs %.4f", adapt.Rate, off.Rate)
+	}
+	fmt.Printf("\nadaptive completion rate %.3f vs free-running %.3f (%.1f×), msgs/op %.0f vs %.0f\n",
+		adapt.Rate, off.Rate, vs, adapt.MsgsPerOp, off.MsgsPerOp)
+
+	if out != "" {
+		doc := report{
+			Description: "Initiation pacing on real TCP sockets at the pathological size: completion rate and traffic per completed op under off, fixed, and adaptive AIMD pacing, hot-quarter workload. The run fails before reporting unless conservation holds in every cell and adaptive beats free-running. go run ./cmd/pacebench -out results/BENCH_pace.json",
+			Machine:     fmt.Sprintf("%s/%s, %d CPU, %s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version()),
+			Date:        time.Now().Format("2006-01-02"),
+			N:           n, Steps: steps, FixedGapUS: gap.Microseconds(),
+			Rows:       rows,
+			AdaptiveVs: vs,
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}

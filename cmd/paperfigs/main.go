@@ -84,6 +84,9 @@ var artifacts = []artifact{
 	{"ablations", "design-choice ablations (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.Ablations(s, seed)
 	}},
+	{"pacer", "initiation pacing: off vs fixed vs adaptive AIMD (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
+		return experiments.PacerSweep(s, seed)
+	}},
 }
 
 func main() {

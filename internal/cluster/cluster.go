@@ -49,8 +49,8 @@ import (
 // on a healthy network replies arrive in microseconds, so it only
 // fires when a peer is down, and a premature fire costs only an abort.
 const (
-	DefaultTimeout = 2 * time.Second
-	DefaultTick    = 20 * time.Millisecond
+	DefaultTimeout      = 2 * time.Second
+	DefaultTick         = 20 * time.Millisecond
 	defaultBackoffSteps = 8
 )
 
@@ -93,9 +93,24 @@ type Config struct {
 	// steps, so the initiation is delayed, not lost unless the load
 	// recovers on its own). It paces initiation pressure on real
 	// networks, where simultaneous initiators freeze each other into
-	// near-total abort storms (see the ROADMAP's TCP abort item). 0
-	// disables pacing.
+	// near-total abort storms. Under PaceFixed it is the whole policy
+	// (0 disables pacing); under PaceAdaptive it is the controller's
+	// optional lower bound.
 	MinInitGap time.Duration
+	// Pace selects the pacing policy. The zero value (PaceFixed) is the
+	// pre-controller behavior: a constant MinInitGap floor, or nothing.
+	// PaceAdaptive runs the AIMD initiation controller (see pacer.go):
+	// per-node dynamic gap, multiplicative increase on peer_frozen
+	// aborts, additive decrease on successful collects.
+	Pace PaceMode
+	// PaceMaxGap caps the adaptive gap (0 selects DefaultPaceMaxGap).
+	PaceMaxGap time.Duration
+	// PaceMult is the adaptive multiplicative-increase factor, > 1
+	// (0 selects DefaultPaceMult).
+	PaceMult float64
+	// PaceDec is the adaptive additive-decrease step per successful
+	// collect (0 selects DefaultPaceDec).
+	PaceDec time.Duration
 	// Obs optionally attaches the node's instrumentation — per-reason
 	// abort counters, per-phase latency histograms, the live load
 	// distribution, and the protocol event trace — to a registry (see
@@ -123,6 +138,14 @@ func (c *Config) validate() error {
 		return fmt.Errorf("cluster: nil Transport")
 	case c.Timeout < 0 || c.FreezeTimeout < 0 || c.Tick < 0 || c.MinInitGap < 0:
 		return fmt.Errorf("cluster: negative timeout")
+	case c.Pace != PaceFixed && c.Pace != PaceOff && c.Pace != PaceAdaptive:
+		return fmt.Errorf("cluster: unknown pace mode %d", int(c.Pace))
+	case c.PaceMaxGap < 0 || c.PaceDec < 0:
+		return fmt.Errorf("cluster: negative pacer bound")
+	case c.PaceMult != 0 && c.PaceMult <= 1:
+		return fmt.Errorf("cluster: PaceMult = %v, need > 1", c.PaceMult)
+	case c.PaceMaxGap > 0 && c.MinInitGap > c.PaceMaxGap:
+		return fmt.Errorf("cluster: MinInitGap %v exceeds PaceMaxGap %v", c.MinInitGap, c.PaceMaxGap)
 	}
 	return nil
 }
@@ -152,16 +175,28 @@ func (c *Config) tick() time.Duration {
 
 // Stats is one node's activity summary.
 type Stats struct {
-	ID        int
-	FinalLoad int
-	Generated int64
-	Consumed  int64
-	Initiated int64 // balancing protocols started
-	Completed int64 // balancing protocols that transferred load
-	Aborted   int64 // protocols aborted (busy partner or timeout)
-	Timeouts  int64 // aborts caused by the reply timeout
+	ID            int
+	FinalLoad     int
+	Generated     int64
+	Consumed      int64
+	Initiated     int64 // balancing protocols started
+	Completed     int64 // balancing protocols that transferred load
+	Aborted       int64 // protocols aborted (busy partner or timeout)
+	Timeouts      int64 // aborts caused by the reply timeout
 	FreezeExpired int64 // freezes released by the partner's own timeout
-	RateLimited   int64 // initiations deferred by MinInitGap pacing
+
+	// Pacing accounting. RateLimited counts distinct deferral episodes:
+	// maximal runs of consecutive trigger firings held back by the gap,
+	// each ended by an actual initiation or by the imbalance resolving
+	// on its own. RateLimitedSteps is the raw per-step deferral count —
+	// one persistent imbalance re-fires the trigger every workload step
+	// inside the gap window, so the raw count inflates by hundreds per
+	// episode (the figure early EXPERIMENTS numbers quoted).
+	RateLimited      int64
+	RateLimitedSteps int64
+	PaceBackoffs     int64         // adaptive gap increases (peer_frozen aborts)
+	PaceRecovers     int64         // adaptive gap decreases (successful collects)
+	PaceGap          time.Duration // the gap at the end of the run
 
 	// Wire-level counters, from the transport.
 	MsgsSent, MsgsRecv   int64
@@ -206,7 +241,14 @@ type Node struct {
 	inflight   bool
 	op         uint64 // current balancing-operation id (0 = none); minted per initiate
 	lastInitAt time.Time
-	seq        uint64 // protocol epoch; bumped per initiate and per abandon
+	// lastDoneAt is when the last protocol attempt finished (success or
+	// abort). The adaptive pacer anchors its gap here rather than at
+	// initiate: a congested attempt is itself many gap-widths long, so a
+	// gap measured from initiate has always already expired by the time
+	// the abort lands and would defer nothing (the collision analog:
+	// Ethernet backs off from the collision, not from transmit start).
+	lastDoneAt time.Time
+	seq        uint64        // protocol epoch; bumped per initiate and per abandon
 	epoch      atomic.Uint64 // mirrors seq for cross-goroutine readers (Epoch)
 	awaiting   int
 	sawBusy    bool
@@ -215,7 +257,8 @@ type Node struct {
 	unacked    int // transfers sent but not yet acknowledged
 	protoAt    time.Time
 	staleSeen  bool        // stale-epoch reply arrived since initiate
-	errsAt     int64       // transport send errors at initiate
+	errsAt     int64       // transport-wide send errors at initiate (fallback attribution)
+	peerErrsAt []int64     // per-partner link send errors at initiate (peer-exact attribution)
 	xferSent   []time.Time // Transfer send times awaiting ack, FIFO (metrics only)
 
 	// partner-side state
@@ -230,6 +273,8 @@ type Node struct {
 	signaled  bool // Idle sent (or, coordinator: own quiescence recorded)
 	finished  bool
 	candBuf   []int
+	pacer     pacer
+	deferring bool // inside a deferral episode (consecutive paced-out triggers)
 	stats     Stats
 	met       nodeMetrics
 
@@ -253,8 +298,10 @@ func New(cfg Config) (*Node, error) {
 		// draws, or turning tracing on would change the run.
 		opRNG: rng.New(rng.Mix64(rng.Mix64(cfg.Seed, uint64(cfg.ID)), opStreamSalt)),
 		done:  make(chan struct{}),
+		pacer: newPacer(&cfg),
 		met:   newNodeMetrics(cfg.Obs, cfg.ID),
 	}
+	n.met.paceGap.Set(int64(n.pacer.gapNow() / time.Microsecond))
 	if cfg.ID == 0 {
 		n.idleFrom = make(map[int]bool, cfg.N)
 	}
@@ -320,6 +367,7 @@ func (n *Node) report() {
 	}
 	n.stats.ID = n.cfg.ID
 	n.stats.FinalLoad = n.load
+	n.stats.PaceGap = n.pacer.gapNow()
 	ws := n.cfg.Transport.Stats()
 	n.stats.MsgsSent, n.stats.MsgsRecv = ws.MsgsSent, ws.MsgsRecv
 	n.stats.BytesSent, n.stats.BytesRecv = ws.BytesSent, ws.BytesRecv
@@ -406,20 +454,21 @@ func (n *Node) checkTimeouts() {
 	now := time.Now()
 	if n.inflight && now.Sub(n.protoAt) > n.cfg.timeout() {
 		n.stats.Timeouts++
-		// Attribute the timeout before the epoch bumps: transport send
-		// errors during the protocol mean the wire ate our messages;
-		// otherwise a stale-epoch reply means the partner answered a
-		// protocol we had already abandoned; otherwise it is a plain
-		// missing reply.
+		// Attribute the timeout before the epoch bumps: send errors on a
+		// protocol partner's link during the protocol mean the wire ate
+		// our messages; otherwise a stale-epoch reply means the partner
+		// answered a protocol we had already abandoned; otherwise it is
+		// a plain missing reply.
 		reason := AbortTimeout
 		switch {
-		case n.cfg.Transport.Stats().SendErrors > n.errsAt:
+		case n.partnerLinkErrored():
 			reason = AbortLinkDown
 		case n.staleSeen:
 			reason = AbortStaleEpoch
 		}
 		n.met.abort[reason].Inc()
 		n.met.traceOp(n.cfg.ID, n.op, "abort", "reason=%s seq=%d", reason, n.seq)
+		n.paceOutcome(reason, now.Sub(n.protoAt))
 		n.abandon()
 	}
 	if n.frozen && now.Sub(n.frozeAt) > n.cfg.freezeTimeout() {
@@ -429,6 +478,25 @@ func (n *Node) checkTimeouts() {
 		n.met.traceOp(n.cfg.ID, n.frozenOp, "freeze_expired", "by=%d", n.frozenBy)
 		n.frozen = false
 	}
+}
+
+// partnerLinkErrored reports whether the transport dropped messages on
+// the link to any partner of the in-flight protocol since initiate.
+// Only those links matter: a failed send to an unrelated peer (another
+// protocol's release, shutdown traffic) says nothing about why *this*
+// protocol's replies are missing, and counting it would mislabel a
+// plain timeout as link_down. Transports without per-peer accounting
+// fall back to the transport-wide delta.
+func (n *Node) partnerLinkErrored() bool {
+	if ps, ok := n.cfg.Transport.(wire.PeerStatser); ok && len(n.peerErrsAt) == len(n.candBuf) {
+		for i, c := range n.candBuf {
+			if ps.PeerStats(c).SendErrors > n.peerErrsAt[i] {
+				return true
+			}
+		}
+		return false
+	}
+	return n.cfg.Transport.Stats().SendErrors > n.errsAt
 }
 
 // step performs one workload step and fires the trigger if needed.
@@ -452,17 +520,51 @@ func (n *Node) step() {
 		n.backoff--
 		return
 	}
-	if n.trigger() {
-		// Pacing: a trigger inside the MinInitGap window is deferred,
-		// not serviced — the condition re-fires on a later step while
-		// the load imbalance persists.
-		if gap := n.cfg.MinInitGap; gap > 0 && !n.lastInitAt.IsZero() && time.Since(n.lastInitAt) < gap {
+	if !n.trigger() {
+		// No pressure to initiate: any deferral episode is over (the
+		// imbalance resolved on its own, through consumption or an
+		// inbound transfer).
+		n.deferring = false
+		return
+	}
+	// Pacing: a trigger inside the gap window is deferred, not
+	// serviced — the condition re-fires on a later step while the load
+	// imbalance persists. Consecutive deferred steps form one episode.
+	// Fixed mode keeps the pre-controller anchor (gap between
+	// initiations); adaptive anchors at the last attempt's outcome so a
+	// backoff decided on an abort actually delays the retry.
+	ref := n.lastInitAt
+	if n.cfg.Pace == PaceAdaptive && n.lastDoneAt.After(ref) {
+		ref = n.lastDoneAt
+	}
+	if gap := n.pacer.gapNow(); gap > 0 && !ref.IsZero() && time.Since(ref) < gap {
+		n.stats.RateLimitedSteps++
+		n.met.rateLimitedSteps.Inc()
+		if !n.deferring {
+			n.deferring = true
 			n.stats.RateLimited++
 			n.met.rateLimited.Inc()
-			return
 		}
-		n.initiate()
+		return
 	}
+	n.deferring = false
+	n.initiate()
+}
+
+// paceOutcome feeds one finished protocol attempt (reason "" = success)
+// into the pacer and publishes the controller's observable state: the
+// live gap gauge and the backoff/recovery transition counters.
+func (n *Node) paceOutcome(reason string, elapsed time.Duration) {
+	n.lastDoneAt = time.Now()
+	switch n.pacer.onOutcome(reason, elapsed) {
+	case +1:
+		n.stats.PaceBackoffs++
+		n.met.paceBackoff.Inc()
+	case -1:
+		n.stats.PaceRecovers++
+		n.met.paceRecover.Inc()
+	}
+	n.met.paceGap.Set(int64(n.pacer.gapNow() / time.Microsecond))
 }
 
 // trigger is the factor-f condition with the strict-change guard.
@@ -486,6 +588,12 @@ func (n *Node) initiate() {
 	n.sawBusy = false
 	n.staleSeen = false
 	n.errsAt = n.cfg.Transport.Stats().SendErrors
+	n.peerErrsAt = n.peerErrsAt[:0]
+	if ps, ok := n.cfg.Transport.(wire.PeerStatser); ok {
+		for _, c := range n.candBuf {
+			n.peerErrsAt = append(n.peerErrsAt, ps.PeerStats(c).SendErrors)
+		}
+	}
 	n.ackedFrom = n.ackedFrom[:0]
 	n.ackedLoads = n.ackedLoads[:0]
 	n.stats.Initiated++
@@ -522,6 +630,7 @@ func (n *Node) handle(m wire.Msg) {
 	switch m.Kind {
 	case wire.FreezeReq:
 		if n.inflight || n.frozen {
+			n.met.traceOp(n.cfg.ID, m.Op, "busy_reply", "to=%d inflight=%v frozen=%v", m.From, n.inflight, n.frozen)
 			n.send(m.From, wire.Msg{Kind: wire.FreezeBusy, Seq: m.Seq, Op: m.Op})
 			return
 		}
@@ -651,10 +760,14 @@ func (n *Node) resolve() {
 		n.stats.Aborted++
 		n.met.abort[AbortPeerFrozen].Inc()
 		n.met.traceOp(n.cfg.ID, n.op, "abort", "reason=%s seq=%d", AbortPeerFrozen, n.seq)
+		// The collision the pacer exists to react to: back off by the
+		// width of the collect window just measured.
+		n.paceOutcome(AbortPeerFrozen, time.Since(n.protoAt))
 		n.op = 0
 		n.backoff = 1 + n.rng.Intn(defaultBackoffSteps)
 		return
 	}
+	n.paceOutcome("", time.Since(n.protoAt))
 	total := n.load
 	for _, l := range n.ackedLoads {
 		total += l

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"lmbalance/internal/obs"
+	"lmbalance/internal/wire"
+)
+
+// TestFreezeExpiryRace drives the frozen-partner state machine through
+// the expiry race by hand: a partner that self-releases at
+// FreezeTimeout can be re-frozen by a *new* protocol before the old
+// initiator's late Release or Transfer arrives. The stale messages
+// carry the old (frozenBy, seq) identity, so they must not terminate
+// the new freeze — but a stale Transfer's delta must still apply and
+// be acknowledged, or conservation breaks.
+func TestFreezeExpiryRace(t *testing.T) {
+	tr := newStatsTransport()
+	reg := obs.NewRegistry()
+	n, err := New(Config{
+		ID: 0, N: 8, Delta: 2, F: 1.2, Steps: 1, Seed: 9,
+		FreezeTimeout: time.Millisecond,
+		Transport:     tr, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load0 := n.load
+
+	// Node 1 freezes us (seq 5).
+	n.handle(wire.Msg{Kind: wire.FreezeReq, From: 1, Seq: 5, Op: 0xa})
+	if !n.frozen || n.frozenBy != 1 || n.frozenSeq != 5 {
+		t.Fatalf("freeze not taken: frozen=%v by=%d seq=%d", n.frozen, n.frozenBy, n.frozenSeq)
+	}
+	if len(tr.sent) != 1 || tr.sent[0].Kind != wire.FreezeAck {
+		t.Fatalf("freeze not acked: %+v", tr.sent)
+	}
+
+	// Node 1's release never comes; the freeze expires on our own clock.
+	n.frozeAt = time.Now().Add(-time.Minute)
+	n.checkTimeouts()
+	if n.frozen {
+		t.Fatal("freeze did not expire at FreezeTimeout")
+	}
+	if n.stats.FreezeExpired != 1 {
+		t.Fatalf("FreezeExpired = %d, want 1", n.stats.FreezeExpired)
+	}
+
+	// Node 2 freezes us for a new protocol (seq 9) — the race window.
+	n.handle(wire.Msg{Kind: wire.FreezeReq, From: 2, Seq: 9, Op: 0xb})
+	if !n.frozen || n.frozenBy != 2 || n.frozenSeq != 9 {
+		t.Fatalf("re-freeze not taken: frozen=%v by=%d seq=%d", n.frozen, n.frozenBy, n.frozenSeq)
+	}
+
+	// Node 1's late Release (the expired protocol's identity) lands now.
+	// It must not release node 2's freeze.
+	n.handle(wire.Msg{Kind: wire.Release, From: 1, Seq: 5, Op: 0xa})
+	if !n.frozen || n.frozenBy != 2 {
+		t.Fatal("stale release terminated the new protocol's freeze")
+	}
+
+	// Node 1's late Transfer instead: the delta applies (conservation)
+	// and is acknowledged, but the new freeze still holds.
+	n.handle(wire.Msg{Kind: wire.Transfer, From: 1, Seq: 5, Op: 0xa, Amount: 7})
+	if n.load != load0+7 {
+		t.Fatalf("stale transfer delta lost: load %d, want %d", n.load, load0+7)
+	}
+	last := tr.sent[len(tr.sent)-1]
+	if last.Kind != wire.TransferAck || last.Seq != 5 {
+		t.Fatalf("stale transfer not acked: %+v", last)
+	}
+	if !n.frozen || n.frozenBy != 2 || n.frozenSeq != 9 {
+		t.Fatal("stale transfer terminated the new protocol's freeze")
+	}
+
+	// Node 2's own release ends it.
+	n.handle(wire.Msg{Kind: wire.Release, From: 2, Seq: 9, Op: 0xb})
+	if n.frozen {
+		t.Fatal("matching release did not unfreeze")
+	}
+	if got := reg.Counter("cluster_freeze_expired_total").Value(); got != 1 {
+		t.Fatalf("freeze-expired metric = %d, want 1", got)
+	}
+}
+
+// TestFreezeExpiryTransferEndsOwnFreeze: the non-race half of the
+// Transfer guard — a transfer matching the freeze we are actually in
+// both applies its delta and ends the freeze.
+func TestFreezeExpiryTransferEndsOwnFreeze(t *testing.T) {
+	tr := newStatsTransport()
+	n, err := New(Config{
+		ID: 0, N: 8, Delta: 2, F: 1.2, Steps: 1, Seed: 9,
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load0 := n.load
+	n.handle(wire.Msg{Kind: wire.FreezeReq, From: 3, Seq: 4, Op: 0xc})
+	n.handle(wire.Msg{Kind: wire.Transfer, From: 3, Seq: 4, Op: 0xc, Amount: -2})
+	if n.frozen {
+		t.Fatal("matching transfer did not end the freeze")
+	}
+	if n.load != load0-2 {
+		t.Fatalf("transfer delta lost: load %d, want %d", n.load, load0-2)
+	}
+}
+
+// dropReleases wraps a Transport and swallows every outbound Release:
+// a frozen partner that gets no transfer is never released by its
+// initiator and can only escape through the FreezeTimeout self-release.
+// Releases carry no load, so conservation must survive losing all of
+// them.
+type dropReleases struct {
+	wire.Transport
+}
+
+func (d dropReleases) Send(to int, m wire.Msg) error {
+	if m.Kind == wire.Release {
+		return nil
+	}
+	return d.Transport.Send(to, m)
+}
+
+// TestFreezeExpiryLive runs a colliding loopback cluster in which every
+// Release is lost, so each freeze that does not end in a transfer sits
+// until the FreezeTimeout self-release — the expiry path exercised
+// end to end, with late-message races left to wall-clock chance. The
+// invariant under all that churn is exact conservation.
+func TestFreezeExpiryLive(t *testing.T) {
+	n := 8
+	ts := loopTransports(n)
+	for i := range ts {
+		ts[i] = dropReleases{ts[i]}
+	}
+	res, err := RunCluster(ClusterConfig{N: n, Delta: 2, F: 1.1, Steps: 1500, Seed: 23,
+		FreezeTimeout: 2 * time.Millisecond,
+		Tick:          time.Millisecond,
+		GenP:          []float64{0.9, 0.9, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		ConP:          []float64{0.1, 0.1, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4}}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expired int64
+	for _, nd := range res.Nodes {
+		expired += nd.FreezeExpired
+	}
+	if expired == 0 {
+		t.Fatal("no freeze ever expired with every Release dropped")
+	}
+	if !res.Conserved() || !res.Summary.Conserved() {
+		t.Fatalf("conservation violated under freeze-expiry churn: total %d", res.TotalLoad())
+	}
+}

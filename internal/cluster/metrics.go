@@ -48,7 +48,18 @@ type nodeMetrics struct {
 	initiated     *obs.Counter
 	completed     *obs.Counter
 	freezeExpired *obs.Counter
-	rateLimited   *obs.Counter // initiations deferred by MinInitGap
+
+	// Pacing instrumentation. rateLimited counts deferral episodes and
+	// rateLimitedSteps the raw deferred trigger firings (one persistent
+	// imbalance re-fires every step inside the gap window); paceBackoff
+	// and paceRecover count the adaptive controller's gap transitions;
+	// paceGap is this node's live initiation gap in microseconds — a
+	// per-node gauge so the gap trajectory shows on /series.
+	rateLimited      *obs.Counter
+	rateLimitedSteps *obs.Counter
+	paceBackoff      *obs.Counter
+	paceRecover      *obs.Counter
+	paceGap          *obs.Gauge
 
 	// generated/consumed are per-node (unlike the shared counters
 	// above): together with the per-node load gauge they let an external
@@ -72,20 +83,24 @@ type nodeMetrics struct {
 
 func newNodeMetrics(reg *obs.Registry, id int) nodeMetrics {
 	m := nodeMetrics{
-		initiated:     reg.Counter("cluster_protocols_initiated_total"),
-		completed:     reg.Counter("cluster_protocols_completed_total"),
-		freezeExpired: reg.Counter("cluster_freeze_expired_total"),
-		rateLimited:   reg.Counter("cluster_initiations_ratelimited_total"),
-		generated:     reg.Counter(fmt.Sprintf(`cluster_node_generated_total{node="%d"}`, id)),
-		consumed:      reg.Counter(fmt.Sprintf(`cluster_node_consumed_total{node="%d"}`, id)),
-		abort:         make(map[string]*obs.Counter, 4),
-		phaseReply:    reg.Histogram(phaseName(PhaseReply), obs.LatencyBuckets),
-		phaseCollect:  reg.Histogram(phaseName(PhaseCollect), obs.LatencyBuckets),
-		phaseXfer:     reg.Histogram(phaseName(PhaseTransferAck), obs.LatencyBuckets),
-		phaseFrozen:   reg.Histogram(phaseName(PhaseFrozen), obs.LatencyBuckets),
-		loadHist:      reg.Histogram("cluster_load", obs.LoadBuckets),
-		loadGauge:     reg.Gauge(fmt.Sprintf(`cluster_node_load{node="%d"}`, id)),
-		tracer:        reg.Tracer(),
+		initiated:        reg.Counter("cluster_protocols_initiated_total"),
+		completed:        reg.Counter("cluster_protocols_completed_total"),
+		freezeExpired:    reg.Counter("cluster_freeze_expired_total"),
+		rateLimited:      reg.Counter("cluster_initiations_ratelimited_total"),
+		rateLimitedSteps: reg.Counter("cluster_ratelimited_steps_total"),
+		paceBackoff:      reg.Counter("cluster_pace_backoff_total"),
+		paceRecover:      reg.Counter("cluster_pace_recover_total"),
+		paceGap:          reg.Gauge(PaceGapMetric(id)),
+		generated:        reg.Counter(fmt.Sprintf(`cluster_node_generated_total{node="%d"}`, id)),
+		consumed:         reg.Counter(fmt.Sprintf(`cluster_node_consumed_total{node="%d"}`, id)),
+		abort:            make(map[string]*obs.Counter, 4),
+		phaseReply:       reg.Histogram(phaseName(PhaseReply), obs.LatencyBuckets),
+		phaseCollect:     reg.Histogram(phaseName(PhaseCollect), obs.LatencyBuckets),
+		phaseXfer:        reg.Histogram(phaseName(PhaseTransferAck), obs.LatencyBuckets),
+		phaseFrozen:      reg.Histogram(phaseName(PhaseFrozen), obs.LatencyBuckets),
+		loadHist:         reg.Histogram("cluster_load", obs.LoadBuckets),
+		loadGauge:        reg.Gauge(fmt.Sprintf(`cluster_node_load{node="%d"}`, id)),
+		tracer:           reg.Tracer(),
 	}
 	for _, reason := range []string{AbortPeerFrozen, AbortTimeout, AbortStaleEpoch, AbortLinkDown} {
 		m.abort[reason] = reg.Counter(AbortMetric(reason))
@@ -97,6 +112,12 @@ func newNodeMetrics(reg *obs.Registry, id int) nodeMetrics {
 // reason, e.g. `cluster_aborts_total{reason="timeout"}`.
 func AbortMetric(reason string) string {
 	return fmt.Sprintf("cluster_aborts_total{reason=%q}", reason)
+}
+
+// PaceGapMetric returns the registry name of one node's live
+// initiation-gap gauge (microseconds).
+func PaceGapMetric(id int) string {
+	return fmt.Sprintf(`cluster_pace_gap_us{node="%d"}`, id)
 }
 
 // phaseName returns the registry name of one phase histogram.

@@ -27,6 +27,12 @@ type ClusterConfig struct {
 	Seed uint64
 	// Timeout, FreezeTimeout, Tick, MinInitGap as in Config.
 	Timeout, FreezeTimeout, Tick, MinInitGap time.Duration
+	// Pace, PaceMaxGap, PaceMult, PaceDec as in Config: the initiation
+	// pacing policy, applied to every node.
+	Pace       PaceMode
+	PaceMaxGap time.Duration
+	PaceMult   float64
+	PaceDec    time.Duration
 	// Obs is handed to every node, so the whole cluster aggregates into
 	// one registry (abort reasons, phase timings, the live load
 	// distribution). Nil disables instrumentation.
@@ -111,6 +117,28 @@ func (r *Result) Initiated() int64 {
 	return sum
 }
 
+// RateLimited returns the total deferral episodes across nodes, and
+// RateLimitedSteps the raw deferred trigger firings (see Stats).
+func (r *Result) RateLimited() (episodes, steps int64) {
+	for _, n := range r.Nodes {
+		episodes += n.RateLimited
+		steps += n.RateLimitedSteps
+	}
+	return episodes, steps
+}
+
+// MeanPaceGap returns the mean end-of-run initiation gap across nodes.
+func (r *Result) MeanPaceGap() time.Duration {
+	if len(r.Nodes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, n := range r.Nodes {
+		sum += n.PaceGap
+	}
+	return sum / time.Duration(len(r.Nodes))
+}
+
 // Conserved reports exact packet conservation, computed from the
 // per-node counters (every node's own ground truth, independent of the
 // coordinator's Bye-message bookkeeping — the two must agree).
@@ -169,7 +197,9 @@ func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 			Seed: cfg.Seed, Transport: transports[i],
 			Timeout: cfg.Timeout, FreezeTimeout: cfg.FreezeTimeout, Tick: cfg.Tick,
 			MinInitGap: cfg.MinInitGap,
-			Obs:        reg,
+			Pace:       cfg.Pace, PaceMaxGap: cfg.PaceMaxGap,
+			PaceMult: cfg.PaceMult, PaceDec: cfg.PaceDec,
+			Obs: reg,
 		})
 		if err != nil {
 			// Nothing started yet: close all transports and bail.

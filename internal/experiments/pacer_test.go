@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lmbalance/internal/cluster"
+)
+
+func TestPacerSweepQuickShape(t *testing.T) {
+	res, err := PacerSweep(ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(res.Ns) * 2 * len(pacerModes); len(res.Cells) != want {
+		t.Fatalf("expected %d cells, got %d", want, len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Rate < 0 || c.Rate > 1 {
+			t.Fatalf("%s n=%d %s: completion rate %v outside [0,1]",
+				c.Transport, c.N, c.Mode, c.Rate)
+		}
+		if c.Completed > c.Initiated {
+			t.Fatalf("%s n=%d %s: completed %d > initiated %d",
+				c.Transport, c.N, c.Mode, c.Completed, c.Initiated)
+		}
+		switch c.Mode {
+		case cluster.PaceOff:
+			if c.Episodes != 0 || c.Backoffs != 0 || c.MeanGap != 0 {
+				t.Fatalf("%s n=%d off: pacing state leaked (%d episodes, %d backoffs, gap %v)",
+					c.Transport, c.N, c.Episodes, c.Backoffs, c.MeanGap)
+			}
+		case cluster.PaceFixed:
+			if c.Backoffs != 0 || c.Recovers != 0 {
+				t.Fatalf("%s n=%d fixed: adaptive transitions counted (%d/%d)",
+					c.Transport, c.N, c.Backoffs, c.Recovers)
+			}
+			if c.MeanGap != res.FixedGap {
+				t.Fatalf("%s n=%d fixed: gap %v, want the %v floor",
+					c.Transport, c.N, c.MeanGap, res.FixedGap)
+			}
+		}
+	}
+	// The headline comparison must exist, and adaptive pacing must beat
+	// the free-running completion rate where the pathology lives.
+	free := res.cell("tcp", 16, cluster.PaceOff)
+	adapt := res.cell("tcp", 16, cluster.PaceAdaptive)
+	if free == nil || adapt == nil {
+		t.Fatal("n=16 tcp cells missing")
+	}
+	if adapt.Rate <= free.Rate {
+		t.Fatalf("adaptive pacing did not improve the tcp completion rate: %v vs %v",
+			adapt.Rate, free.Rate)
+	}
+	if adapt.Backoffs == 0 {
+		t.Fatal("adaptive controller never backed off on the colliding tcp cluster")
+	}
+
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Initiation pacing sweep", "adaptive", "n=16 completion rate",
+		"traffic per completed op",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}

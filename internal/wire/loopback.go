@@ -87,7 +87,7 @@ func (e *LoopEndpoint) Send(to int, m Msg) error {
 	select {
 	case <-peer.done:
 		// Peer already closed: drop, like a datagram to a dead host.
-		e.ctr.sendErrors.Add(1)
+		e.ctr.countSendError(to)
 		return nil
 	default:
 	}
@@ -95,7 +95,7 @@ func (e *LoopEndpoint) Send(to int, m Msg) error {
 	case peer.inbox <- dm:
 		peer.ctr.countRecv(e.id, n)
 	case <-peer.done:
-		e.ctr.sendErrors.Add(1)
+		e.ctr.countSendError(to)
 	}
 	return nil
 }

@@ -273,7 +273,7 @@ func (l *peerLink) write(m Msg) {
 	for attempt := 0; attempt < 2; attempt++ {
 		if l.conn == nil {
 			if !l.dial() {
-				l.t.ctr.sendErrors.Add(1)
+				l.t.ctr.countSendError(l.to)
 				return
 			}
 		}
@@ -286,7 +286,7 @@ func (l *peerLink) write(m Msg) {
 		l.conn = nil
 		l.t.ctr.redials.Add(1)
 	}
-	l.t.ctr.sendErrors.Add(1)
+	l.t.ctr.countSendError(l.to)
 }
 
 // dial connects to the peer, retrying with backoff: peers of a starting

@@ -123,14 +123,14 @@ func (k Kind) valid() bool { return k >= 1 && k <= kindMax }
 // Kind (see the frame layout in the package comment); fields a kind does
 // not carry are not encoded and decode as zero.
 type Msg struct {
-	Kind Kind
-	From int    // sender's node id
-	Seq  uint64 // sender's protocol epoch; replies and releases echo it
-	Op   uint64 // balancing-operation id (0 = none); echoed by every reply
-	Load int    // FreezeAck: partner load; Bye: final load
-	Amount int  // Transfer: signed load delta
-	Gen  int64  // Bye: lifetime generated count
-	Con  int64  // Bye: lifetime consumed count
+	Kind   Kind
+	From   int    // sender's node id
+	Seq    uint64 // sender's protocol epoch; replies and releases echo it
+	Op     uint64 // balancing-operation id (0 = none); echoed by every reply
+	Load   int    // FreezeAck: partner load; Bye: final load
+	Amount int    // Transfer: signed load delta
+	Gen    int64  // Bye: lifetime generated count
+	Con    int64  // Bye: lifetime consumed count
 }
 
 func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
@@ -280,6 +280,18 @@ type Stats struct {
 	Redials    int64 // connections re-established after a failure
 }
 
+// PeerStatser is the optional per-peer accounting view of a Transport.
+// Both built-in transports implement it; consumers that need to
+// attribute traffic or failures to one link (e.g. the cluster's
+// link_down abort classification) type-assert and fall back to the
+// transport-wide Stats when it is absent.
+type PeerStatser interface {
+	// PeerStats snapshots the traffic exchanged with one peer,
+	// including the send errors on this node's link *to* that peer
+	// (zero Stats for an unknown peer; Redials stay transport-wide).
+	PeerStats(id int) Stats
+}
+
 // Transport moves protocol messages between the nodes of one cluster.
 // Send enqueues a message to a peer (it may block briefly for
 // backpressure but never deadlocks a caller that keeps draining its
@@ -319,6 +331,7 @@ type counters struct {
 type peerCounters struct {
 	msgsSent, msgsRecv   obs.Counter
 	bytesSent, bytesRecv obs.Counter
+	sendErrors           obs.Counter // messages to this peer dropped after all attempts
 }
 
 // initPeers seeds the per-peer table for a known peer set. The map is
@@ -338,6 +351,17 @@ func (c *counters) countSend(to int, b int64) {
 	if p := c.perPeer[to]; p != nil {
 		p.msgsSent.Add(1)
 		p.bytesSent.Add(b)
+	}
+}
+
+// countSendError records one message to peer `to` dropped after
+// exhausting delivery attempts, in the transport total and on that
+// peer's link — the per-link view is what lets a consumer distinguish
+// "my protocol partner's link failed" from "some unrelated link failed".
+func (c *counters) countSendError(to int) {
+	c.sendErrors.Add(1)
+	if p := c.perPeer[to]; p != nil {
+		p.sendErrors.Add(1)
 	}
 }
 
@@ -363,17 +387,18 @@ func (c *counters) snapshot() Stats {
 }
 
 // peerStats snapshots one peer's traffic (zero Stats for an unknown
-// peer; SendErrors and Redials are transport-wide, not per peer).
+// peer; Redials are transport-wide, not per peer).
 func (c *counters) peerStats(id int) Stats {
 	p := c.perPeer[id]
 	if p == nil {
 		return Stats{}
 	}
 	return Stats{
-		MsgsSent:  p.msgsSent.Value(),
-		MsgsRecv:  p.msgsRecv.Value(),
-		BytesSent: p.bytesSent.Value(),
-		BytesRecv: p.bytesRecv.Value(),
+		MsgsSent:   p.msgsSent.Value(),
+		MsgsRecv:   p.msgsRecv.Value(),
+		BytesSent:  p.bytesSent.Value(),
+		BytesRecv:  p.bytesRecv.Value(),
+		SendErrors: p.sendErrors.Value(),
 	}
 }
 
@@ -400,5 +425,6 @@ func (c *counters) register(reg *obs.Registry, node int) {
 		reg.Attach(fmt.Sprintf("wire_peer_msgs_recv_total{%s}", pl), &p.msgsRecv)
 		reg.Attach(fmt.Sprintf("wire_peer_bytes_sent_total{%s}", pl), &p.bytesSent)
 		reg.Attach(fmt.Sprintf("wire_peer_bytes_recv_total{%s}", pl), &p.bytesRecv)
+		reg.Attach(fmt.Sprintf("wire_peer_send_errors_total{%s}", pl), &p.sendErrors)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"lmbalance/internal/obs"
 )
 
 // sampleMsgs covers every kind with representative field values,
@@ -238,6 +240,56 @@ func TestLoopbackCloseSemantics(t *testing.T) {
 	}
 	if err := a.Send(9, Msg{Kind: Quit}); err == nil {
 		t.Fatal("send to unknown node accepted")
+	}
+}
+
+// TestPerPeerSendErrorAttribution: dropped sends are charged to the
+// peer whose link dropped them, not smeared across the transport. The
+// cluster's timeout-attribution logic reads PeerStats to distinguish
+// "my protocol partner's link failed" from "some unrelated link
+// failed"; a transport-wide-only count would misattribute unrelated
+// trouble as link_down (see cluster.TestTimeoutAttributionPartnerLink).
+func TestPerPeerSendErrorAttribution(t *testing.T) {
+	net := NewLoopback(3)
+	a, b, c := net.Transport(0), net.Transport(1), net.Transport(2)
+	defer a.Close()
+	defer c.Close()
+
+	// A talks to the live peer 2, then to the dead peer 1, twice.
+	b.Close()
+	if err := a.Send(2, Msg{Kind: FreezeReq, From: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := a.Send(1, Msg{Kind: FreezeReq, From: 0}); err != nil {
+			t.Fatalf("drop to closed peer surfaced as error: %v", err)
+		}
+	}
+
+	ps, ok := Transport(a).(PeerStatser)
+	if !ok {
+		t.Fatal("loopback endpoint lost its PeerStatser view")
+	}
+	if got := ps.PeerStats(1).SendErrors; got != 2 {
+		t.Fatalf("dead peer 1 charged %d send errors, want 2", got)
+	}
+	if got := ps.PeerStats(2).SendErrors; got != 0 {
+		t.Fatalf("live peer 2 charged %d send errors, want 0", got)
+	}
+	if got := a.Stats().SendErrors; got != 2 {
+		t.Fatalf("transport-wide send errors %d, want 2", got)
+	}
+	// Unknown peers read as zero Stats, not a panic.
+	if got := ps.PeerStats(99); got != (Stats{}) {
+		t.Fatalf("unknown peer stats = %+v, want zero", got)
+	}
+
+	// The per-peer series is published to the registry under the same
+	// attribution.
+	reg := obs.NewRegistry()
+	a.Register(reg)
+	if got := reg.Counter(`wire_peer_send_errors_total{node="0",peer="1"}`).Value(); got != 2 {
+		t.Fatalf("registry per-peer send-error metric = %d, want 2", got)
 	}
 }
 
