@@ -1,17 +1,17 @@
 GO ?= go
 
-.PHONY: check race bench bench-obs bench-wire bench-shard bench-pace fuzz experiments
+.PHONY: check race bench bench-obs bench-wire bench-shard bench-pace bench-serve fuzz experiments
 
 # Tier-1 gate: everything must pass before a change lands.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./cmd/lbnode
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./internal/serve ./cmd/lbnode
 
 # Race-detector pass over the concurrent packages and the core they drive.
 race:
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./cmd/lbnode
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./internal/serve ./cmd/lbnode
 
 # Microbenchmarks for the sparse core (see results/BENCH_sparse.json).
 bench:
@@ -42,6 +42,15 @@ bench-shard:
 # was captured with -out results/BENCH_pace.json.
 bench-pace:
 	$(GO) run ./cmd/pacebench
+
+# Serving-path SLO on real TCP sockets: the same skewed open-loop
+# workload (diurnal envelope, bounded-Pareto demands, hot nodes) against
+# a no-balancing control, free-running balancing, and adaptive pacing.
+# Fails unless every arm conserves packets and jobs and balancing beats
+# the control on p99 sojourn. The checked-in results/BENCH_serve.json
+# was captured with -out results/BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/lbload -bench
 
 # Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:

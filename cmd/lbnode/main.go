@@ -43,6 +43,19 @@
 // endpoint (ports -debug-addr+i) — the multi-process observability
 // shape in one command, ready for -aggregate to scrape.
 //
+// With -serve-addr the cluster also takes client work over the wire:
+// node i listens for job submissions (the wire client codec, see
+// internal/serve and cmd/lbload) on port+i of the base address (the
+// daemon's single node uses the address as given). Serving clusters
+// generate no spontaneous load (-gen is ignored; submissions are the
+// only source), usually want -step-interval to give consumption a real
+// service rate, -steps high enough to outlast the workload, and stop
+// early on SIGINT/SIGTERM with a clean drain of the balancing
+// protocol:
+//
+//	lbnode -spawn 8 -serve-addr 127.0.0.1:7400 -step-interval 200us -steps 100000000
+//	lbnode -spawn 8 -serve-addr 127.0.0.1:7400 -step-interval 200us -balance=false  # control arm
+//
 // The exit status is nonzero if the node (or, in spawn mode, the
 // cluster) observed a packet-conservation violation — which would be a
 // bug, not a tunable.
@@ -63,6 +76,7 @@ import (
 
 	"lmbalance/internal/cluster"
 	"lmbalance/internal/obs"
+	"lmbalance/internal/serve"
 	"lmbalance/internal/trace"
 	"lmbalance/internal/wire"
 )
@@ -92,6 +106,9 @@ func main() {
 		perNode   = flag.Bool("debug-per-node", false, "spawn mode: per-node registries and debug endpoints on ports debug-addr+i (requires -debug-addr)")
 		seriesP   = flag.Duration("series-period", 100*time.Millisecond, "time-series recorder sampling period (with -debug-addr)")
 		aggregate = flag.String("aggregate", "", "aggregator mode: comma-separated upstream debug URLs to scrape and merge")
+		serveAddr = flag.String("serve-addr", "", "accept client job submissions: spawn mode node i listens on port+i of this base address, daemon mode on the address as given (disables -gen)")
+		stepIv    = flag.Duration("step-interval", 0, "wall-clock pacing per workload step (0 = free-running); with -serve-addr this sets the service rate con/interval units/s")
+		balance   = flag.Bool("balance", true, "run the balancing protocol (false = control arm: nodes still answer partners but never initiate)")
 	)
 	flag.Parse()
 	paceMode, err := cluster.ParsePaceMode(*pace)
@@ -106,6 +123,7 @@ func main() {
 		pace: paceMode, paceMaxGap: *paceMax, paceMult: *paceMult, paceDec: *paceDec,
 		debugAddr: *debugAddr, debugPerNode: *perNode, seriesPeriod: *seriesP,
 		aggregate: *aggregate,
+		serveAddr: *serveAddr, stepInterval: *stepIv, noBalance: !*balance,
 	}
 	conserved, err := run(o, os.Stdout)
 	if err != nil {
@@ -139,6 +157,9 @@ type options struct {
 	debugPerNode  bool
 	seriesPeriod  time.Duration
 	aggregate     string
+	serveAddr     string
+	stepInterval  time.Duration
+	noBalance     bool
 
 	// stop, when non-nil, ends a serving aggregator as if interrupted
 	// (test hook; main leaves it nil and serves until SIGINT/SIGTERM).
@@ -191,17 +212,17 @@ func nodeHealth(nd *cluster.Node) func() map[string]string {
 	}
 }
 
-// perNodeAddr derives node i's debug address from the base -debug-addr:
-// same host, port+i (port 0 stays 0 — every node gets an ephemeral
-// port).
-func perNodeAddr(base string, i int) (string, error) {
+// perNodeAddr derives node i's address from a base flag value: same
+// host, port+i (port 0 stays 0 — every node gets an ephemeral port).
+// flagName only labels errors.
+func perNodeAddr(flagName, base string, i int) (string, error) {
 	host, ps, err := net.SplitHostPort(base)
 	if err != nil {
-		return "", fmt.Errorf("-debug-addr %q: %w", base, err)
+		return "", fmt.Errorf("%s %q: %w", flagName, base, err)
 	}
 	port, err := strconv.Atoi(ps)
 	if err != nil {
-		return "", fmt.Errorf("-debug-addr %q: port is not numeric: %w", base, err)
+		return "", fmt.Errorf("%s %q: port is not numeric: %w", flagName, base, err)
 	}
 	if port != 0 {
 		port += i
@@ -267,24 +288,66 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 		hot = n / 4
 	}
 	gp, cp := hotProbs(n, hot, o.gen, o.con)
+	closeTransports := func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}
+	// Client-facing front-ends come up before the nodes so a bound port
+	// fails the run early; submissions queue in the servers until the
+	// node loops start.
+	var (
+		servers []*serve.Server
+		hooks   []*cluster.ServeHooks
+		stop    chan struct{}
+	)
+	closeServers := func() {
+		for _, s := range servers {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	if o.serveAddr != "" {
+		for i := range gp {
+			gp[i] = 0 // submissions are the only load source
+		}
+		servers = make([]*serve.Server, n)
+		hooks = make([]*cluster.ServeHooks, n)
+		for i := range servers {
+			addr, err := perNodeAddr("-serve-addr", o.serveAddr, i)
+			if err != nil {
+				closeServers()
+				closeTransports()
+				return false, err
+			}
+			srv, err := serve.NewServer(i, addr, regFor(i))
+			if err != nil {
+				closeServers()
+				closeTransports()
+				return false, err
+			}
+			servers[i] = srv
+			hooks[i] = srv.Hooks()
+		}
+		stop = make(chan struct{})
+	}
 	nodes, err := cluster.NewNodes(cluster.ClusterConfig{
 		N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: gp, ConP: cp, Seed: o.seed, Timeout: o.timeout,
 		MinInitGap: o.minInitGap, Pace: o.pace,
 		PaceMaxGap: o.paceMaxGap, PaceMult: o.paceMult, PaceDec: o.paceDec,
 		Obs: shared, ObsPerNode: regs,
+		StepInterval: o.stepInterval, NoBalance: o.noBalance,
+		Stop: stop, ServePerNode: hooks,
 	}, transports)
 	if err != nil {
+		closeServers()
 		return false, err
 	}
 	// Debug servers and recorders come up after the nodes exist (the
 	// health callback reports live node state) but before any node
 	// starts: a bound port fails the run before cluster work begins.
-	closeTransports := func() {
-		for _, tr := range transports {
-			tr.Close()
-		}
-	}
 	var recs []*obs.Recorder
 	stopRecs := func() {
 		for _, rec := range recs {
@@ -299,15 +362,17 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 				rec := cluster.NewRecorder(regs[i], ids, 0)
 				rec.Start(o.seriesPeriod)
 				recs = append(recs, rec)
-				addr, err := perNodeAddr(o.debugAddr, i)
+				addr, err := perNodeAddr("-debug-addr", o.debugAddr, i)
 				if err != nil {
 					stopRecs()
+					closeServers()
 					closeTransports()
 					return false, err
 				}
 				srv, err := obs.ServeDebugOpts(addr, regs[i], obs.DebugOptions{Health: nodeHealth(nd)})
 				if err != nil {
 					stopRecs()
+					closeServers()
 					closeTransports()
 					return false, fmt.Errorf("node %d: %w", i, err)
 				}
@@ -329,6 +394,7 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			})
 			if err != nil {
 				stopRecs()
+				closeServers()
 				closeTransports()
 				return false, err
 			}
@@ -336,8 +402,30 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /series /debug/pprof/\n", srv.URL())
 		}
 	}
+	if o.serveAddr != "" {
+		for i, s := range servers {
+			fmt.Fprintf(w, "node %d serving clients at %s\n", i, s.Addr())
+		}
+		// SIGINT/SIGTERM (or the test hook) ends the run early with a
+		// clean drain through the balancing shutdown.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		sigDone := make(chan struct{})
+		go func() {
+			defer signal.Stop(sig)
+			select {
+			case <-sig:
+				close(stop)
+			case <-o.stop:
+				close(stop)
+			case <-sigDone:
+			}
+		}()
+		defer close(sigDone)
+	}
 	res, err := cluster.RunNodes(nodes)
 	stopRecs()
+	closeServers()
 	if err != nil {
 		return false, err
 	}
@@ -354,6 +442,11 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 		}
 	}
 	ok := res.Conserved() && res.Summary.Conserved()
+	if o.serveAddr != "" {
+		ok = ok && res.JobsConserved()
+		fmt.Fprintf(w, "serving: ingested %d units  completed %d  records held %d  job conservation: %s\n",
+			res.Ingested(), res.UnitsDone(), res.RecordsHeld(), okString(res.JobsConserved()))
+	}
 	fmt.Fprintf(w, "total load %d  spread %d  ops %d  messages %d  wire bytes %d  elapsed %v\n",
 		res.TotalLoad(), res.Spread(), res.Completed(), res.Messages(), res.Bytes(), res.Elapsed.Round(time.Millisecond))
 	if o.pace == cluster.PaceAdaptive || o.minInitGap > 0 {
@@ -411,12 +504,30 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 	if o.id < hot {
 		genP, conP = 0.9, 0.1
 	}
+	var (
+		server *serve.Server
+		hooks  *cluster.ServeHooks
+		stop   chan struct{}
+	)
+	if o.serveAddr != "" {
+		genP = 0 // submissions are the only load source
+		server, err = serve.NewServer(o.id, o.serveAddr, reg)
+		if err != nil {
+			tp.Close()
+			return false, err
+		}
+		hooks = server.Hooks()
+		stop = make(chan struct{})
+		defer server.Close()
+	}
 	nd, err := cluster.New(cluster.Config{
 		ID: o.id, N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
 		GenP: genP, ConP: conP, Seed: o.seed, Transport: tp, Timeout: o.timeout,
 		MinInitGap: o.minInitGap, Pace: o.pace,
 		PaceMaxGap: o.paceMaxGap, PaceMult: o.paceMult, PaceDec: o.paceDec,
-		Obs: reg,
+		Obs:          reg,
+		StepInterval: o.stepInterval, NoBalance: o.noBalance,
+		Stop: stop, Serve: hooks,
 	})
 	if err != nil {
 		tp.Close()
@@ -437,6 +548,23 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 		fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /series /debug/pprof/\n", srv.URL())
 	}
 	fmt.Fprintf(w, "lbnode %d/%d listening on %v, peers %v\n", o.id, n, tp.Addr(), o.peers)
+	if server != nil {
+		fmt.Fprintf(w, "node %d serving clients at %s\n", o.id, server.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		sigDone := make(chan struct{})
+		go func() {
+			defer signal.Stop(sig)
+			select {
+			case <-sig:
+				close(stop)
+			case <-o.stop:
+				close(stop)
+			case <-sigDone:
+			}
+		}()
+		defer close(sigDone)
+	}
 	nd.Start()
 	rep, err := nd.Wait()
 	if err != nil {
@@ -445,6 +573,10 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 	s := rep.Stats
 	fmt.Fprintf(w, "node %d done: load %d  generated %d  consumed %d  completed %d  aborted %d  sent %dB  recv %dB\n",
 		s.ID, s.FinalLoad, s.Generated, s.Consumed, s.Completed, s.Aborted, s.BytesSent, s.BytesRecv)
+	if server != nil {
+		fmt.Fprintf(w, "node %d serving: ingested %d units  done for this origin %d  records held %d\n",
+			s.ID, s.Ingested, s.UnitsDone, s.RecordsHeld)
+	}
 	if rep.Summary == nil {
 		return true, nil // only the coordinator can check the cluster
 	}

@@ -118,6 +118,30 @@ type Config struct {
 	// into cluster-wide series. Nil disables instrumentation at ~zero
 	// cost.
 	Obs *obs.Registry
+	// StepInterval, when positive, paces workload steps on the wall
+	// clock: one step per interval instead of back-to-back. With ConP
+	// as the per-step consume probability this fixes the node's service
+	// capacity at ConP/StepInterval units per second — the knob that
+	// makes an open-loop serving workload meaningful. 0 keeps the
+	// original free-running behavior.
+	StepInterval time.Duration
+	// NoBalance disables balancing initiations (the node still answers
+	// other initiators' requests — but with every node NoBalance, no
+	// load ever moves). The serving baseline: what sojourn looks like
+	// when every job runs where it landed.
+	NoBalance bool
+	// Stop, when non-nil, lets the embedder end the workload early:
+	// when it is closed the node treats its remaining steps as done and
+	// proceeds to the normal two-phase shutdown. The serving harness
+	// uses it to end a wall-clock-paced run as soon as the offered work
+	// has drained rather than paying for the full Steps bound.
+	Stop <-chan struct{}
+	// Serve, when non-nil, puts the node in serve mode: load units come
+	// from client submissions (Ingest) instead of Bernoulli generation,
+	// each unit carries a job record that migrates with balancing
+	// transfers, and completed units are reported back per origin
+	// (Complete) — see serve.go. Serve mode requires GenP == 0.
+	Serve *ServeHooks
 }
 
 func (c *Config) validate() error {
@@ -146,6 +170,15 @@ func (c *Config) validate() error {
 		return fmt.Errorf("cluster: PaceMult = %v, need > 1", c.PaceMult)
 	case c.PaceMaxGap > 0 && c.MinInitGap > c.PaceMaxGap:
 		return fmt.Errorf("cluster: MinInitGap %v exceeds PaceMaxGap %v", c.MinInitGap, c.PaceMaxGap)
+	case c.StepInterval < 0:
+		return fmt.Errorf("cluster: negative StepInterval %v", c.StepInterval)
+	case c.Serve != nil && c.Serve.Ingest == nil:
+		return fmt.Errorf("cluster: Serve with nil Ingest channel")
+	case c.Serve != nil && c.GenP != 0:
+		// In serve mode every load unit must carry a job record; an
+		// anonymous Bernoulli unit would either strand a consume (no
+		// record) or complete a job that was never submitted.
+		return fmt.Errorf("cluster: Serve requires GenP == 0, got %v", c.GenP)
 	}
 	return nil
 }
@@ -197,6 +230,11 @@ type Stats struct {
 	PaceBackoffs     int64         // adaptive gap increases (peer_frozen aborts)
 	PaceRecovers     int64         // adaptive gap decreases (successful collects)
 	PaceGap          time.Duration // the gap at the end of the run
+
+	// Serving accounting (serve mode only, see serve.go).
+	Ingested    int64 // load units accepted from client submissions
+	UnitsDone   int64 // units completed for jobs that originated here
+	RecordsHeld int64 // job records still in the FIFO at shutdown
 
 	// Wire-level counters, from the transport.
 	MsgsSent, MsgsRecv   int64
@@ -267,6 +305,11 @@ type Node struct {
 	frozenSeq uint64
 	frozenOp  uint64 // the freezing operation's id, echoed on our replies
 	frozeAt   time.Time
+
+	// serving state (serve mode only, see serve.go)
+	recs    []wire.JobRef // job-record FIFO parallel to the load count
+	recHead int
+	owed    map[int]int // records owed per peer after eager load moves
 
 	stepsDone int
 	backoff   int
@@ -367,6 +410,7 @@ func (n *Node) report() {
 	}
 	n.stats.ID = n.cfg.ID
 	n.stats.FinalLoad = n.load
+	n.stats.RecordsHeld = int64(n.recCount())
 	n.stats.PaceGap = n.pacer.gapNow()
 	ws := n.cfg.Transport.Stats()
 	n.stats.MsgsSent, n.stats.MsgsRecv = ws.MsgsSent, ws.MsgsRecv
@@ -393,11 +437,25 @@ func (n *Node) send(to int, m wire.Msg) {
 }
 
 // loop is the node's event loop: the same never-block-while-not-
-// draining discipline as netsim, with wall-clock timeout ticks.
+// draining discipline as netsim, with wall-clock timeout ticks. In
+// serve mode the client ingest channel is drained in every phase —
+// stepping, mid-protocol, idle — so a submission never waits on the
+// balancing protocol.
 func (n *Node) loop() {
 	ticker := time.NewTicker(n.cfg.tick())
 	defer ticker.Stop()
 	inbox := n.cfg.Transport.Inbox()
+	var ingest <-chan Submit // nil channel blocks forever when not serving
+	if n.cfg.Serve != nil {
+		ingest = n.cfg.Serve.Ingest
+	}
+	stop := n.cfg.Stop
+	var stepC <-chan time.Time
+	if n.cfg.StepInterval > 0 {
+		stepTicker := time.NewTicker(n.cfg.StepInterval)
+		defer stepTicker.Stop()
+		stepC = stepTicker.C
+	}
 	for !n.finished {
 		// Serve everything already queued.
 		draining := true
@@ -405,12 +463,26 @@ func (n *Node) loop() {
 			select {
 			case m := <-inbox:
 				n.handle(m)
+			case s := <-ingest:
+				n.ingestSubmit(s)
 			default:
 				draining = false
 			}
 		}
 		if n.finished {
 			return
+		}
+		// A closed Stop ends the workload: the remaining steps count as
+		// done and the node heads into the normal two-phase shutdown.
+		// (Nil-ed after firing so the closed channel cannot win every
+		// select below.)
+		if stop != nil {
+			select {
+			case <-stop:
+				n.stepsDone = n.cfg.Steps
+				stop = nil
+			default:
+			}
 		}
 		switch {
 		case n.inflight || n.frozen:
@@ -419,13 +491,30 @@ func (n *Node) loop() {
 			select {
 			case m := <-inbox:
 				n.handle(m)
+			case s := <-ingest:
+				n.ingestSubmit(s)
 			case <-ticker.C:
 				n.checkTimeouts()
 			}
 		case n.stepsDone < n.cfg.Steps:
-			n.step()
-			// Yield so in-process clusters interleave on few CPUs.
-			runtime.Gosched()
+			if stepC != nil {
+				// Wall-clock stepping: wait for the step tick, staying
+				// responsive to traffic and ingest in the meantime.
+				select {
+				case m := <-inbox:
+					n.handle(m)
+				case s := <-ingest:
+					n.ingestSubmit(s)
+				case <-stepC:
+					n.step()
+				case <-ticker.C:
+					n.checkTimeouts()
+				}
+			} else {
+				n.step()
+				// Yield so in-process clusters interleave on few CPUs.
+				runtime.Gosched()
+			}
 		default:
 			// Done stepping. Once quiet — no protocol in flight, all
 			// transfers acked — report Idle (once), then serve as a
@@ -441,6 +530,8 @@ func (n *Node) loop() {
 			select {
 			case m := <-inbox:
 				n.handle(m)
+			case s := <-ingest:
+				n.ingestSubmit(s)
 			case <-ticker.C:
 				n.checkTimeouts()
 			}
@@ -508,14 +599,28 @@ func (n *Node) step() {
 		n.met.generated.Inc()
 	}
 	if n.rng.Bernoulli(n.cfg.ConP) && n.load > 0 {
-		n.load--
-		n.stats.Consumed++
-		n.met.consumed.Inc()
+		if n.cfg.Serve == nil {
+			n.load--
+			n.stats.Consumed++
+			n.met.consumed.Inc()
+		} else if n.recCount() > 0 {
+			// Serve mode: a consume completes a specific job unit, so it
+			// needs a record on hand. A unit whose record is still in
+			// flight (JobMove chasing its Transfer) simply waits — the
+			// skipped draw costs one service slot, it cannot lose work.
+			n.load--
+			n.stats.Consumed++
+			n.met.consumed.Inc()
+			n.completeOldest()
+		}
 	}
 	// One load sample per workload step: the cluster-wide histogram's
 	// online moments yield the live variation density (paper §5).
 	n.met.loadHist.Observe(float64(n.load))
 	n.met.loadGauge.Set(int64(n.load))
+	if n.cfg.NoBalance {
+		return
+	}
 	if n.backoff > 0 {
 		n.backoff--
 		return
@@ -678,6 +783,13 @@ func (n *Node) handle(m wire.Msg) {
 		// not terminate a newer protocol's freeze).
 		n.load += m.Amount
 		n.met.traceOp(n.cfg.ID, m.Op, "transfer", "from=%d amount=%d load=%d", m.From, m.Amount, n.load)
+		// Serve mode, give-back transfer: the load just left for the
+		// initiator, so its records are owed there; ship them ahead of
+		// the ack on the same link.
+		if n.cfg.Serve != nil && m.Amount < 0 {
+			n.owe(m.From, -m.Amount)
+			n.settleOwed(m.Op)
+		}
 		n.send(m.From, wire.Msg{Kind: wire.TransferAck, Seq: m.Seq, Op: m.Op})
 		if !n.frozen || (n.frozenBy == m.From && n.frozenSeq == m.Seq) {
 			if n.frozen {
@@ -721,6 +833,12 @@ func (n *Node) handle(m wire.Msg) {
 				Load: n.load, Gen: n.stats.Generated, Con: n.stats.Consumed})
 			n.finished = true
 		}
+
+	case wire.JobMove:
+		n.handleJobMove(m)
+
+	case wire.JobDone:
+		n.handleJobDone(m)
 
 	case wire.Bye:
 		if n.cfg.ID == 0 && n.quitSent {
@@ -788,6 +906,16 @@ func (n *Node) resolve() {
 	}
 	n.load = share(0)
 	n.lOld = n.load
+	// Serve mode: record the records owed to partners that gain load and
+	// ship what the FIFO holds now, so each JobMove precedes its Transfer
+	// on the same link (partners that give load back will owe us on
+	// receipt; see serve.go for why eager settlement always converges).
+	if n.cfg.Serve != nil {
+		for i, p := range n.ackedFrom {
+			n.owe(p, share(i+1)-n.ackedLoads[i])
+		}
+		n.settleOwed(n.op)
+	}
 	for i, p := range n.ackedFrom {
 		n.send(p, wire.Msg{Kind: wire.Transfer, Amount: share(i+1) - n.ackedLoads[i], Seq: n.seq, Op: n.op})
 		n.unacked++

@@ -68,6 +68,16 @@ type nodeMetrics struct {
 	generated *obs.Counter
 	consumed  *obs.Counter
 
+	// Serving instrumentation (serve mode only): ingested counts load
+	// units accepted from client submissions, unitsDone counts units
+	// completed for jobs that originated on this node, and records is
+	// the live job-record FIFO depth — its divergence from the load
+	// gauge is the in-flight-records transient, the serving analog of
+	// the conservation audit (Σ records == Σ load at quiescence).
+	ingested  *obs.Counter
+	unitsDone *obs.Counter
+	records   *obs.Gauge
+
 	abort map[string]*obs.Counter // keyed by the Abort* reasons
 
 	phaseReply   *obs.Histogram
@@ -93,6 +103,9 @@ func newNodeMetrics(reg *obs.Registry, id int) nodeMetrics {
 		paceGap:          reg.Gauge(PaceGapMetric(id)),
 		generated:        reg.Counter(fmt.Sprintf(`cluster_node_generated_total{node="%d"}`, id)),
 		consumed:         reg.Counter(fmt.Sprintf(`cluster_node_consumed_total{node="%d"}`, id)),
+		ingested:         reg.Counter(fmt.Sprintf(`cluster_node_ingested_total{node="%d"}`, id)),
+		unitsDone:        reg.Counter(fmt.Sprintf(`cluster_node_units_done_total{node="%d"}`, id)),
+		records:          reg.Gauge(fmt.Sprintf(`cluster_node_records{node="%d"}`, id)),
 		abort:            make(map[string]*obs.Counter, 4),
 		phaseReply:       reg.Histogram(phaseName(PhaseReply), obs.LatencyBuckets),
 		phaseCollect:     reg.Histogram(phaseName(PhaseCollect), obs.LatencyBuckets),

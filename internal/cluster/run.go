@@ -42,6 +42,14 @@ type ClusterConfig struct {
 	// observability shape run in one process: each node serves its own
 	// debug endpoint and obs.Aggregate merges the scrapes.
 	ObsPerNode []*obs.Registry
+	// StepInterval, NoBalance, Stop as in Config, applied to every node.
+	StepInterval time.Duration
+	NoBalance    bool
+	Stop         <-chan struct{}
+	// ServePerNode, when non-empty (length N), puts node i in serve mode
+	// with the given hooks (nil entries leave that node plain). Serve
+	// mode requires the node's GenP to be 0.
+	ServePerNode []*ServeHooks
 }
 
 func probAt(ps []float64, i int) float64 {
@@ -139,6 +147,43 @@ func (r *Result) MeanPaceGap() time.Duration {
 	return sum / time.Duration(len(r.Nodes))
 }
 
+// Ingested returns the total load units accepted from client
+// submissions (serve mode).
+func (r *Result) Ingested() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.Ingested
+	}
+	return sum
+}
+
+// UnitsDone returns the total units completed across all jobs (serve
+// mode; counted at each job's origin node).
+func (r *Result) UnitsDone() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.UnitsDone
+	}
+	return sum
+}
+
+// RecordsHeld returns the job records still held at shutdown (serve
+// mode; nonzero only when the run was stopped with work outstanding).
+func (r *Result) RecordsHeld() int64 {
+	var sum int64
+	for _, n := range r.Nodes {
+		sum += n.RecordsHeld
+	}
+	return sum
+}
+
+// JobsConserved reports serving-path work conservation: every ingested
+// unit was either completed for its job or is still recorded on some
+// node — the record-level analog of Conserved.
+func (r *Result) JobsConserved() bool {
+	return r.Ingested() == r.UnitsDone()+r.RecordsHeld()
+}
+
 // Conserved reports exact packet conservation, computed from the
 // per-node counters (every node's own ground truth, independent of the
 // coordinator's Bye-message bookkeeping — the two must agree).
@@ -179,6 +224,9 @@ func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 	if len(cfg.ObsPerNode) > 0 && len(cfg.ObsPerNode) != cfg.N {
 		return nil, fmt.Errorf("cluster: %d per-node registries for %d nodes", len(cfg.ObsPerNode), cfg.N)
 	}
+	if len(cfg.ServePerNode) > 0 && len(cfg.ServePerNode) != cfg.N {
+		return nil, fmt.Errorf("cluster: %d serve hooks for %d nodes", len(cfg.ServePerNode), cfg.N)
+	}
 	if len(cfg.GenP) == 0 {
 		cfg.GenP = []float64{0.5}
 	}
@@ -191,6 +239,10 @@ func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 		if len(cfg.ObsPerNode) > 0 {
 			reg = cfg.ObsPerNode[i]
 		}
+		var serve *ServeHooks
+		if len(cfg.ServePerNode) > 0 {
+			serve = cfg.ServePerNode[i]
+		}
 		n, err := New(Config{
 			ID: i, N: cfg.N, Delta: cfg.Delta, F: cfg.F, Steps: cfg.Steps,
 			GenP: probAt(cfg.GenP, i), ConP: probAt(cfg.ConP, i),
@@ -199,7 +251,9 @@ func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 			MinInitGap: cfg.MinInitGap,
 			Pace:       cfg.Pace, PaceMaxGap: cfg.PaceMaxGap,
 			PaceMult: cfg.PaceMult, PaceDec: cfg.PaceDec,
-			Obs: reg,
+			Obs:          reg,
+			StepInterval: cfg.StepInterval, NoBalance: cfg.NoBalance,
+			Stop: cfg.Stop, Serve: serve,
 		})
 		if err != nil {
 			// Nothing started yet: close all transports and bail.

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"lmbalance/internal/rng"
+	"lmbalance/internal/wire"
+)
+
+// Serving-path support: client job submissions become load units, load
+// units carry job records, and completed units are routed back to the
+// job's origin node. See internal/serve for the TCP front-end; this
+// file is the node-side half.
+//
+// # Records ride the load
+//
+// In serve mode every load unit was created by a client submission, and
+// each unit is tagged with a job record (wire.JobRef). Records live in
+// a per-node FIFO parallel to the integer load count:
+//
+//   - ingest pushes one record per unit and bumps load;
+//   - a consume step pops the oldest record with the unit it completes
+//     (a consume draw with no record on hand is skipped — the unit's
+//     record is still in flight, so the unit waits for its identity);
+//   - balancing transfers ship records along with the load they move:
+//     a JobMove naming the migrating jobs precedes the Transfer (or the
+//     TransferAck, for give-backs) on the same FIFO link.
+//
+// Globally Σrecords == Σload at all times: ingest and consume change
+// both together, and migration moves both conservatively. Per node the
+// two can diverge transiently — the protocol applies load deltas
+// eagerly while records travel as messages — so each node tracks what
+// it still owes per peer and settles from its record FIFO as records
+// arrive (newest first, so the oldest jobs stay near their consume
+// point and FCFS order is approximately preserved). Settlement is
+// aggressive: a node pays whatever records it holds toward any debt,
+// even below its own load, because every payment strictly shrinks the
+// cluster-wide debt — chains and cycles of obligations drain to zero,
+// and any leftover mutual debt is provably record-free and loadless
+// (no job is behind it). The upshot: every ingested unit is eventually
+// consumed next to a record, and every record is eventually popped —
+// no job stalls forever with work outstanding.
+
+// Submit is one accepted client job entering a node's ingest stream:
+// Units load units tagged with the origin-local job id ID.
+type Submit struct {
+	ID    uint64
+	Units int
+}
+
+// ServeHooks connects a node to a serving front-end. The node drains
+// Ingest in every phase of its event loop (stepping, mid-protocol,
+// idle) so a submission is never blocked behind the balancing protocol,
+// and calls Complete once per finished unit of a job that originated
+// here — possibly consumed on a distant node and routed back via
+// JobDone. Complete is called from the node goroutine: implementations
+// must not block (internal/serve hands off to per-connection writer
+// goroutines).
+type ServeHooks struct {
+	Ingest   <-chan Submit
+	Complete func(id uint64)
+}
+
+// jobOpSalt separates job trace-op ids from balancing-operation ids.
+const jobOpSalt = 0x6a6f625f6f70 // "job_op"
+
+// JobOp derives the deterministic nonzero trace-operation id for a job,
+// so a job's ingest → migrate → consume → done timeline can be stitched
+// across nodes by /trace?op= exactly like a balancing operation's.
+func JobOp(origin int, id uint64) uint64 {
+	op := rng.Mix64(jobOpSalt, rng.Mix64(uint64(origin), id))
+	if op == 0 {
+		op = 1
+	}
+	return op
+}
+
+// recCount returns the number of job records held.
+func (n *Node) recCount() int { return len(n.recs) - n.recHead }
+
+// pushRecord appends one record to the FIFO tail.
+func (n *Node) pushRecord(r wire.JobRef) {
+	n.recs = append(n.recs, r)
+}
+
+// popOldest removes the record at the FIFO head — the consume side.
+func (n *Node) popOldest() wire.JobRef {
+	r := n.recs[n.recHead]
+	n.recHead++
+	if n.recHead > 64 && n.recHead*2 >= len(n.recs) {
+		n.recs = append(n.recs[:0], n.recs[n.recHead:]...)
+		n.recHead = 0
+	}
+	return r
+}
+
+// popNewest removes the record at the FIFO tail — the migration side,
+// keeping the oldest jobs near their local consume point.
+func (n *Node) popNewest() wire.JobRef {
+	r := n.recs[len(n.recs)-1]
+	n.recs = n.recs[:len(n.recs)-1]
+	return r
+}
+
+// ingestSubmit applies one client submission: Units load units, each
+// tagged with the job's record. The server side has already stamped the
+// submission time; from here the units are ordinary load the balancing
+// protocol may move anywhere.
+func (n *Node) ingestSubmit(s Submit) {
+	if s.Units < 1 || n.cfg.Serve == nil {
+		return
+	}
+	rec := wire.JobRef{Origin: n.cfg.ID, ID: s.ID}
+	for i := 0; i < s.Units; i++ {
+		n.pushRecord(rec)
+	}
+	n.load += s.Units
+	n.stats.Generated += int64(s.Units)
+	n.stats.Ingested += int64(s.Units)
+	n.met.generated.Add(int64(s.Units))
+	n.met.ingested.Add(int64(s.Units))
+	n.met.records.Set(int64(n.recCount()))
+	n.met.loadGauge.Set(int64(n.load))
+	n.met.traceOp(n.cfg.ID, JobOp(n.cfg.ID, s.ID), "ingest", "job=%d units=%d load=%d", s.ID, s.Units, n.load)
+	// Fresh records may let pending debts settle.
+	n.settleOwed(0)
+}
+
+// completeOldest finishes one consumed unit: pop the oldest record and
+// either complete it locally or route a JobDone to its origin.
+func (n *Node) completeOldest() {
+	rec := n.popOldest()
+	n.met.records.Set(int64(n.recCount()))
+	if rec.Origin == n.cfg.ID {
+		n.met.traceOp(n.cfg.ID, JobOp(rec.Origin, rec.ID), "consume", "job=%d local=true", rec.ID)
+		n.serveComplete(rec.ID)
+		return
+	}
+	n.met.traceOp(n.cfg.ID, JobOp(rec.Origin, rec.ID), "consume", "job=%d origin=%d", rec.ID, rec.Origin)
+	n.send(rec.Origin, wire.Msg{Kind: wire.JobDone, Job: rec.ID, Op: JobOp(rec.Origin, rec.ID)})
+}
+
+// serveComplete reports one finished unit of a job that originated at
+// this node to the serving front-end.
+func (n *Node) serveComplete(id uint64) {
+	n.stats.UnitsDone++
+	n.met.unitsDone.Inc()
+	if n.cfg.Serve != nil && n.cfg.Serve.Complete != nil {
+		n.cfg.Serve.Complete(id)
+	}
+}
+
+// owe records that this node must ship k job records to peer p (its
+// load was already moved by a transfer whose records it did not hold at
+// the time, or are being shipped now by settleOwed).
+func (n *Node) owe(p, k int) {
+	if n.cfg.Serve == nil || k <= 0 {
+		return
+	}
+	if n.owed == nil {
+		n.owed = make(map[int]int, n.cfg.Delta)
+	}
+	n.owed[p] += k
+}
+
+// settleOwed pays as many outstanding record debts as the FIFO allows,
+// newest records first, in JobMove frames of at most MaxJobsPerMsg.
+// op, when nonzero, stamps the frames with the balancing operation that
+// created the debt (so the records show up on that operation's trace);
+// later top-up payments go out with op 0.
+func (n *Node) settleOwed(op uint64) {
+	if len(n.owed) == 0 {
+		return
+	}
+	for p, k := range n.owed {
+		for k > 0 && n.recCount() > 0 {
+			batch := k
+			if batch > wire.MaxJobsPerMsg {
+				batch = wire.MaxJobsPerMsg
+			}
+			if rc := n.recCount(); batch > rc {
+				batch = rc
+			}
+			jobs := make([]wire.JobRef, batch)
+			for i := range jobs {
+				jobs[i] = n.popNewest()
+			}
+			n.send(p, wire.Msg{Kind: wire.JobMove, Op: op, Jobs: jobs})
+			k -= batch
+		}
+		if k == 0 {
+			delete(n.owed, p)
+		} else {
+			n.owed[p] = k
+		}
+	}
+	n.met.records.Set(int64(n.recCount()))
+}
+
+// handleJobMove ingests migrated records. They join the FIFO tail and
+// may immediately settle this node's own debts (obligation chains and
+// cycles drain this way).
+func (n *Node) handleJobMove(m wire.Msg) {
+	if n.cfg.Serve == nil {
+		return
+	}
+	for _, r := range m.Jobs {
+		n.pushRecord(r)
+	}
+	n.met.records.Set(int64(n.recCount()))
+	n.settleOwed(0)
+}
+
+// handleJobDone completes one unit of a job that originated here but
+// was consumed elsewhere.
+func (n *Node) handleJobDone(m wire.Msg) {
+	if n.cfg.Serve == nil {
+		return
+	}
+	n.met.traceOp(n.cfg.ID, m.Op, "done_routed", "job=%d from=%d", m.Job, m.From)
+	n.serveComplete(m.Job)
+}

@@ -252,12 +252,40 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
+// LogBuckets returns log-spaced bucket bounds covering [lo, hi] with
+// perDecade buckets per factor-of-10: lo·10^(i/perDecade) for
+// i = 0 … ⌈perDecade·log₁₀(hi/lo)⌉, so the last bound is ≥ hi. It is
+// the bucket scheme for quantities spanning many orders of magnitude
+// (e.g. sojourn times from microseconds to seconds): every bucket has
+// the same *relative* width 10^(1/perDecade)−1, which bounds the
+// relative error of Quantile uniformly across the range — a doubling
+// scheme like ExpBuckets gives up to 100% relative error per bucket,
+// which crushes a p99 read out of a seconds-wide top bucket. It panics
+// on lo <= 0, hi <= lo, or perDecade < 1.
+func LogBuckets(lo, hi float64, perDecade int) []float64 {
+	if lo <= 0 || hi <= lo || perDecade < 1 {
+		panic("obs: LogBuckets needs 0 < lo < hi and perDecade >= 1")
+	}
+	n := int(math.Ceil(float64(perDecade) * math.Log10(hi/lo)))
+	out := make([]float64, n+1)
+	for i := range out {
+		out[i] = lo * math.Pow(10, float64(i)/float64(perDecade))
+	}
+	return out
+}
+
 // LatencyBuckets is the default bucket scheme for protocol-phase
 // timings in seconds: 10 µs … ~5 s, doubling. A healthy in-process
 // reply lands in the first few buckets; socket-latency stalls and
 // timeout-scale waits land in the top ones, so the freeze-window loss
 // the wirecost experiment exposed is visible in one histogram.
 var LatencyBuckets = ExpBuckets(10e-6, 2, 20)
+
+// SojournBuckets is the default bucket scheme for end-to-end job
+// sojourn times in seconds: 1 µs … 10 s at 10 buckets per decade, so a
+// quantile read anywhere in the range carries at most ~26% relative
+// bucket error (see LogBuckets and TestLogBucketsQuantileErrorBound).
+var SojournBuckets = LogBuckets(1e-6, 10, 10)
 
 // LoadBuckets is the default bucket scheme for live load-distribution
 // histograms: 0, 1, 2, 4, … 4096 packets.

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lmbalance/internal/rng"
+)
+
+func TestLogBucketsShape(t *testing.T) {
+	b := LogBuckets(1e-6, 10, 10)
+	if b[0] != 1e-6 {
+		t.Fatalf("first bound %g, want 1e-6", b[0])
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Fatalf("last bound %g does not cover hi=10", last)
+	}
+	ratio := math.Pow(10, 0.1)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		if r := b[i] / b[i-1]; math.Abs(r-ratio) > 1e-9 {
+			t.Fatalf("bucket ratio at %d is %g, want %g", i, r, ratio)
+		}
+	}
+	// 7 decades at 10 per decade: 71 bounds.
+	if len(b) != 71 {
+		t.Fatalf("got %d bounds, want 71", len(b))
+	}
+}
+
+func TestLogBucketsPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"lo zero":     func() { LogBuckets(0, 1, 10) },
+		"hi below lo": func() { LogBuckets(1, 0.5, 10) },
+		"perDecade 0": func() { LogBuckets(1e-6, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// exactQuantile returns the empirical q-quantile of sorted samples (the
+// same nearest-rank-with-interpolation convention does not matter at
+// the tolerances tested; rank-ceiling is conservative).
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestLogBucketsQuantileErrorBound is the satellite contract: with
+// perDecade log-spaced buckets, Quantile's relative error is bounded by
+// one bucket's relative width, 10^(1/perDecade)−1, for any sample
+// distribution inside the bucket range — in particular for latency-like
+// data spanning µs→s, where the old doubling buckets could be off by
+// the width of a whole octave.
+func TestLogBucketsQuantileErrorBound(t *testing.T) {
+	const perDecade = 10
+	bound := math.Pow(10, 1.0/perDecade) - 1 // ≈ 0.259
+	r := rng.New(42)
+	// Log-uniform sojourns over 20 µs … 2 s — every decade populated —
+	// plus a heavy cluster near 1 ms so the quantile ranks are not
+	// spread evenly across buckets.
+	var samples []float64
+	for i := 0; i < 20000; i++ {
+		e := r.FloatRange(math.Log(20e-6), math.Log(2.0))
+		samples = append(samples, math.Exp(e))
+	}
+	for i := 0; i < 20000; i++ {
+		samples = append(samples, 1e-3*r.FloatRange(0.5, 1.5))
+	}
+	h := NewHistogram(LogBuckets(1e-6, 10, perDecade))
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exactQuantile(sorted, q)
+		got := h.Quantile(q)
+		rel := math.Abs(got-want) / want
+		if rel > bound {
+			t.Errorf("q=%g: histogram %.6g vs exact %.6g, rel error %.3f > bound %.3f",
+				q, got, want, rel, bound)
+		}
+	}
+}
+
+// TestSojournBucketsCoverMicrosToSeconds pins the default scheme: a µs
+// observation and a multi-second observation land in distinct interior
+// buckets (not the overflow), so sojourn p99s are never crushed into
+// one bucket across the µs→s range.
+func TestSojournBucketsCoverMicrosToSeconds(t *testing.T) {
+	h := NewHistogram(SojournBuckets)
+	h.Observe(2e-6)
+	h.Observe(3.5)
+	bounds, counts := h.Buckets()
+	if counts[len(counts)-1] != 0 {
+		t.Fatalf("3.5s landed in the overflow bucket (bounds top out at %g)", bounds[len(bounds)-1])
+	}
+	var occupied []int
+	for i, c := range counts {
+		if c > 0 {
+			occupied = append(occupied, i)
+		}
+	}
+	if len(occupied) != 2 {
+		t.Fatalf("expected 2 occupied buckets, got %v", occupied)
+	}
+}

@@ -19,15 +19,15 @@ import (
 //     payloads included, which must decode with Op = 0.
 func FuzzWireRoundTrip(f *testing.F) {
 	for _, m := range sampleMsgs() {
-		f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, AppendFrame(nil, m))
+		f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, m.Job, AppendFrame(nil, m))
 		// Seed the raw direction with v1 payloads too, so the legacy
 		// decode path stays covered.
 		if m.Op == 0 {
-			f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, appendMsgV1(nil, m))
+			f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, m.Job, appendMsgV1(nil, m))
 		}
 	}
-	f.Add(byte(0), int64(0), uint64(0), uint64(0), int64(0), int64(0), int64(0), int64(0), []byte{0xff, 0xff, 0x03, 0x00})
-	f.Fuzz(func(t *testing.T, kind byte, from int64, seq, op uint64, load, amount, gen, con int64, raw []byte) {
+	f.Add(byte(0), int64(0), uint64(0), uint64(0), int64(0), int64(0), int64(0), int64(0), uint64(0), []byte{0xff, 0xff, 0x03, 0x00})
+	f.Fuzz(func(t *testing.T, kind byte, from int64, seq, op uint64, load, amount, gen, con int64, job uint64, raw []byte) {
 		// Direction 1: struct → bytes → struct.
 		m := Msg{Kind: Kind(kind), From: int(from), Seq: seq, Op: op,
 			Load: int(load), Amount: int(amount), Gen: gen, Con: con}
@@ -41,6 +41,17 @@ func FuzzWireRoundTrip(f *testing.F) {
 				m.Load, m.Gen, m.Con = 0, 0, 0
 			case Bye:
 				m.Amount = 0
+			case JobMove:
+				// The record list is a slice, not a fuzz argument: derive a
+				// deterministic one (0..MaxJobsPerMsg records) from the
+				// scalar inputs so the fuzzer still steers its shape.
+				m.Load, m.Amount, m.Gen, m.Con = 0, 0, 0, 0
+				for i := 0; i < int(job%(MaxJobsPerMsg+1)); i++ {
+					m.Jobs = append(m.Jobs, JobRef{Origin: int(from) + i, ID: seq ^ uint64(i)*op})
+				}
+			case JobDone:
+				m.Load, m.Amount, m.Gen, m.Con = 0, 0, 0, 0
+				m.Job = job
 			default:
 				m.Load, m.Amount, m.Gen, m.Con = 0, 0, 0, 0
 			}
@@ -52,7 +63,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if err != nil {
 				t.Fatalf("decode of freshly encoded %+v: %v", m, err)
 			}
-			if dm != m {
+			if !dm.Equal(m) {
 				t.Fatalf("payload round trip: sent %+v got %+v", m, dm)
 			}
 			// The v1 encoding of the same message (op id stripped) must
@@ -61,7 +72,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			v1m.Op = 0
 			if dm, err := DecodeMsg(appendMsgV1(nil, v1m)); err != nil {
 				t.Fatalf("decode of v1 encoding of %+v: %v", v1m, err)
-			} else if dm != v1m {
+			} else if !dm.Equal(v1m) {
 				t.Fatalf("v1 round trip: sent %+v got %+v", v1m, dm)
 			}
 			frame := AppendFrame(nil, m)
@@ -69,7 +80,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if err != nil {
 				t.Fatalf("read of freshly framed %+v: %v", m, err)
 			}
-			if fm != m || n != len(frame) {
+			if !fm.Equal(m) || n != len(frame) {
 				t.Fatalf("frame round trip: sent %+v got %+v (%d of %d bytes)", m, fm, n, len(frame))
 			}
 			// A truncated frame must never decode successfully.

@@ -15,6 +15,10 @@
 //	FreezeAck   zigzag(load)                       partner's current load
 //	Transfer    zigzag(amount)                     signed load delta
 //	Bye         zigzag(load) zigzag(gen) zigzag(con)  final accounting
+//	JobMove     uvarint(count) count×{zigzag(origin) uvarint(id)}
+//	                                               job records riding a transfer
+//	JobDone     uvarint(job)                       one job unit completed; sent
+//	                                               to the job's origin node
 //	(all other kinds carry no extras)
 //
 // Varints are the standard LEB128 base-128 encoding (encoding/binary);
@@ -70,9 +74,14 @@ const Version = 2
 const VersionV1 = 1
 
 // MaxPayload caps the encoded payload size. The largest legal payload
-// (Bye with three maximal varints) is well under this; anything larger
-// is a framing error.
-const MaxPayload = 64
+// is a JobMove carrying MaxJobsPerMsg records with maximal varints,
+// which fits with room to spare; anything larger is a framing error.
+const MaxPayload = 2048
+
+// MaxJobsPerMsg caps the job records carried by one JobMove. A transfer
+// moving more load than this ships its records across several JobMove
+// frames, each under MaxPayload even with worst-case varint widths.
+const MaxJobsPerMsg = 96
 
 // Kind discriminates protocol messages.
 type Kind uint8
@@ -83,7 +92,10 @@ type Kind uint8
 // Idle/Quit/Bye are the two-phase quiescent shutdown: nodes report Idle
 // to the coordinator when done stepping and quiet, the coordinator
 // broadcasts Quit once everyone has, and each node answers Bye with its
-// final load accounting.
+// final load accounting. JobMove/JobDone are the serving front-end's
+// job-record plumbing: a JobMove precedes a load transfer on the same
+// FIFO link and names the jobs whose units ride that transfer, and a
+// JobDone routes one completed unit back to the job's origin node.
 const (
 	FreezeReq Kind = 1 + iota
 	FreezeAck
@@ -94,9 +106,11 @@ const (
 	Idle
 	Quit
 	Bye
+	JobMove
+	JobDone
 )
 
-const kindMax = Bye
+const kindMax = JobDone
 
 var kindNames = [...]string{
 	FreezeReq:   "FreezeReq",
@@ -108,6 +122,8 @@ var kindNames = [...]string{
 	Idle:        "Idle",
 	Quit:        "Quit",
 	Bye:         "Bye",
+	JobMove:     "JobMove",
+	JobDone:     "JobDone",
 }
 
 func (k Kind) String() string {
@@ -119,18 +135,48 @@ func (k Kind) String() string {
 
 func (k Kind) valid() bool { return k >= 1 && k <= kindMax }
 
+// JobRef names one in-flight serving job: the node that accepted it
+// from a client (Origin) and that node's locally unique id for it. One
+// JobRef accompanies each unit of a job's remaining work, so records
+// migrate with the load they account for.
+type JobRef struct {
+	Origin int
+	ID     uint64
+}
+
 // Msg is one protocol message. Which fields are meaningful depends on
 // Kind (see the frame layout in the package comment); fields a kind does
 // not carry are not encoded and decode as zero.
+//
+// Msg is not comparable with == (Jobs is a slice); use Equal.
 type Msg struct {
 	Kind   Kind
-	From   int    // sender's node id
-	Seq    uint64 // sender's protocol epoch; replies and releases echo it
-	Op     uint64 // balancing-operation id (0 = none); echoed by every reply
-	Load   int    // FreezeAck: partner load; Bye: final load
-	Amount int    // Transfer: signed load delta
-	Gen    int64  // Bye: lifetime generated count
-	Con    int64  // Bye: lifetime consumed count
+	From   int      // sender's node id
+	Seq    uint64   // sender's protocol epoch; replies and releases echo it
+	Op     uint64   // balancing-operation id (0 = none); echoed by every reply
+	Load   int      // FreezeAck: partner load; Bye: final load
+	Amount int      // Transfer: signed load delta
+	Gen    int64    // Bye: lifetime generated count
+	Con    int64    // Bye: lifetime consumed count
+	Job    uint64   // JobDone: origin-local id of the job a unit completed for
+	Jobs   []JobRef // JobMove: records riding the next Transfer on this link
+}
+
+// Equal reports whether two messages are field-for-field identical,
+// comparing Jobs element-wise (nil and empty are equal — both encode as
+// count 0).
+func (m Msg) Equal(o Msg) bool {
+	if m.Kind != o.Kind || m.From != o.From || m.Seq != o.Seq || m.Op != o.Op ||
+		m.Load != o.Load || m.Amount != o.Amount || m.Gen != o.Gen || m.Con != o.Con ||
+		m.Job != o.Job || len(m.Jobs) != len(o.Jobs) {
+		return false
+	}
+	for i := range m.Jobs {
+		if m.Jobs[i] != o.Jobs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
@@ -169,6 +215,17 @@ func appendExtras(buf []byte, m Msg) []byte {
 		buf = binary.AppendUvarint(buf, zig(int64(m.Load)))
 		buf = binary.AppendUvarint(buf, zig(m.Gen))
 		buf = binary.AppendUvarint(buf, zig(m.Con))
+	case JobMove:
+		if len(m.Jobs) > MaxJobsPerMsg {
+			panic(fmt.Sprintf("wire: JobMove with %d records exceeds MaxJobsPerMsg=%d", len(m.Jobs), MaxJobsPerMsg))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(m.Jobs)))
+		for _, j := range m.Jobs {
+			buf = binary.AppendUvarint(buf, zig(int64(j.Origin)))
+			buf = binary.AppendUvarint(buf, j.ID)
+		}
+	case JobDone:
+		buf = binary.AppendUvarint(buf, m.Job)
 	}
 	return buf
 }
@@ -255,6 +312,30 @@ func DecodeMsg(p []byte) (Msg, error) {
 			return m, err
 		}
 		m.Con = unzig(v)
+	case JobMove:
+		count, err := next()
+		if err != nil {
+			return m, err
+		}
+		if count > MaxJobsPerMsg {
+			return m, fmt.Errorf("wire: JobMove with %d records exceeds max %d", count, MaxJobsPerMsg)
+		}
+		if count > 0 {
+			m.Jobs = make([]JobRef, count)
+			for i := range m.Jobs {
+				if v, err = next(); err != nil {
+					return m, err
+				}
+				m.Jobs[i].Origin = int(unzig(v))
+				if m.Jobs[i].ID, err = next(); err != nil {
+					return m, err
+				}
+			}
+		}
+	case JobDone:
+		if m.Job, err = next(); err != nil {
+			return m, err
+		}
 	}
 	if len(rest) != 0 {
 		return m, fmt.Errorf("wire: %d trailing bytes after %v payload", len(rest), m.Kind)

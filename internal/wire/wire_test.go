@@ -29,6 +29,10 @@ func sampleMsgs() []Msg {
 		{Kind: Idle, From: 8},
 		{Kind: Quit, From: 0},
 		{Kind: Bye, From: 9, Load: 42, Gen: 10000, Con: 9958},
+		{Kind: JobMove, From: 2, Seq: 5},
+		{Kind: JobMove, From: 2, Seq: 5, Op: 777, Jobs: []JobRef{
+			{Origin: 2, ID: 1}, {Origin: 13, ID: 1 << 50}, {Origin: 0, ID: 0}}},
+		{Kind: JobDone, From: 4, Seq: 3, Job: 9001},
 	}
 }
 
@@ -45,7 +49,7 @@ func TestRoundTripPayload(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode %+v: %v", m, err)
 		}
-		if dm != m {
+		if !dm.Equal(m) {
 			t.Fatalf("round trip changed message: sent %+v got %+v", m, dm)
 		}
 	}
@@ -65,7 +69,7 @@ func TestRoundTripFrame(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if m != want {
+		if !m.Equal(want) {
 			t.Fatalf("frame %d: sent %+v got %+v", i, want, m)
 		}
 		if n <= EncodedSize(want) {
@@ -116,7 +120,7 @@ func TestDecodeV1Compat(t *testing.T) {
 		if err != nil {
 			t.Fatalf("v1 payload for %+v rejected: %v", m, err)
 		}
-		if dm != m {
+		if !dm.Equal(m) {
 			t.Fatalf("v1 round trip changed message: sent %+v got %+v", m, dm)
 		}
 		// The same corruption rules apply to v1: trailing bytes and
@@ -163,7 +167,7 @@ func TestReadFrameRejectsOversizedAndTruncated(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k := FreezeReq; k <= Bye; k++ {
+	for k := FreezeReq; k <= kindMax; k++ {
 		if s := k.String(); strings.HasPrefix(s, "Kind(") {
 			t.Fatalf("kind %d has no name", k)
 		}

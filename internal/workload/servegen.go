@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"lmbalance/internal/rng"
+)
+
+// Production-shaped open-loop traffic for the serving front-end
+// (internal/serve): a nonhomogeneous Poisson arrival process whose rate
+// follows a multi-period diurnal envelope, with heavy-tailed
+// bounded-Pareto service demands. Arrivals are generated as a concrete
+// schedule up front — open-loop means the offered load never waits for
+// the system, so queueing shows up as sojourn time, not as a slowed
+// generator.
+
+// RateWindow is one window of a rate envelope: jobs arrive at Rate
+// jobs/second for Dur.
+type RateWindow struct {
+	Dur  time.Duration
+	Rate float64 // jobs per second
+}
+
+// RateEnvelope is a piecewise-constant arrival-rate profile. The
+// windows repeat cyclically — a 24 h envelope replayed over a multi-day
+// horizon is the diurnal pattern production traces show, compressed
+// here to sub-second periods so experiments finish.
+type RateEnvelope []RateWindow
+
+// Validate checks the envelope is usable: non-empty, every window with
+// positive duration and non-negative rate, at least one positive rate.
+func (e RateEnvelope) Validate() error {
+	if len(e) == 0 {
+		return fmt.Errorf("workload: empty rate envelope")
+	}
+	anyPositive := false
+	for i, w := range e {
+		if w.Dur <= 0 {
+			return fmt.Errorf("workload: envelope window %d has non-positive duration %v", i, w.Dur)
+		}
+		if w.Rate < 0 || math.IsNaN(w.Rate) || math.IsInf(w.Rate, 0) {
+			return fmt.Errorf("workload: envelope window %d has invalid rate %v", i, w.Rate)
+		}
+		if w.Rate > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		return fmt.Errorf("workload: envelope has no positive-rate window")
+	}
+	return nil
+}
+
+// Period returns the total duration of one envelope cycle.
+func (e RateEnvelope) Period() time.Duration {
+	var p time.Duration
+	for _, w := range e {
+		p += w.Dur
+	}
+	return p
+}
+
+// RateAt returns the arrival rate at time t from the start of the
+// process, cycling the envelope.
+func (e RateEnvelope) RateAt(t time.Duration) float64 {
+	p := e.Period()
+	if p <= 0 {
+		return 0
+	}
+	t %= p
+	if t < 0 {
+		t += p
+	}
+	for _, w := range e {
+		if t < w.Dur {
+			return w.Rate
+		}
+		t -= w.Dur
+	}
+	return e[len(e)-1].Rate
+}
+
+// MaxRate returns the highest window rate — the majorizing rate for
+// thinning.
+func (e RateEnvelope) MaxRate() float64 {
+	var m float64
+	for _, w := range e {
+		if w.Rate > m {
+			m = w.Rate
+		}
+	}
+	return m
+}
+
+// Jobs returns the expected number of arrivals over a horizon: the
+// integral of the cycling rate profile, window by window.
+func (e RateEnvelope) Jobs(horizon time.Duration) float64 {
+	p := e.Period()
+	if p <= 0 || horizon <= 0 {
+		return 0
+	}
+	full := float64(horizon / p)
+	var perCycle float64
+	for _, w := range e {
+		perCycle += w.Rate * w.Dur.Seconds()
+	}
+	total := full * perCycle
+	rem := horizon % p
+	for _, w := range e {
+		if rem <= 0 {
+			break
+		}
+		d := w.Dur
+		if rem < d {
+			d = rem
+		}
+		total += w.Rate * d.Seconds()
+		rem -= w.Dur
+	}
+	return total
+}
+
+// String renders the envelope in the form ParseEnvelope reads.
+func (e RateEnvelope) String() string {
+	parts := make([]string, len(e))
+	for i, w := range e {
+		parts[i] = fmt.Sprintf("%gx%s", w.Rate, w.Dur)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseEnvelope parses "rate1xdur1,rate2xdur2,…" — e.g.
+// "8000x700ms,13000x300ms" is 8000 jobs/s for 700 ms then 13000 jobs/s
+// for 300 ms, repeating. A bare "rateXdur" single window is fine.
+func ParseEnvelope(s string) (RateEnvelope, error) {
+	var e RateEnvelope
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		i := strings.IndexByte(part, 'x')
+		if i < 0 {
+			return nil, fmt.Errorf("workload: envelope window %q: want rate x duration", part)
+		}
+		rate, err := strconv.ParseFloat(part[:i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: envelope rate %q: %v", part[:i], err)
+		}
+		dur, err := time.ParseDuration(part[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("workload: envelope duration %q: %v", part[i+1:], err)
+		}
+		e = append(e, RateWindow{Dur: dur, Rate: rate})
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// BoundedPareto is the bounded-Pareto demand distribution on [Lo, Hi]
+// with shape Alpha — the standard heavy-tailed model for job service
+// demands (most jobs tiny, rare jobs thousands of times larger, but
+// bounded so moments exist and one job cannot exceed the experiment).
+type BoundedPareto struct {
+	Alpha  float64 // tail index; smaller = heavier tail
+	Lo, Hi float64 // support bounds, 0 < Lo < Hi
+}
+
+// Validate checks the parameters define a distribution.
+func (d BoundedPareto) Validate() error {
+	if !(d.Alpha > 0) || math.IsInf(d.Alpha, 0) {
+		return fmt.Errorf("workload: bounded-Pareto alpha %v must be positive and finite", d.Alpha)
+	}
+	if !(d.Lo > 0) || !(d.Hi > d.Lo) {
+		return fmt.Errorf("workload: bounded-Pareto needs 0 < Lo < Hi, got [%v, %v]", d.Lo, d.Hi)
+	}
+	return nil
+}
+
+// Mean returns the closed-form expectation
+//
+//	E[X] = α·Lo^α/(α−1) · (Lo^(1−α) − Hi^(1−α)) / (1 − (Lo/Hi)^α)
+//
+// (with the α = 1 limit handled via ln(Hi/Lo)).
+func (d BoundedPareto) Mean() float64 {
+	r := 1 - math.Pow(d.Lo/d.Hi, d.Alpha)
+	if d.Alpha == 1 {
+		return d.Lo * math.Log(d.Hi/d.Lo) / r
+	}
+	return d.Alpha * math.Pow(d.Lo, d.Alpha) / (d.Alpha - 1) *
+		(math.Pow(d.Lo, 1-d.Alpha) - math.Pow(d.Hi, 1-d.Alpha)) / r
+}
+
+// CCDF returns P(X > x).
+func (d BoundedPareto) CCDF(x float64) float64 {
+	if x < d.Lo {
+		return 1
+	}
+	if x >= d.Hi {
+		return 0
+	}
+	num := math.Pow(d.Lo/x, d.Alpha) - math.Pow(d.Lo/d.Hi, d.Alpha)
+	return num / (1 - math.Pow(d.Lo/d.Hi, d.Alpha))
+}
+
+// Sample draws one value by inverse-CDF:
+//
+//	x = Lo · (1 − U·(1 − (Lo/Hi)^α))^(−1/α)
+func (d BoundedPareto) Sample(r *rng.RNG) float64 {
+	u := r.Float64()
+	return d.Lo * math.Pow(1-u*(1-math.Pow(d.Lo/d.Hi, d.Alpha)), -1/d.Alpha)
+}
+
+// SampleUnits draws a demand in whole unit packets (≥ 1): the paper's
+// model is unit-packet loads, so a job's continuous demand is rounded
+// to the nearest packet count.
+func (d BoundedPareto) SampleUnits(r *rng.RNG) int {
+	u := int(math.Round(d.Sample(r)))
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// Arrival is one scheduled job submission. Node < 0 means unpinned —
+// the driver picks a target according to its placement policy; Node ≥ 0
+// pins the submission to that node (trace replay).
+type Arrival struct {
+	At    time.Duration // offset from the start of the run
+	Node  int
+	Units int
+}
+
+// ArrivalSpec describes an open-loop arrival process: rate envelope,
+// demand distribution, horizon.
+type ArrivalSpec struct {
+	Env     RateEnvelope
+	Demand  BoundedPareto
+	Horizon time.Duration
+}
+
+// Schedule generates the concrete arrival schedule by thinning: draw a
+// homogeneous Poisson process at MaxRate, keep each point with
+// probability RateAt(t)/MaxRate. Exact for piecewise-constant
+// envelopes, deterministic for a given r. Arrivals come out in time
+// order with Node = -1 (unpinned).
+func (s ArrivalSpec) Schedule(r *rng.RNG) ([]Arrival, error) {
+	if err := s.Env.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Demand.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Horizon <= 0 {
+		return nil, fmt.Errorf("workload: non-positive horizon %v", s.Horizon)
+	}
+	peak := s.Env.MaxRate()
+	var out []Arrival
+	t := time.Duration(0)
+	for {
+		// Exponential inter-arrival at the majorizing rate.
+		gap := -math.Log(1-r.Float64()) / peak
+		t += time.Duration(gap * float64(time.Second))
+		if t >= s.Horizon {
+			return out, nil
+		}
+		if r.Float64()*peak >= s.Env.RateAt(t) {
+			continue // thinned out
+		}
+		out = append(out, Arrival{At: t, Node: -1, Units: s.Demand.SampleUnits(r)})
+	}
+}
+
+// TraceArrivals converts a recorded trace (tracefile.go) into an
+// arrival schedule for the serving path: every Generate or
+// GenerateAndConsume event becomes a one-unit arrival pinned to its
+// processor at step·tick. Consume halves of events are ignored — on the
+// serving path consumption is what the cluster does, not what clients
+// submit. Arrivals come out in (time, node) order.
+func TraceArrivals(t *Trace, tick time.Duration) ([]Arrival, error) {
+	if t == nil {
+		return nil, fmt.Errorf("workload: nil trace")
+	}
+	if tick <= 0 {
+		return nil, fmt.Errorf("workload: non-positive tick %v", tick)
+	}
+	var out []Arrival
+	for step := 0; step < t.Steps(); step++ {
+		for proc := 0; proc < t.Procs(); proc++ {
+			switch t.Step(proc, step, nil) {
+			case Generate, GenerateAndConsume:
+				out = append(out, Arrival{At: time.Duration(step) * tick, Node: proc, Units: 1})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"lmbalance/internal/rng"
+)
+
+// TestBoundedParetoMeanMatchesClosedForm is the satellite contract: the
+// sampler's empirical mean must land on the closed-form expectation
+// within tolerance on a deterministic seed. α = 1.5 on [1, 100] is the
+// benchmark's demand distribution.
+func TestBoundedParetoMeanMatchesClosedForm(t *testing.T) {
+	for _, d := range []BoundedPareto{
+		{Alpha: 1.5, Lo: 1, Hi: 100},
+		{Alpha: 1.1, Lo: 1, Hi: 1000},
+		{Alpha: 2.5, Lo: 0.5, Hi: 50},
+		{Alpha: 1, Lo: 1, Hi: 100}, // log-limit branch
+	} {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(12345)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := d.Sample(r)
+			if x < d.Lo || x > d.Hi {
+				t.Fatalf("α=%g: sample %g outside [%g, %g]", d.Alpha, x, d.Lo, d.Hi)
+			}
+			sum += x
+		}
+		got, want := sum/n, d.Mean()
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Errorf("α=%g: empirical mean %.4f vs closed form %.4f (rel %.3f > 0.02)",
+				d.Alpha, got, want, rel)
+		}
+	}
+}
+
+// TestBoundedParetoTailMatchesCCDF checks the sampler against the
+// closed-form complementary CDF at several tail points — the part of
+// the distribution that drives p99 sojourns.
+func TestBoundedParetoTailMatchesCCDF(t *testing.T) {
+	d := BoundedPareto{Alpha: 1.5, Lo: 1, Hi: 100}
+	r := rng.New(777)
+	const n = 200000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = d.Sample(r)
+	}
+	for _, x := range []float64{2, 5, 10, 30} {
+		var above int
+		for _, s := range samples {
+			if s > x {
+				above++
+			}
+		}
+		got, want := float64(above)/n, d.CCDF(x)
+		// Binomial std error at n=200k is < 0.0012 everywhere here; 4σ.
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("P(X>%g): empirical %.4f vs closed form %.4f", x, got, want)
+		}
+	}
+	if d.CCDF(0.5) != 1 || d.CCDF(100) != 0 {
+		t.Error("CCDF endpoints wrong")
+	}
+}
+
+func TestSampleUnitsAtLeastOne(t *testing.T) {
+	d := BoundedPareto{Alpha: 3, Lo: 0.1, Hi: 2} // mass below 0.5 rounds to 0 without the clamp
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		if u := d.SampleUnits(r); u < 1 {
+			t.Fatalf("SampleUnits returned %d", u)
+		}
+	}
+}
+
+// TestRateEnvelopeIntegrates is the other satellite contract: over any
+// whole number of periods the scheduled arrival count matches the
+// envelope's per-window jobs/sec integral, and the per-window empirical
+// rates match the configured rates.
+func TestRateEnvelopeIntegrates(t *testing.T) {
+	env := RateEnvelope{
+		{Dur: 700 * time.Millisecond, Rate: 8000},
+		{Dur: 300 * time.Millisecond, Rate: 13000},
+	}
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 5
+	horizon := time.Duration(cycles) * env.Period()
+	spec := ArrivalSpec{Env: env, Demand: BoundedPareto{Alpha: 1.5, Lo: 1, Hi: 100}, Horizon: horizon}
+	arr, err := spec.Schedule(rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := env.Jobs(horizon) // 5 · (8000·0.7 + 13000·0.3) = 47500
+	if math.Abs(float64(len(arr))-wantTotal) > 4*math.Sqrt(wantTotal) {
+		t.Fatalf("scheduled %d arrivals, expected %.0f ± %.0f", len(arr), wantTotal, 4*math.Sqrt(wantTotal))
+	}
+	// Bucket arrivals by envelope window across all cycles.
+	counts := make([]int, len(env))
+	var last time.Duration = -1
+	for _, a := range arr {
+		if a.At < last {
+			t.Fatal("arrivals out of time order")
+		}
+		last = a.At
+		if a.Node != -1 {
+			t.Fatalf("fresh schedule pinned to node %d", a.Node)
+		}
+		if a.Units < 1 {
+			t.Fatalf("arrival with %d units", a.Units)
+		}
+		off := a.At % env.Period()
+		for w := range env {
+			if off < env[w].Dur {
+				counts[w]++
+				break
+			}
+			off -= env[w].Dur
+		}
+	}
+	for w, want := range []float64{8000 * 0.7 * cycles, 13000 * 0.3 * cycles} {
+		got := float64(counts[w])
+		if math.Abs(got-want) > 4*math.Sqrt(want) {
+			t.Errorf("window %d: %d arrivals, expected %.0f ± %.0f", w, counts[w], want, 4*math.Sqrt(want))
+		}
+	}
+	// RateAt cycles: the profile at t and t+period agree.
+	for _, off := range []time.Duration{0, 350 * time.Millisecond, 750 * time.Millisecond} {
+		if env.RateAt(off) != env.RateAt(off+env.Period()) {
+			t.Errorf("RateAt not periodic at %v", off)
+		}
+	}
+	if env.MaxRate() != 13000 {
+		t.Errorf("MaxRate = %g", env.MaxRate())
+	}
+}
+
+func TestParseEnvelope(t *testing.T) {
+	env, err := ParseEnvelope("8000x700ms,13000x300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != 2 || env[0].Rate != 8000 || env[0].Dur != 700*time.Millisecond ||
+		env[1].Rate != 13000 || env[1].Dur != 300*time.Millisecond {
+		t.Fatalf("parsed %+v", env)
+	}
+	if s := env.String(); s != "8000x700ms,13000x300ms" {
+		t.Fatalf("String() = %q", s)
+	}
+	for _, bad := range []string{"", "8000", "x700ms", "8000x", "8000xnope", "-1x700ms,0x1s", "0x1s"} {
+		if _, err := ParseEnvelope(bad); err == nil {
+			t.Errorf("ParseEnvelope(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTraceArrivalsRoundTrip: a recorded trace written to CSV, read
+// back through the tracefile reader, and converted to arrivals yields
+// one pinned unit arrival per Generate/GenerateAndConsume event at
+// step·tick — the replay path for the serving front-end.
+func TestTraceArrivalsRoundTrip(t *testing.T) {
+	events := []TraceEvent{
+		{Step: 0, Proc: 1, Action: Generate},
+		{Step: 0, Proc: 3, Action: GenerateAndConsume},
+		{Step: 1, Proc: 0, Action: Consume}, // no arrival: consumption is the cluster's job
+		{Step: 2, Proc: 2, Action: Generate},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := 5 * time.Millisecond
+	arr, err := TraceArrivals(tr, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Arrival{
+		{At: 0, Node: 1, Units: 1},
+		{At: 0, Node: 3, Units: 1},
+		{At: 2 * tick, Node: 2, Units: 1},
+	}
+	if len(arr) != len(want) {
+		t.Fatalf("got %d arrivals %v, want %d", len(arr), arr, len(want))
+	}
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v", i, arr[i], want[i])
+		}
+	}
+	if _, err := TraceArrivals(nil, tick); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := TraceArrivals(tr, 0); err == nil {
+		t.Error("zero tick accepted")
+	}
+}
