@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench bench-obs bench-wire bench-shard bench-pace bench-serve fuzz experiments
+.PHONY: check race bench bench-obs bench-wire bench-shard bench-pace bench-serve bench-journey fuzz experiments
 
 # Tier-1 gate: everything must pass before a change lands.
 check:
@@ -51,6 +51,14 @@ bench-pace:
 # was captured with -out results/BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/lbload -bench
+
+# Journey tracing + health-monitor cost: stamped vs unstamped job-record
+# frame bytes under codec v3, and the monitor's metrics-only poll vs the
+# full aggregator scrape. Fails if a stamped record exceeds 32 marginal
+# bytes or the metrics-only poll is not cheaper. The checked-in
+# results/BENCH_journey.json was captured with -out.
+bench-journey:
+	$(GO) run ./cmd/journeybench
 
 # Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:

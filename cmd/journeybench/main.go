@@ -1,0 +1,264 @@
+// Command journeybench measures what job journey tracing costs on the
+// two paths it touches: the wire (journey stamps carried on
+// JobMove/JobDone frames under codec v3) and the control plane (the
+// health monitor's poll against a node's debug endpoint). It reports
+// frame bytes for stamped vs unstamped job records, encode/decode
+// throughput for the stamped path, and the monitor's metrics-only poll
+// latency against a full aggregator scrape over the same endpoint —
+// the bench-sized record of why Monitor.Poll skips /series and /trace.
+//
+// The run fails if a stamped job record costs more than 32 bytes of
+// marginal payload, or if the metrics-only poll is not cheaper than the
+// full scrape it replaces.
+//
+// Examples:
+//
+//	journeybench                                  # table to stdout
+//	journeybench -out results/BENCH_journey.json  # the checked-in capture
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lmbalance/internal/obs"
+	"lmbalance/internal/serve"
+	"lmbalance/internal/wire"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 8, "nodes' worth of serving metrics behind the scraped endpoint")
+		events = flag.Int("events", 4096, "trace events in the scraped node's ring")
+		out    = flag.String("out", "", "also write the measurements as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*nodes, *events, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "journeybench:", err)
+		os.Exit(1)
+	}
+}
+
+// frameRow is one frame shape's byte cost.
+type frameRow struct {
+	Frame    string  `json:"frame"`
+	Records  int     `json:"records"`
+	Bytes    int     `json:"bytes"`
+	PerRec   float64 `json:"marginal_bytes_per_record,omitempty"`
+	EncNsOp  float64 `json:"encode_ns_op"`
+	DecNsOp  float64 `json:"decode_ns_op"`
+	EncAlloc int64   `json:"encode_allocs_op"`
+}
+
+// pollRow is one scrape flavor's latency.
+type pollRow struct {
+	Mode   string  `json:"mode"`
+	MsPoll float64 `json:"ms_per_poll"`
+}
+
+type report struct {
+	Description string     `json:"description"`
+	Machine     string     `json:"machine"`
+	Date        string     `json:"date"`
+	Frames      []frameRow `json:"frames"`
+	Polls       []pollRow  `json:"polls"`
+}
+
+func journeyMove(records int, stamped bool) wire.Msg {
+	now := int64(1_700_000_000_000_000_000)
+	m := wire.Msg{Kind: wire.JobMove, From: 3, Seq: 17, Op: 0xdeadbeef}
+	if stamped {
+		m.SentNS = now
+	}
+	for i := 0; i < records; i++ {
+		r := wire.JobRef{Origin: i % 8, ID: uint64(1000 + i)}
+		if stamped {
+			r.IngestNS = now - int64(i+1)*300_000
+			r.Hops = i % 3
+			r.TransferNS = int64(i) * 40_000
+		}
+		m.Jobs = append(m.Jobs, r)
+	}
+	return m
+}
+
+func journeyDone(stamped bool) wire.Msg {
+	now := int64(1_700_000_000_000_000_000)
+	m := wire.Msg{Kind: wire.JobDone, From: 5, Seq: 9, Job: 4242}
+	if stamped {
+		m.IngestNS = now - 2_000_000
+		m.ConsumeNS = now
+		m.Hops = 2
+		m.TransferNS = 150_000
+	}
+	return m
+}
+
+func measureFrame(name string, m wire.Msg) frameRow {
+	payload := wire.AppendMsg(nil, m)
+	enc := testing.Benchmark(func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wire.AppendMsg(buf[:0], m)
+		}
+		_ = buf
+	})
+	dec := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.DecodeMsg(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return frameRow{
+		Frame: name, Records: len(m.Jobs), Bytes: len(payload),
+		EncNsOp:  float64(enc.NsPerOp()),
+		DecNsOp:  float64(dec.NsPerOp()),
+		EncAlloc: enc.AllocsPerOp(),
+	}
+}
+
+// seedRegistry populates a registry with nodes' worth of serving
+// metrics — the journey histograms a real server family exposes — plus
+// a filled trace ring, so the scrape pays realistic serialization.
+func seedRegistry(nodes, events int) *obs.Registry {
+	reg := obs.NewRegistry()
+	comps := []string{"ingest_wait", "queue", "transfer", "service"}
+	for n := 0; n < nodes; n++ {
+		reg.Gauge(fmt.Sprintf("cluster_node_load{node=%q}", fmt.Sprint(n))).Set(int64(10 + n))
+		soj := reg.Histogram(serve.SojournMetric(n), obs.SojournBuckets)
+		unit := reg.Histogram(serve.UnitSojournMetric(n), obs.SojournBuckets)
+		hops := reg.Histogram(serve.HopsMetric(n), serve.HopBuckets)
+		for i := 0; i < 500; i++ {
+			v := float64(i%97+1) * 50e-6
+			soj.Observe(v)
+			unit.Observe(v)
+			hops.Observe(float64(i % 4))
+		}
+		for _, comp := range comps {
+			h := reg.Histogram(serve.JourneyMetric(n, comp), obs.SojournBuckets)
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(i%89+1) * 20e-6)
+			}
+		}
+	}
+	for i := 0; i < events; i++ {
+		reg.Tracer().RecordOp(i%nodes, uint64(i/4+1), "bench_event",
+			fmt.Sprintf("seq=%d detail=journeybench filler line %d", i, i))
+	}
+	return reg
+}
+
+func timePolls(label string, f func() error) (pollRow, error) {
+	const polls = 50
+	f() // warm connections and caches
+	start := time.Now()
+	for i := 0; i < polls; i++ {
+		if err := f(); err != nil {
+			return pollRow{}, fmt.Errorf("%s poll: %w", label, err)
+		}
+	}
+	return pollRow{Mode: label, MsPoll: time.Since(start).Seconds() * 1e3 / polls}, nil
+}
+
+func run(nodes, events int, out string) error {
+	frames := []frameRow{
+		measureFrame("JobMove unstamped", journeyMove(16, false)),
+		measureFrame("JobMove stamped", journeyMove(1, true)),
+		measureFrame("JobMove stamped", journeyMove(4, true)),
+		measureFrame("JobMove stamped", journeyMove(16, true)),
+		measureFrame("JobDone unstamped", journeyDone(false)),
+		measureFrame("JobDone stamped", journeyDone(true)),
+	}
+	// Marginal payload per stamped record: stamped minus unstamped at
+	// the same record count, spread over the records.
+	unstamped16 := frames[0].Bytes
+	for i := range frames {
+		f := &frames[i]
+		if f.Frame == "JobMove stamped" && f.Records == 16 {
+			f.PerRec = float64(f.Bytes-unstamped16) / float64(f.Records)
+			if f.PerRec > 32 {
+				return fmt.Errorf("stamped record costs %.1f marginal bytes, budget 32", f.PerRec)
+			}
+		}
+	}
+
+	reg := seedRegistry(nodes, events)
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	urls := []string{srv.URL()}
+	slo, err := obs.ParseSLO("p95 < 25ms over 5s/30s")
+	if err != nil {
+		return err
+	}
+	mon := obs.NewMonitor(obs.MonitorConfig{URLs: urls, SLO: slo, Base: obs.DefaultSLOBase})
+
+	full, err := timePolls("full scrape (/metrics + /series + /trace)", func() error {
+		_, err := obs.AggregateOpts(urls, obs.AggOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	monOnly, err := timePolls("monitor poll (metrics only)", func() error {
+		mon.Poll()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if monOnly.MsPoll >= full.MsPoll {
+		return fmt.Errorf("metrics-only poll (%.3fms) not cheaper than the full scrape (%.3fms)",
+			monOnly.MsPoll, full.MsPoll)
+	}
+	polls := []pollRow{full, monOnly}
+
+	fmt.Printf("journey frame costs (codec v%d):\n", wire.Version)
+	fmt.Printf("  %-20s %7s %7s %9s %9s %9s %7s\n",
+		"frame", "records", "bytes", "B/record", "enc ns", "dec ns", "allocs")
+	for _, f := range frames {
+		per := ""
+		if f.PerRec > 0 {
+			per = fmt.Sprintf("%.1f", f.PerRec)
+		}
+		fmt.Printf("  %-20s %7d %7d %9s %9.1f %9.1f %7d\n",
+			f.Frame, f.Records, f.Bytes, per, f.EncNsOp, f.DecNsOp, f.EncAlloc)
+	}
+	fmt.Printf("\nhealth-monitor poll cost (%d nodes' metrics, %d trace events behind one endpoint):\n",
+		nodes, events)
+	for _, p := range polls {
+		fmt.Printf("  %-42s %8.3f ms/poll\n", p.Mode, p.MsPoll)
+	}
+	fmt.Printf("  metrics-only saves %.1f%% of the scrape\n", (1-monOnly.MsPoll/full.MsPoll)*100)
+
+	if out != "" {
+		rep := report{
+			Description: "Job journey tracing cost: stamped vs unstamped JobMove/JobDone frame bytes and codec throughput under wire v3, plus the health monitor's metrics-only poll latency against the full aggregator scrape (/metrics + /series + /trace) it deliberately avoids. Acceptance: a stamped record costs <= 32 marginal payload bytes and the metrics-only poll is cheaper than the full scrape. make bench-journey",
+			Machine:     fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version()),
+			Date:        time.Now().Format("2006-01-02"),
+			Frames:      frames,
+			Polls:       polls,
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

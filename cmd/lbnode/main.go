@@ -66,11 +66,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -109,6 +111,9 @@ func main() {
 		serveAddr = flag.String("serve-addr", "", "accept client job submissions: spawn mode node i listens on port+i of this base address, daemon mode on the address as given (disables -gen)")
 		stepIv    = flag.Duration("step-interval", 0, "wall-clock pacing per workload step (0 = free-running); with -serve-addr this sets the service rate con/interval units/s")
 		balance   = flag.Bool("balance", true, "run the balancing protocol (false = control arm: nodes still answer partners but never initiate)")
+		slo       = flag.String("slo", "", `run the continuous health monitor against this latency objective, e.g. "p99<20ms over 30s/5m" (requires -debug-addr; serves /health)`)
+		monPeriod = flag.Duration("monitor-period", time.Second, "health monitor poll interval (with -slo)")
+		scrapeTO  = flag.Duration("scrape-timeout", 0, "per-upstream scrape timeout for the aggregator and health monitor (0 = default 3s)")
 	)
 	flag.Parse()
 	paceMode, err := cluster.ParsePaceMode(*pace)
@@ -124,6 +129,7 @@ func main() {
 		debugAddr: *debugAddr, debugPerNode: *perNode, seriesPeriod: *seriesP,
 		aggregate: *aggregate,
 		serveAddr: *serveAddr, stepInterval: *stepIv, noBalance: !*balance,
+		slo: *slo, monitorPeriod: *monPeriod, scrapeTimeout: *scrapeTO,
 	}
 	conserved, err := run(o, os.Stdout)
 	if err != nil {
@@ -160,6 +166,9 @@ type options struct {
 	serveAddr     string
 	stepInterval  time.Duration
 	noBalance     bool
+	slo           string
+	monitorPeriod time.Duration
+	scrapeTimeout time.Duration
 
 	// stop, when non-nil, ends a serving aggregator as if interrupted
 	// (test hook; main leaves it nil and serves until SIGINT/SIGTERM).
@@ -212,6 +221,35 @@ func nodeHealth(nd *cluster.Node) func() map[string]string {
 	}
 }
 
+// healthProxy lets /health mount on a debug server before the monitor
+// exists: the monitor scrapes the server's (possibly ephemeral) URL, so
+// it can only be created after the server is already listening.
+type healthProxy struct{ mon atomic.Pointer[obs.Monitor] }
+
+func (p *healthProxy) handler(w http.ResponseWriter, r *http.Request) {
+	m := p.mon.Load()
+	if m == nil {
+		http.Error(w, "health monitor not running", http.StatusServiceUnavailable)
+		return
+	}
+	m.Handler()(w, r)
+}
+
+// parseSLOFlag validates the -slo flag and its -debug-addr dependency.
+func parseSLOFlag(o options) (obs.SLO, bool, error) {
+	if o.slo == "" {
+		return obs.SLO{}, false, nil
+	}
+	if o.debugAddr == "" {
+		return obs.SLO{}, false, fmt.Errorf("-slo requires -debug-addr (the monitor scrapes the debug endpoints)")
+	}
+	s, err := obs.ParseSLO(o.slo)
+	if err != nil {
+		return obs.SLO{}, false, err
+	}
+	return s, true, nil
+}
+
 // perNodeAddr derives node i's address from a base flag value: same
 // host, port+i (port 0 stays 0 — every node gets an ephemeral port).
 // flagName only labels errors.
@@ -238,6 +276,10 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 	}
 	if o.debugPerNode && o.debugAddr == "" {
 		return false, fmt.Errorf("-debug-per-node requires -debug-addr")
+	}
+	sloObj, wantMon, err := parseSLOFlag(o)
+	if err != nil {
+		return false, err
 	}
 	// Registries: one shared (cluster-aggregated) by default, one per
 	// node with -debug-per-node — the multi-process shape in one
@@ -354,6 +396,8 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			rec.Stop()
 		}
 	}
+	hp := &healthProxy{}
+	var debugURLs []string
 	if o.debugAddr != "" {
 		if o.debugPerNode {
 			ids := make([]int, 1)
@@ -369,7 +413,14 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 					closeTransports()
 					return false, err
 				}
-				srv, err := obs.ServeDebugOpts(addr, regs[i], obs.DebugOptions{Health: nodeHealth(nd)})
+				extra := make(map[string]http.HandlerFunc)
+				if wantMon {
+					extra["/health"] = hp.handler
+				}
+				if servers != nil {
+					extra["/jobs"] = serve.JourneysHandler(servers[i].Journeys())
+				}
+				srv, err := obs.ServeDebugOpts(addr, regs[i], obs.DebugOptions{Health: nodeHealth(nd), Extra: extra})
 				if err != nil {
 					stopRecs()
 					closeServers()
@@ -377,6 +428,7 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 					return false, fmt.Errorf("node %d: %w", i, err)
 				}
 				defer srv.Close()
+				debugURLs = append(debugURLs, srv.URL())
 				fmt.Fprintf(w, "node %d debug endpoints at %s: /metrics /series /trace /healthz\n", i, srv.URL())
 			}
 		} else {
@@ -387,10 +439,22 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			rec := cluster.NewRecorder(shared, ids, 0)
 			rec.Start(o.seriesPeriod)
 			recs = append(recs, rec)
+			extra := make(map[string]http.HandlerFunc)
+			if wantMon {
+				extra["/health"] = hp.handler
+			}
+			if servers != nil {
+				logs := make([]*serve.JourneyLog, len(servers))
+				for i, s := range servers {
+					logs[i] = s.Journeys()
+				}
+				extra["/jobs"] = serve.JourneysHandler(logs...)
+			}
 			srv, err := obs.ServeDebugOpts(o.debugAddr, shared, obs.DebugOptions{
 				Health: func() map[string]string {
 					return map[string]string{"mode": "spawn", "nodes": strconv.Itoa(n)}
 				},
+				Extra: extra,
 			})
 			if err != nil {
 				stopRecs()
@@ -399,8 +463,20 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 				return false, err
 			}
 			defer srv.Close()
+			debugURLs = append(debugURLs, srv.URL())
 			fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /series /debug/pprof/\n", srv.URL())
 		}
+	}
+	if wantMon {
+		mon := obs.NewMonitor(obs.MonitorConfig{
+			URLs: debugURLs, SLO: sloObj,
+			Period: o.monitorPeriod, Timeout: o.scrapeTimeout,
+			Tracer: regFor(0).Tracer(),
+		})
+		hp.mon.Store(mon)
+		mon.Start()
+		defer mon.Stop()
+		fmt.Fprintf(w, "health monitor: %s (poll %v, /health on the debug endpoints)\n", sloObj, o.monitorPeriod)
 	}
 	if o.serveAddr != "" {
 		for i, s := range servers {
@@ -533,19 +609,43 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 		tp.Close()
 		return false, err
 	}
+	sloObj, wantMon, err := parseSLOFlag(o)
+	if err != nil {
+		tp.Close()
+		return false, err
+	}
 	if o.debugAddr != "" {
 		rec := cluster.NewRecorder(reg, []int{o.id}, 0)
 		rec.Start(o.seriesPeriod)
 		defer rec.Stop()
+		hp := &healthProxy{}
+		extra := make(map[string]http.HandlerFunc)
+		if wantMon {
+			extra["/health"] = hp.handler
+		}
+		if server != nil {
+			extra["/jobs"] = serve.JourneysHandler(server.Journeys())
+		}
 		// Fail fast, naming the node: a daemon that silently ran without
 		// its endpoints would be invisible to the aggregator.
-		srv, err := obs.ServeDebugOpts(o.debugAddr, reg, obs.DebugOptions{Health: nodeHealth(nd)})
+		srv, err := obs.ServeDebugOpts(o.debugAddr, reg, obs.DebugOptions{Health: nodeHealth(nd), Extra: extra})
 		if err != nil {
 			tp.Close()
 			return false, fmt.Errorf("node %d: %w", o.id, err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /series /debug/pprof/\n", srv.URL())
+		if wantMon {
+			mon := obs.NewMonitor(obs.MonitorConfig{
+				URLs: []string{srv.URL()}, SLO: sloObj,
+				Period: o.monitorPeriod, Timeout: o.scrapeTimeout,
+				Tracer: reg.Tracer(),
+			})
+			hp.mon.Store(mon)
+			mon.Start()
+			defer mon.Stop()
+			fmt.Fprintf(w, "health monitor: %s (poll %v, /health)\n", sloObj, o.monitorPeriod)
+		}
 	}
 	fmt.Fprintf(w, "lbnode %d/%d listening on %v, peers %v\n", o.id, n, tp.Addr(), o.peers)
 	if server != nil {
@@ -605,8 +705,23 @@ func runAggregate(o options, w io.Writer) (bool, error) {
 	if len(urls) == 0 {
 		return false, fmt.Errorf("-aggregate lists no upstream URLs")
 	}
+	sloObj, wantMon, err := parseSLOFlag(o)
+	if err != nil {
+		return false, err
+	}
 	if o.debugAddr != "" {
-		srv, err := obs.ServeAggregator(o.debugAddr, urls)
+		aggOpts := obs.AggOptions{Timeout: o.scrapeTimeout}
+		if wantMon {
+			mon := obs.NewMonitor(obs.MonitorConfig{
+				URLs: urls, SLO: sloObj,
+				Period: o.monitorPeriod, Timeout: o.scrapeTimeout,
+			})
+			mon.Start()
+			defer mon.Stop()
+			aggOpts.Extra = map[string]http.HandlerFunc{"/health": mon.Handler()}
+			fmt.Fprintf(w, "health monitor: %s (poll %v, /health)\n", sloObj, o.monitorPeriod)
+		}
+		srv, err := obs.ServeAggregatorOpts(o.debugAddr, urls, aggOpts)
 		if err != nil {
 			return false, err
 		}
@@ -622,7 +737,7 @@ func runAggregate(o options, w io.Writer) (bool, error) {
 		}
 		return true, nil
 	}
-	v, err := obs.Aggregate(urls)
+	v, err := obs.AggregateOpts(urls, obs.AggOptions{Timeout: o.scrapeTimeout})
 	if err != nil {
 		return false, err
 	}

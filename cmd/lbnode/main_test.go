@@ -1,11 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"lmbalance/internal/serve"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -87,6 +93,152 @@ func TestSpawnRejectsBadOptions(t *testing.T) {
 	}
 	if _, err := run(options{peers: ""}, &strings.Builder{}); err == nil {
 		t.Fatal("daemon mode without peers accepted")
+	}
+}
+
+// syncBuf lets the test read run()'s incremental output while the run
+// is still going.
+type syncBuf struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// TestSpawnServeWithMonitor: a serving spawn cluster with -slo runs the
+// health monitor and mounts /jobs and /health on the debug endpoint;
+// submitted jobs show up as journey samples and the monitor reports on
+// the live cluster.
+func TestSpawnServeWithMonitor(t *testing.T) {
+	stop := make(chan struct{})
+	buf := &syncBuf{}
+	done := make(chan struct{})
+	var ok bool
+	var runErr error
+	go func() {
+		defer close(done)
+		ok, runErr = run(options{
+			spawn: 3, transport: "inproc", f: 1.2, delta: 1,
+			steps: 50_000_000, con: 0.4, hot: -1, seed: 21, quiet: true,
+			stepInterval: 100 * time.Microsecond,
+			serveAddr:    "127.0.0.1:0", debugAddr: "127.0.0.1:0",
+			slo: "p99 < 5s over 200ms/600ms", monitorPeriod: 25 * time.Millisecond,
+			stop: stop,
+		}, buf)
+	}()
+
+	// Wait for the serve and debug endpoints to announce themselves.
+	var serveAddr, debugURL string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && (serveAddr == "" || debugURL == "") {
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "node 0 serving clients at ") {
+				serveAddr = strings.TrimPrefix(line, "node 0 serving clients at ")
+			}
+			if strings.HasPrefix(line, "debug endpoints at ") {
+				debugURL = strings.Fields(strings.TrimPrefix(line, "debug endpoints at "))[0]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if serveAddr == "" || debugURL == "" {
+		close(stop)
+		<-done
+		t.Fatalf("endpoints never announced (err=%v):\n%s", runErr, buf.String())
+	}
+
+	c, err := serve.Dial(serveAddr)
+	if err != nil {
+		close(stop)
+		<-done
+		t.Fatal(err)
+	}
+	const jobs = 20
+	for i := 0; i < jobs; i++ {
+		if err := c.Submit(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Completed() < jobs && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.Completed() < jobs {
+		close(stop)
+		<-done
+		t.Fatalf("only %d/%d jobs completed:\n%s", c.Completed(), jobs, buf.String())
+	}
+
+	httpGet := func(path string) string {
+		resp, err := http.Get(debugURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	// /jobs carries the completed journeys with their decomposition.
+	jobsBody := httpGet("/jobs")
+	lines := strings.Split(strings.TrimSpace(jobsBody), "\n")
+	if len(lines) < jobs {
+		t.Fatalf("/jobs has %d lines, want >= %d:\n%s", len(lines), jobs, jobsBody)
+	}
+	var sample struct {
+		Sojourn float64 `json:"sojourn_s"`
+		Units   int     `json:"units"`
+		Stamped bool    `json:"stamped"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &sample); err != nil {
+		t.Fatalf("/jobs line not JSON: %v: %s", err, lines[0])
+	}
+	if sample.Units != 2 || !sample.Stamped || sample.Sojourn <= 0 {
+		t.Fatalf("/jobs sample = %+v", sample)
+	}
+
+	// /health serves the monitor's document over the live cluster.
+	var doc struct {
+		SLO    string `json:"slo"`
+		Status string `json:"status"`
+		Nodes  []struct {
+			Verdict string `json:"verdict"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(httpGet("/health")), &doc); err != nil {
+		t.Fatalf("/health not JSON: %v", err)
+	}
+	if !strings.Contains(doc.SLO, "p99") || len(doc.Nodes) != 1 {
+		t.Fatalf("/health doc = %+v", doc)
+	}
+	if doc.Status == "alerting" {
+		t.Fatalf("generous 5s SLO must not alert: %+v", doc)
+	}
+
+	c.Close()
+	close(stop)
+	<-done
+	if runErr != nil {
+		t.Fatalf("run: %v\n%s", runErr, buf.String())
+	}
+	if !ok {
+		t.Fatalf("conservation violated:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "health monitor: p99") {
+		t.Fatalf("monitor banner missing:\n%s", buf.String())
 	}
 }
 

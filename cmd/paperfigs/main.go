@@ -90,6 +90,9 @@ var artifacts = []artifact{
 	{"serve", "serving SLO: sojourn tails, balanced vs no-balancing (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.ServeSLO(s, seed)
 	}},
+	{"anatomy", "sojourn anatomy: journey decomposition + burn-rate alerts (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
+		return experiments.SojournAnatomy(s, seed)
+	}},
 }
 
 func main() {

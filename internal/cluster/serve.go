@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"time"
+
 	"lmbalance/internal/rng"
 	"lmbalance/internal/wire"
 )
@@ -46,17 +48,34 @@ type Submit struct {
 	Units int
 }
 
+// Journey is one unit's journey record, assembled at completion from
+// the stamps its wire.JobRef accumulated (ingest wall clock at the
+// origin, JobMove hop count, summed per-hop in-flight time) plus the
+// consume and completion-report stamps. All clocks are server-side
+// unix nanos — the origin stamps ingest, the consuming node stamps
+// consume, the origin stamps done when the JobDone lands — so the
+// decomposition needs no client clock sync. A unit that rode frames
+// from a pre-v3 peer carries zero stamps; consumers must treat zero as
+// "unknown", not "instantaneous".
+type Journey struct {
+	Hops       int   // JobMove hops the unit took before being consumed
+	IngestNS   int64 // origin ingest wall clock
+	TransferNS int64 // accumulated wire in-flight nanos across hops
+	ConsumeNS  int64 // consuming node's consume wall clock
+	DoneNS     int64 // origin's wall clock when the completion landed
+}
+
 // ServeHooks connects a node to a serving front-end. The node drains
 // Ingest in every phase of its event loop (stepping, mid-protocol,
 // idle) so a submission is never blocked behind the balancing protocol,
 // and calls Complete once per finished unit of a job that originated
 // here — possibly consumed on a distant node and routed back via
-// JobDone. Complete is called from the node goroutine: implementations
-// must not block (internal/serve hands off to per-connection writer
-// goroutines).
+// JobDone — with that unit's journey record. Complete is called from
+// the node goroutine: implementations must not block (internal/serve
+// hands off to per-connection writer goroutines).
 type ServeHooks struct {
 	Ingest   <-chan Submit
-	Complete func(id uint64)
+	Complete func(id uint64, j Journey)
 }
 
 // jobOpSalt separates job trace-op ids from balancing-operation ids.
@@ -108,7 +127,7 @@ func (n *Node) ingestSubmit(s Submit) {
 	if s.Units < 1 || n.cfg.Serve == nil {
 		return
 	}
-	rec := wire.JobRef{Origin: n.cfg.ID, ID: s.ID}
+	rec := wire.JobRef{Origin: n.cfg.ID, ID: s.ID, IngestNS: time.Now().UnixNano()}
 	for i := 0; i < s.Units; i++ {
 		n.pushRecord(rec)
 	}
@@ -125,26 +144,35 @@ func (n *Node) ingestSubmit(s Submit) {
 }
 
 // completeOldest finishes one consumed unit: pop the oldest record and
-// either complete it locally or route a JobDone to its origin.
+// either complete it locally or route a JobDone to its origin, carrying
+// the record's journey stamps either way.
 func (n *Node) completeOldest() {
 	rec := n.popOldest()
 	n.met.records.Set(int64(n.recCount()))
+	now := time.Now().UnixNano()
 	if rec.Origin == n.cfg.ID {
-		n.met.traceOp(n.cfg.ID, JobOp(rec.Origin, rec.ID), "consume", "job=%d local=true", rec.ID)
-		n.serveComplete(rec.ID)
+		n.met.traceOp(n.cfg.ID, JobOp(rec.Origin, rec.ID), "consume", "job=%d local=true hops=%d", rec.ID, rec.Hops)
+		n.serveComplete(rec.ID, Journey{
+			Hops: rec.Hops, IngestNS: rec.IngestNS, TransferNS: rec.TransferNS,
+			ConsumeNS: now, DoneNS: now,
+		})
 		return
 	}
-	n.met.traceOp(n.cfg.ID, JobOp(rec.Origin, rec.ID), "consume", "job=%d origin=%d", rec.ID, rec.Origin)
-	n.send(rec.Origin, wire.Msg{Kind: wire.JobDone, Job: rec.ID, Op: JobOp(rec.Origin, rec.ID)})
+	n.met.traceOp(n.cfg.ID, JobOp(rec.Origin, rec.ID), "consume", "job=%d origin=%d hops=%d", rec.ID, rec.Origin, rec.Hops)
+	n.send(rec.Origin, wire.Msg{
+		Kind: wire.JobDone, Job: rec.ID, Op: JobOp(rec.Origin, rec.ID),
+		IngestNS: rec.IngestNS, ConsumeNS: now,
+		Hops: rec.Hops, TransferNS: rec.TransferNS,
+	})
 }
 
 // serveComplete reports one finished unit of a job that originated at
 // this node to the serving front-end.
-func (n *Node) serveComplete(id uint64) {
+func (n *Node) serveComplete(id uint64, j Journey) {
 	n.stats.UnitsDone++
 	n.met.unitsDone.Inc()
 	if n.cfg.Serve != nil && n.cfg.Serve.Complete != nil {
-		n.cfg.Serve.Complete(id)
+		n.cfg.Serve.Complete(id, j)
 	}
 }
 
@@ -183,7 +211,10 @@ func (n *Node) settleOwed(op uint64) {
 			for i := range jobs {
 				jobs[i] = n.popNewest()
 			}
-			n.send(p, wire.Msg{Kind: wire.JobMove, Op: op, Jobs: jobs})
+			n.send(p, wire.Msg{
+				Kind: wire.JobMove, Op: op, Jobs: jobs,
+				SentNS: time.Now().UnixNano(),
+			})
 			k -= batch
 		}
 		if k == 0 {
@@ -195,14 +226,25 @@ func (n *Node) settleOwed(op uint64) {
 	n.met.records.Set(int64(n.recCount()))
 }
 
-// handleJobMove ingests migrated records. They join the FIFO tail and
-// may immediately settle this node's own debts (obligation chains and
-// cycles drain this way).
+// handleJobMove ingests migrated records. Each gains a hop and the
+// frame's in-flight time (receive clock minus the sender's send stamp,
+// clamped at zero against clock skew; frames from pre-v3 peers carry no
+// stamp, so their hop contributes no transfer time rather than a bogus
+// one). The records join the FIFO tail and may immediately settle this
+// node's own debts (obligation chains and cycles drain this way).
 func (n *Node) handleJobMove(m wire.Msg) {
 	if n.cfg.Serve == nil {
 		return
 	}
+	var flight int64
+	if m.SentNS > 0 {
+		if d := time.Now().UnixNano() - m.SentNS; d > 0 {
+			flight = d
+		}
+	}
 	for _, r := range m.Jobs {
+		r.Hops++
+		r.TransferNS += flight
 		n.pushRecord(r)
 	}
 	n.met.records.Set(int64(n.recCount()))
@@ -210,11 +252,15 @@ func (n *Node) handleJobMove(m wire.Msg) {
 }
 
 // handleJobDone completes one unit of a job that originated here but
-// was consumed elsewhere.
+// was consumed elsewhere, stamping the completion-report time that
+// closes the unit's journey.
 func (n *Node) handleJobDone(m wire.Msg) {
 	if n.cfg.Serve == nil {
 		return
 	}
-	n.met.traceOp(n.cfg.ID, m.Op, "done_routed", "job=%d from=%d", m.Job, m.From)
-	n.serveComplete(m.Job)
+	n.met.traceOp(n.cfg.ID, m.Op, "done_routed", "job=%d from=%d hops=%d", m.Job, m.From, m.Hops)
+	n.serveComplete(m.Job, Journey{
+		Hops: m.Hops, IngestNS: m.IngestNS, TransferNS: m.TransferNS,
+		ConsumeNS: m.ConsumeNS, DoneNS: time.Now().UnixNano(),
+	})
 }

@@ -23,15 +23,46 @@ import (
 // operation timelines stitched by op id — and can serve the merged view
 // on its own debug endpoint (ServeAggregator).
 
-// scrapeTimeout bounds one upstream HTTP request; a dead node must not
-// stall the whole merged view.
-const scrapeTimeout = 3 * time.Second
+// DefaultScrapeTimeout bounds one upstream HTTP request when AggOptions
+// leaves Timeout zero; a dead node must not stall the whole merged view.
+const DefaultScrapeTimeout = 3 * time.Second
+
+// AggOptions tune the aggregator. The zero value reproduces the
+// defaults (DefaultScrapeTimeout, no extra endpoints).
+type AggOptions struct {
+	// Timeout bounds each upstream HTTP request (≤0 means
+	// DefaultScrapeTimeout). A slow node charges at most this much to
+	// the merged view's latency — scrapes run in parallel — and shows
+	// up in NodeScrape.Latency either way.
+	Timeout time.Duration
+	// Extra handlers are mounted on the aggregator's mux by
+	// ServeAggregatorOpts under their map key (e.g. "/health" → a
+	// Monitor's handler). Reserved paths (/cluster, /metrics, /series,
+	// /trace, /healthz) cannot be overridden.
+	Extra map[string]http.HandlerFunc
+	// MetricsOnly skips the /series and /trace fetches, leaving only
+	// the /metrics scrape. High-frequency pollers (the health monitor)
+	// set this: serializing a full trace ring per poll is orders of
+	// magnitude more expensive than the metrics page and can steal
+	// enough CPU to perturb the cluster being watched.
+	MetricsOnly bool
+}
+
+func (o AggOptions) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return DefaultScrapeTimeout
+	}
+	return o.Timeout
+}
 
 // NodeScrape is one upstream's raw scrape. Err is per-node: a dead or
 // half-started node degrades the merged view instead of failing it.
+// Latency is the wall time of this node's scrape (all endpoints),
+// whether or not it succeeded — a slow node is visible, not silent.
 type NodeScrape struct {
 	URL     string
 	Err     error
+	Latency time.Duration
 	Metrics map[string]float64 // full metric line name → value
 	Types   map[string]string  // base name → counter|gauge|histogram
 	Series  SeriesData
@@ -60,10 +91,15 @@ type AggView struct {
 	Ops map[uint64][]Event
 }
 
-// Aggregate scrapes every URL's debug endpoints and merges them. It
-// fails only if every node is unreachable; partial scrapes are reported
-// per node in Nodes[i].Err.
+// Aggregate scrapes every URL's debug endpoints and merges them with
+// default options. It fails only if every node is unreachable; partial
+// scrapes are reported per node in Nodes[i].Err.
 func Aggregate(urls []string) (*AggView, error) {
+	return AggregateOpts(urls, AggOptions{})
+}
+
+// AggregateOpts is Aggregate with explicit options (scrape timeout).
+func AggregateOpts(urls []string, opts AggOptions) (*AggView, error) {
 	v := &AggView{
 		At:      time.Now(),
 		Nodes:   make([]NodeScrape, len(urls)),
@@ -71,12 +107,13 @@ func Aggregate(urls []string) (*AggView, error) {
 		Types:   make(map[string]string),
 		Ops:     make(map[uint64][]Event),
 	}
+	timeout := opts.timeout()
 	var wg sync.WaitGroup
 	for i, url := range urls {
 		wg.Add(1)
 		go func(i int, url string) {
 			defer wg.Done()
-			v.Nodes[i] = scrapeNode(url)
+			v.Nodes[i] = scrapeNode(url, timeout, opts.MetricsOnly)
 		}(i, url)
 	}
 	wg.Wait()
@@ -117,16 +154,18 @@ func Aggregate(urls []string) (*AggView, error) {
 }
 
 // scrapeNode fetches one node's /metrics, /series and /trace.
-func scrapeNode(url string) NodeScrape {
-	n := NodeScrape{URL: url}
-	client := &http.Client{Timeout: scrapeTimeout}
+func scrapeNode(url string, timeout time.Duration, metricsOnly bool) (n NodeScrape) {
+	n.URL = url
+	start := time.Now()
+	defer func() { n.Latency = time.Since(start) }()
+	client := &http.Client{Timeout: timeout}
 	body, err := fetch(client, url+"/metrics")
 	if err != nil {
 		n.Err = err
 		return n
 	}
 	n.Metrics, n.Types, n.Err = ParsePrometheus(strings.NewReader(body))
-	if n.Err != nil {
+	if n.Err != nil || metricsOnly {
 		return n
 	}
 	// /series and /trace are optional views: a node without a recorder
@@ -447,9 +486,10 @@ type clusterDoc struct {
 }
 
 type clusterNodeDoc struct {
-	URL string `json:"url"`
-	OK  bool   `json:"ok"`
-	Err string `json:"err,omitempty"`
+	URL      string  `json:"url"`
+	OK       bool    `json:"ok"`
+	ScrapeMS float64 `json:"scrape_ms"`
+	Err      string  `json:"err,omitempty"`
 }
 
 type clusterLoadDoc struct {
@@ -478,15 +518,30 @@ const LoadGaugeBase = "cluster_node_load"
 //	/trace     stitched cross-node op events as JSONL, oldest first;
 //	           ?op=<id> keeps one operation
 //	/healthz   aggregator liveness plus the upstream URL count
+//
+// ServeAggregatorOpts additionally mounts opts.Extra handlers (reserved
+// paths keep their built-in handler) and scrapes with opts.Timeout.
 func ServeAggregator(addr string, urls []string) (*DebugServer, error) {
+	return ServeAggregatorOpts(addr, urls, AggOptions{})
+}
+
+// ServeAggregatorOpts is ServeAggregator with explicit options.
+func ServeAggregatorOpts(addr string, urls []string, opts AggOptions) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: aggregator listen %s: %w", addr, err)
 	}
 	s := &DebugServer{ln: ln, served: make(chan struct{})}
 	mux := http.NewServeMux()
+	reserved := map[string]bool{"/healthz": true, "/cluster": true, "/metrics": true, "/series": true, "/trace": true}
+	for path, h := range opts.Extra {
+		if h == nil || reserved[path] {
+			continue
+		}
+		mux.HandleFunc(path, h)
+	}
 	scrape := func(w http.ResponseWriter) *AggView {
-		v, err := Aggregate(urls)
+		v, err := AggregateOpts(urls, opts)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return nil
@@ -504,7 +559,11 @@ func ServeAggregator(addr string, urls []string) (*DebugServer, error) {
 		}
 		doc := clusterDoc{At: v.At, Ops: len(v.Ops), Sums: v.Metrics}
 		for i := range v.Nodes {
-			nd := clusterNodeDoc{URL: v.Nodes[i].URL, OK: v.Nodes[i].Err == nil}
+			nd := clusterNodeDoc{
+				URL:      v.Nodes[i].URL,
+				OK:       v.Nodes[i].Err == nil,
+				ScrapeMS: float64(v.Nodes[i].Latency) / float64(time.Millisecond),
+			}
 			if v.Nodes[i].Err != nil {
 				nd.Err = v.Nodes[i].Err.Error()
 			}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -208,6 +210,95 @@ func TestAggregatePartialAndTotalFailure(t *testing.T) {
 	}
 	if _, err := Aggregate([]string{dead}); err == nil {
 		t.Fatal("all-dead aggregate should error")
+	}
+}
+
+// TestAggregateOptsTimeoutAndLatency: the configurable scrape timeout
+// bounds how long a hung node can stall its scrape, and every node's
+// scrape latency is measured whether or not it succeeded.
+func TestAggregateOptsTimeoutAndLatency(t *testing.T) {
+	s, _ := newScrapeableNode(t, 0, 5, 10, 5)
+	// A listener that accepts connections but never answers: only the
+	// scrape timeout unblocks it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hang := "http://" + ln.Addr().String()
+
+	start := time.Now()
+	v, err := AggregateOpts([]string{s.URL(), hang}, AggOptions{Timeout: 75 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("one live node should keep the view alive: %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("scrape took %v; the 75ms timeout did not bound the hung node", elapsed)
+	}
+	if v.Nodes[1].Err == nil {
+		t.Fatal("hung node scrape should report an error")
+	}
+	if v.Nodes[1].Latency < 50*time.Millisecond {
+		t.Fatalf("hung node latency = %v, want >= ~75ms (timeout-bounded)", v.Nodes[1].Latency)
+	}
+	if v.Nodes[0].Err != nil || v.Nodes[0].Latency <= 0 {
+		t.Fatalf("live node: err=%v latency=%v, want nil err and measured latency", v.Nodes[0].Err, v.Nodes[0].Latency)
+	}
+}
+
+// TestServeAggregatorOptsExtraAndScrapeMS: extra handlers mount on the
+// aggregator mux (without overriding built-ins) and the /cluster JSON
+// surfaces per-node scrape latency and error strings.
+func TestServeAggregatorOptsExtraAndScrapeMS(t *testing.T) {
+	s, _ := newScrapeableNode(t, 0, 5, 10, 5)
+	dead := "http://127.0.0.1:1" // nothing listens on port 1
+	agg, err := ServeAggregatorOpts("127.0.0.1:0", []string{s.URL(), dead}, AggOptions{
+		Timeout: 500 * time.Millisecond,
+		Extra: map[string]http.HandlerFunc{
+			"/custom": func(w http.ResponseWriter, _ *http.Request) {
+				fmt.Fprint(w, "custom ok")
+			},
+			"/healthz": func(w http.ResponseWriter, _ *http.Request) {
+				fmt.Fprint(w, "hijacked")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	if code, body := get(t, agg.URL()+"/custom"); code != 200 || body != "custom ok" {
+		t.Fatalf("/custom = %d %q", code, body)
+	}
+	// The reserved path kept its built-in handler.
+	if _, body := get(t, agg.URL()+"/healthz"); !strings.Contains(body, "role=aggregator") {
+		t.Fatalf("/healthz was overridden: %q", body)
+	}
+
+	code, body := get(t, agg.URL()+"/cluster")
+	if code != 200 {
+		t.Fatalf("/cluster = %d", code)
+	}
+	var doc struct {
+		Nodes []struct {
+			OK       bool    `json:"ok"`
+			ScrapeMS float64 `json:"scrape_ms"`
+			Err      string  `json:"err"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/cluster not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Nodes) != 2 {
+		t.Fatalf("/cluster nodes = %+v", doc.Nodes)
+	}
+	if !doc.Nodes[0].OK || doc.Nodes[0].ScrapeMS <= 0 || doc.Nodes[0].Err != "" {
+		t.Fatalf("live node doc = %+v", doc.Nodes[0])
+	}
+	if doc.Nodes[1].OK || doc.Nodes[1].Err == "" {
+		t.Fatalf("dead node doc should carry its error string: %+v", doc.Nodes[1])
 	}
 }
 

@@ -38,6 +38,10 @@ type DebugOptions struct {
 	// so a probe learns *which* node answered — id, current protocol
 	// epoch — not just that something did.
 	Health func() map[string]string
+	// Extra handlers are mounted under their map key (e.g. "/jobs" →
+	// a serve.JourneysHandler, "/health" → a Monitor's handler).
+	// Built-in paths cannot be overridden.
+	Extra map[string]http.HandlerFunc
 }
 
 // ServeDebug starts a debug server on addr (e.g. "127.0.0.1:0") over
@@ -58,6 +62,16 @@ func ServeDebugOpts(addr string, reg *Registry, opts DebugOptions) (*DebugServer
 		served: make(chan struct{}),
 	}
 	mux := http.NewServeMux()
+	builtin := map[string]bool{
+		"/healthz": true, "/metrics": true, "/debug/vars": true,
+		"/trace": true, "/series": true, "/debug/pprof/": true,
+	}
+	for path, h := range opts.Extra {
+		if h == nil || builtin[path] {
+			continue
+		}
+		mux.HandleFunc(path, h)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

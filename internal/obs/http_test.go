@@ -87,6 +87,32 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestDebugServerExtraHandlers: DebugOptions.Extra mounts additional
+// endpoints (e.g. /jobs, /health) without touching the built-ins.
+func TestDebugServerExtraHandlers(t *testing.T) {
+	reg := NewRegistry()
+	s, err := ServeDebugOpts("127.0.0.1:0", reg, DebugOptions{
+		Extra: map[string]http.HandlerFunc{
+			"/jobs": func(w http.ResponseWriter, _ *http.Request) {
+				fmt.Fprint(w, "jobs ok")
+			},
+			"/metrics": func(w http.ResponseWriter, _ *http.Request) {
+				fmt.Fprint(w, "hijacked")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, body := get(t, s.URL()+"/jobs"); code != 200 || body != "jobs ok" {
+		t.Fatalf("/jobs = %d %q", code, body)
+	}
+	if _, body := get(t, s.URL()+"/metrics"); body == "hijacked" {
+		t.Fatal("built-in /metrics was overridden by Extra")
+	}
+}
+
 func TestDebugServerNilRegistry(t *testing.T) {
 	s, err := ServeDebug("127.0.0.1:0", nil)
 	if err != nil {

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SLO
+	}{
+		{"p99 < 20ms over 30s/5m", SLO{0.99, 0.020, 30 * time.Second, 5 * time.Minute, 2}},
+		{"p99<20ms over 30s/5m", SLO{0.99, 0.020, 30 * time.Second, 5 * time.Minute, 2}},
+		{"P99.9 < 1s over 1m/10m burn 14.4", SLO{0.999, 1, time.Minute, 10 * time.Minute, 14.4}},
+		{"p50<500us over 100ms/1s burn=3", SLO{0.50, 0.0005, 100 * time.Millisecond, time.Second, 3}},
+	} {
+		got, err := ParseSLO(tc.in)
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", tc.in, err)
+			continue
+		}
+		if math.Abs(got.Quantile-tc.want.Quantile) > 1e-12 ||
+			math.Abs(got.Threshold-tc.want.Threshold) > 1e-12 ||
+			got.Short != tc.want.Short || got.Long != tc.want.Long ||
+			math.Abs(got.Burn-tc.want.Burn) > 1e-12 {
+			t.Errorf("ParseSLO(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// String() round trips through the parser.
+		again, err := ParseSLO(got.String())
+		if err != nil || again != got {
+			t.Errorf("ParseSLO(%q).String() = %q did not round trip: %+v, %v", tc.in, got.String(), again, err)
+		}
+	}
+	for _, bad := range []string{
+		"", "99<20ms over 30s/5m", "p99 20ms over 30s/5m", "p0<20ms over 30s/5m",
+		"p100<20ms over 30s/5m", "p99<20ms", "p99<20ms over 30s", "p99<20ms over 5m/30s",
+		"p99<-5ms over 30s/5m", "p99<20ms over 30s/5m burn -1", "p99<bogus over 30s/5m",
+	} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO accepted %q", bad)
+		}
+	}
+}
+
+// snapFrom builds a histSnap from observations against given bounds,
+// mimicking what extractHistSnap reconstructs from a scrape.
+func snapFrom(at time.Time, bounds []float64, obs []float64) histSnap {
+	h := NewHistogram(bounds)
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	hb, counts := h.Buckets()
+	s := histSnap{at: at, count: float64(h.Count()), sum: h.Sum()}
+	cum := 0.0
+	for i, c := range counts {
+		cum += float64(c)
+		le := math.Inf(1)
+		if i < len(hb) {
+			le = hb[i]
+		}
+		s.buckets = append(s.buckets, bucketCum{le: le, n: cum})
+	}
+	return s
+}
+
+func TestBurnRateMath(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	t0 := time.Unix(1000, 0)
+	old := snapFrom(t0, bounds, nil)
+	// 80 fast (5ms) + 20 slow (0.5s) completions; threshold 10ms.
+	var obs []float64
+	for i := 0; i < 80; i++ {
+		obs = append(obs, 0.005)
+	}
+	for i := 0; i < 20; i++ {
+		obs = append(obs, 0.5)
+	}
+	cur := snapFrom(t0.Add(time.Second), bounds, obs)
+
+	if got := deltaBadFrac(cur, old, 0.01); math.Abs(got-0.20) > 1e-9 {
+		t.Errorf("deltaBadFrac = %v, want 0.20", got)
+	}
+	// All 100 sit below 1s, so p99 interpolates inside the (0.1, 1]
+	// bucket that holds the 20 slow ones.
+	q := deltaQuantile(cur, old, 0.99)
+	if q <= 0.1 || q > 1 {
+		t.Errorf("deltaQuantile(p99) = %v, want in (0.1, 1]", q)
+	}
+	// p50 sits in the (0.001, 0.01] bucket with the fast 80.
+	q = deltaQuantile(cur, old, 0.50)
+	if q <= 0.001 || q > 0.01 {
+		t.Errorf("deltaQuantile(p50) = %v, want in (0.001, 0.01]", q)
+	}
+	// Empty window: no bad fraction, no quantile.
+	if f := deltaBadFrac(cur, cur, 0.01); f != 0 {
+		t.Errorf("empty-window bad frac = %v", f)
+	}
+	if q := deltaQuantile(cur, cur, 0.99); q != 0 {
+		t.Errorf("empty-window quantile = %v", q)
+	}
+	// The delta is window-local: a second snapshot later with only fast
+	// completions has zero bad fraction even though cur still holds the
+	// old slow ones cumulatively.
+	cur2 := cur
+	cur2.at = t0.Add(2 * time.Second)
+	h := snapFrom(t0, bounds, []float64{0.002, 0.003})
+	cur2.count += h.count
+	bs := append([]bucketCum(nil), cur.buckets...)
+	for i := range bs {
+		bs[i].n += h.buckets[i].n
+	}
+	cur2.buckets = bs
+	if f := deltaBadFrac(cur2, cur, 0.01); f != 0 {
+		t.Errorf("fast-only delta bad frac = %v, want 0", f)
+	}
+}
+
+// monitorNode serves a registry with a sojourn histogram plus the load
+// gauge, returning the server, registry and histogram handle.
+func monitorNode(t *testing.T, id int, load int64) (*DebugServer, *Registry, *Histogram) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Gauge(fmt.Sprintf(`cluster_node_load{node="%d"}`, id)).Set(load)
+	h := reg.Histogram(fmt.Sprintf(`serve_sojourn_seconds{node="%d"}`, id), SojournBuckets)
+	s, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, reg, h
+}
+
+// TestMonitorAlertAndClear drives a monitor by hand through good →
+// bad → good traffic and checks the multi-window burn-rate alert
+// fires, traces, and clears.
+func TestMonitorAlertAndClear(t *testing.T) {
+	s, reg, h := monitorNode(t, 0, 4)
+	slo, err := ParseSLO("p99 < 20ms over 80ms/240ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(MonitorConfig{
+		URLs:   []string{s.URL()},
+		SLO:    slo,
+		Period: 40 * time.Millisecond,
+		Tracer: reg.Tracer(),
+	})
+
+	// Baseline + healthy traffic: burn stays ~0.
+	m.Poll()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	time.Sleep(30 * time.Millisecond)
+	doc := m.Poll()
+	if doc.Alerting || doc.BurnShort > 0.01 {
+		t.Fatalf("healthy traffic alerting: %+v", doc)
+	}
+	if doc.Status != "ok" {
+		t.Fatalf("healthy status = %q", doc.Status)
+	}
+
+	// Latency regression: everything lands at 200ms >> 20ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.2)
+	}
+	time.Sleep(30 * time.Millisecond)
+	doc = m.Poll()
+	if !doc.Alerting || doc.Status != "alerting" {
+		t.Fatalf("regression not alerting: %+v", doc)
+	}
+	if doc.BurnShort < slo.Burn || doc.BurnLong < slo.Burn {
+		t.Fatalf("burn rates = %v/%v, want >= %v", doc.BurnShort, doc.BurnLong, slo.Burn)
+	}
+	if doc.QShort < 0.02 {
+		t.Fatalf("observed p99 = %v, want >= threshold", doc.QShort)
+	}
+	if doc.AlertsFired != 1 {
+		t.Fatalf("alerts fired = %d", doc.AlertsFired)
+	}
+
+	// Recovery: good traffic only; once the bad completions age out of
+	// the short window the alert clears.
+	deadline := time.Now().Add(2 * time.Second)
+	for doc.Alerting && time.Now().Before(deadline) {
+		for i := 0; i < 50; i++ {
+			h.Observe(0.002)
+		}
+		time.Sleep(45 * time.Millisecond)
+		doc = m.Poll()
+	}
+	if doc.Alerting {
+		t.Fatalf("alert never cleared: %+v", doc)
+	}
+	if doc.AlertsFired != 1 {
+		t.Fatalf("alerts fired after clear = %d", doc.AlertsFired)
+	}
+
+	// The tracer saw the transition pair.
+	var sb strings.Builder
+	if err := reg.Tracer().WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	trace := sb.String()
+	if !strings.Contains(trace, "slo_alert") || !strings.Contains(trace, "slo_clear") {
+		t.Fatalf("trace missing slo_alert/slo_clear events:\n%s", trace)
+	}
+}
+
+// TestMonitorPartiallyDeadCluster: dead upstreams degrade the health
+// view — per-node unreachable verdicts with error strings — while the
+// SLO keeps evaluating over the live nodes. An all-dead cluster
+// degrades too; the monitor never errors.
+func TestMonitorPartiallyDeadCluster(t *testing.T) {
+	s, _, h := monitorNode(t, 0, 4)
+	dead := "http://127.0.0.1:1"
+	slo, _ := ParseSLO("p99 < 20ms over 80ms/240ms")
+	m := NewMonitor(MonitorConfig{
+		URLs:    []string{s.URL(), dead},
+		SLO:     slo,
+		Timeout: 500 * time.Millisecond,
+	})
+
+	m.Poll()
+	for i := 0; i < 50; i++ {
+		h.Observe(0.001)
+	}
+	time.Sleep(20 * time.Millisecond)
+	doc := m.Poll()
+	if doc.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded (one upstream dead)", doc.Status)
+	}
+	if len(doc.Nodes) != 2 {
+		t.Fatalf("nodes = %+v", doc.Nodes)
+	}
+	if doc.Nodes[0].Verdict != "healthy" || doc.Nodes[0].Err != "" {
+		t.Fatalf("live node = %+v", doc.Nodes[0])
+	}
+	if doc.Nodes[1].Verdict != "unreachable" || doc.Nodes[1].Err == "" {
+		t.Fatalf("dead node = %+v", doc.Nodes[1])
+	}
+	// The live node's completions still feed the windows.
+	if doc.ObsLong != 50 {
+		t.Fatalf("window observations = %v, want 50 (live node only)", doc.ObsLong)
+	}
+	if doc.Alerting {
+		t.Fatalf("healthy live traffic must not alert: %+v", doc)
+	}
+
+	// Whole cluster dark: still no error, everything unreachable.
+	m2 := NewMonitor(MonitorConfig{URLs: []string{dead}, SLO: slo, Timeout: 300 * time.Millisecond})
+	doc = m2.Poll()
+	if doc.Status != "degraded" || len(doc.Nodes) != 1 || doc.Nodes[0].Verdict != "unreachable" {
+		t.Fatalf("all-dead doc = %+v", doc)
+	}
+}
+
+// TestMonitorVerdicts: load saturation, sendq backup, and abort-rate
+// EWMAs each flip a node's verdict.
+func TestMonitorVerdicts(t *testing.T) {
+	// Four nodes: one hot (load 90 vs mean 24), one with a backed-up
+	// sendq, one with an abort storm, one plain healthy.
+	sHot, _, _ := monitorNode(t, 0, 90)
+	sQ, regQ, _ := monitorNode(t, 1, 2)
+	regQ.Gauge(`wire_sendq_depth{node="1"}`).Set(5000)
+	sAb, regAb, _ := monitorNode(t, 2, 2)
+	aborts := regAb.Counter(`cluster_aborts_total{reason="timeout"}`)
+	sOK, _, _ := monitorNode(t, 3, 2)
+
+	slo, _ := ParseSLO("p99 < 20ms over 80ms/240ms")
+	m := NewMonitor(MonitorConfig{
+		URLs: []string{sHot.URL(), sQ.URL(), sAb.URL(), sOK.URL()},
+		SLO:  slo,
+	})
+	m.Poll()
+	aborts.Add(1000) // ~tens of thousands per second over a short poll gap
+	time.Sleep(20 * time.Millisecond)
+	doc := m.Poll()
+
+	want := []string{"saturated", "degraded", "degraded", "healthy"}
+	for i, w := range want {
+		if doc.Nodes[i].Verdict != w {
+			t.Errorf("node %d verdict = %q, want %q (%+v)", i, doc.Nodes[i].Verdict, w, doc.Nodes[i])
+		}
+	}
+	if doc.Nodes[2].AbortEWMA <= DefaultAbortRateMax {
+		t.Errorf("abort EWMA = %v, want > %v", doc.Nodes[2].AbortEWMA, DefaultAbortRateMax)
+	}
+	if doc.Status != "degraded" {
+		t.Errorf("status = %q, want degraded", doc.Status)
+	}
+
+	// The /health handler serves the same document as JSON.
+	srv, err := ServeDebugOpts("127.0.0.1:0", nil, DebugOptions{
+		Extra: map[string]http.HandlerFunc{"/health": m.Handler()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, srv.URL()+"/health")
+	if code != 200 {
+		t.Fatalf("/health = %d", code)
+	}
+	var got HealthDoc
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/health not JSON: %v\n%s", err, body)
+	}
+	if got.Status != doc.Status || len(got.Nodes) != 4 || got.SLO != slo.String() {
+		t.Fatalf("/health doc = %+v", got)
+	}
+}
+
+// TestMonitorStartStop: the background loop polls on its own and shuts
+// down cleanly.
+func TestMonitorStartStop(t *testing.T) {
+	s, _, h := monitorNode(t, 0, 4)
+	slo, _ := ParseSLO("p99 < 20ms over 80ms/240ms")
+	m := NewMonitor(MonitorConfig{URLs: []string{s.URL()}, SLO: slo, Period: 10 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.001)
+	}
+	m.Start()
+	m.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Last().At.IsZero() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	doc := m.Last()
+	if doc.At.IsZero() {
+		t.Fatal("loop never polled")
+	}
+	if doc.Nodes[0].Verdict != "healthy" {
+		t.Fatalf("doc = %+v", doc)
+	}
+}

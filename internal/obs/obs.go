@@ -89,6 +89,20 @@ func (g *Gauge) Add(d int64) {
 	g.v.Add(d)
 }
 
+// Max raises the gauge to v if v is larger — a lock-free high-water
+// mark, safe against concurrent Max calls.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on a nil receiver).
 func (g *Gauge) Value() int64 {
 	if g == nil {

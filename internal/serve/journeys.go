@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// JourneySample is one completed job's journey, as sampled into the
+// /jobs ring. Timestamps are server-side unix nanos. Sojourn is the
+// job's end-to-end time (submit → last unit done); the component
+// fields are per-unit means over the job's units, each the mean of a
+// decomposition that sums to the unit's own sojourn:
+//
+//	ingest_wait  submit accepted → node ingested the units
+//	queue        sitting in some node's backlog awaiting a consume draw
+//	transfer     on the wire between nodes (accumulated across hops)
+//	service      consume draw → completion landed back at the origin
+//
+// Hops is the maximum JobMove hop count any of the job's units took.
+// Jobs whose units rode frames from pre-v3 peers have no stamps; their
+// component fields are zero and Stamped is false.
+type JourneySample struct {
+	Node       int     `json:"node"`
+	Job        uint64  `json:"job"` // origin-local id
+	Tag        uint64  `json:"tag"` // the client's id for the job
+	Units      int     `json:"units"`
+	Hops       int     `json:"hops"`
+	SubmitNS   int64   `json:"submit_ns"`
+	DoneNS     int64   `json:"done_ns"`
+	Sojourn    float64 `json:"sojourn_s"`
+	IngestWait float64 `json:"ingest_wait_s"`
+	Queue      float64 `json:"queue_s"`
+	Transfer   float64 `json:"transfer_s"`
+	Service    float64 `json:"service_s"`
+	Stamped    bool    `json:"stamped"`
+}
+
+// JourneyLog is a fixed-capacity ring of recently completed journeys,
+// the store behind the /jobs debug endpoint — JSONL export, newest
+// overwrites oldest, same shape as the obs tracer's /trace.
+type JourneyLog struct {
+	mu    sync.Mutex
+	buf   []JourneySample
+	next  int
+	total int64
+}
+
+// DefaultJourneyCapacity is the ring size NewServer uses.
+const DefaultJourneyCapacity = 256
+
+// NewJourneyLog returns a ring holding the last capacity samples
+// (capacity < 1 falls back to DefaultJourneyCapacity).
+func NewJourneyLog(capacity int) *JourneyLog {
+	if capacity < 1 {
+		capacity = DefaultJourneyCapacity
+	}
+	return &JourneyLog{buf: make([]JourneySample, 0, capacity)}
+}
+
+// Add records one completed journey.
+func (l *JourneyLog) Add(s JourneySample) {
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, s)
+	} else {
+		l.buf[l.next] = s
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total returns the number of journeys ever added (not just retained).
+func (l *JourneyLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained samples, oldest first.
+func (l *JourneyLog) Snapshot() []JourneySample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]JourneySample, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// WriteJSONL writes the retained samples as JSON Lines, oldest first.
+func (l *JourneyLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range l.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JourneysHandler serves the merged journeys of one or more logs as
+// JSONL ordered by completion time — the /jobs debug endpoint. With
+// several logs (one per node in a spawned cluster) the merge is a
+// cluster-wide view of recent completions.
+func JourneysHandler(logs ...*JourneyLog) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var all []JourneySample
+		for _, l := range logs {
+			if l != nil {
+				all = append(all, l.Snapshot()...)
+			}
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].DoneNS < all[j].DoneNS })
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		enc := json.NewEncoder(w)
+		for _, s := range all {
+			if enc.Encode(s) != nil {
+				return
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lmbalance/internal/cluster"
+	"lmbalance/internal/obs"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/workload"
 )
@@ -356,3 +357,143 @@ func TestQuantile(t *testing.T) {
 }
 
 var _ = cluster.JobOp // keep the cluster import honest if tests shrink
+
+// TestJourneyDecomposition drives the quick cluster with a registry and
+// audits the tentpole invariant of journey tracing: every completed
+// unit's sojourn decomposes into ingest_wait + queue + transfer +
+// service, so the component histograms' sums must add up to the
+// per-unit sojourn histogram's sum (within a clamping tolerance), the
+// hops histogram must hold one observation per job, and the /jobs ring
+// must hold samples whose own components sum to their sojourn.
+func TestJourneyDecomposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := quickSpec(false)
+	spec.Obs = reg
+	sc, err := StartServeCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := workload.ArrivalSpec{
+		Env:     workload.RateEnvelope{{Dur: 300 * time.Millisecond, Rate: 800}},
+		Demand:  workload.BoundedPareto{Alpha: 1.5, Lo: 1, Hi: 20},
+		Horizon: 300 * time.Millisecond,
+	}.Schedule(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Drive(sc.Addrs(), arrivals, LoadSpec{HotFrac: 0.75, HotN: 1}, 11, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.DrainAndStop(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var compSum, unitSum float64
+	var unitCount, hopJobs, ringTotal int64
+	for i, s := range sc.Servers {
+		unit := reg.Histogram(UnitSojournMetric(i), obs.SojournBuckets)
+		unitCount += unit.Count()
+		unitSum += unit.Sum()
+		for _, c := range []string{"ingest_wait", "queue", "transfer", "service"} {
+			h := reg.Histogram(JourneyMetric(i, c), obs.SojournBuckets)
+			if h.Count() != unit.Count() {
+				t.Errorf("node %d %s: %d observations, unit sojourn has %d", i, c, h.Count(), unit.Count())
+			}
+			compSum += h.Sum()
+		}
+		hopJobs += reg.Histogram(HopsMetric(i), HopBuckets).Count()
+		ringTotal += s.Journeys().Total()
+	}
+	if unitCount == 0 {
+		t.Fatal("no units observed in the journey histograms")
+	}
+	if hopJobs != res.Completed {
+		t.Errorf("hops histogram holds %d jobs, %d completed", hopJobs, res.Completed)
+	}
+	if ringTotal != res.Completed {
+		t.Errorf("journey rings saw %d jobs, %d completed", ringTotal, res.Completed)
+	}
+	// The components must reconstruct the per-unit sojourn: the split is
+	// exact by construction, up to the zero-clamp against clock skew.
+	if rel := (compSum - unitSum) / unitSum; rel < -0.05 || rel > 0.05 {
+		t.Errorf("component sum %.4fs vs unit sojourn sum %.4fs (rel %.3f), decomposition broken",
+			compSum, unitSum, rel)
+	}
+
+	// Ring samples: sane shapes, components close to the job sojourn for
+	// single-unit stamped jobs.
+	for _, s := range sc.Servers {
+		for _, j := range s.Journeys().Snapshot() {
+			if !j.Stamped {
+				t.Fatalf("unstamped journey in an all-v3 cluster: %+v", j)
+			}
+			if j.Sojourn < 0 || j.IngestWait < 0 || j.Queue < 0 || j.Transfer < 0 || j.Service < 0 {
+				t.Fatalf("negative journey field: %+v", j)
+			}
+			if j.Units == 1 {
+				sum := j.IngestWait + j.Queue + j.Transfer + j.Service
+				if diff := sum - j.Sojourn; diff < -0.01 || diff > 0.01 {
+					t.Errorf("single-unit journey components sum %.6fs vs sojourn %.6fs: %+v", sum, j.Sojourn, j)
+				}
+			}
+		}
+	}
+}
+
+// TestIngestHWMAndDropCounterRegistered is the regression test for the
+// serve-layer pressure metrics: the ingest-channel high-water mark and
+// the completion-drop counter must be registered, visible in /metrics
+// form, and move when the respective pressure occurs.
+func TestIngestHWMAndDropCounterRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewServer(3, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Nobody drains s.ingest here (no node attached): submissions pile
+	// up in the channel and the high-water mark must track the depth.
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const jobs = 5
+	for i := 0; i < jobs; i++ {
+		if err := c.Submit(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge(`serve_ingest_hwm{node="3"}`).Value() < jobs {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest HWM %d after %d undrained submissions",
+				reg.Gauge(`serve_ingest_hwm{node="3"}`).Value(), jobs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Completion drops: complete a job whose client connection is dead.
+	// The CDone has nowhere to go; the registered counter must see it.
+	var sub cluster.Submit
+	select {
+	case sub = <-s.ingest:
+	case <-time.After(2 * time.Second):
+		t.Fatal("submission never reached the ingest channel")
+	}
+	s.mu.Lock()
+	conn := s.jobs[sub.ID].conn
+	s.mu.Unlock()
+	c.Close()
+	select {
+	case <-conn.dead: // server has noticed the disconnect
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never noticed the client disconnect")
+	}
+	s.complete(sub.ID, cluster.Journey{})
+	if got := reg.Counter(`serve_dones_dropped_total{node="3"}`).Value(); got != 1 {
+		t.Fatalf("done-drop counter %d after completing for a dead client, want 1", got)
+	}
+}

@@ -67,16 +67,35 @@ type Server struct {
 	unitsCompleted obs.Counter
 	donesDropped   obs.Counter
 	inflightUnits  obs.Gauge      // units accepted, not yet completed
+	ingestHWM      obs.Gauge      // ingest-channel depth high-water mark
 	sojourn        *obs.Histogram // per-job end-to-end seconds, log buckets
+
+	// Journey decomposition: per-unit sojourn split into its additive
+	// components (see JourneySample for the taxonomy), a per-unit
+	// whole-sojourn histogram the components must sum to, and the
+	// hops-per-job distribution. All log-bucketed except hops.
+	compIngestWait *obs.Histogram
+	compQueue      *obs.Histogram
+	compTransfer   *obs.Histogram
+	compService    *obs.Histogram
+	unitSojourn    *obs.Histogram
+	hopsHist       *obs.Histogram
+	journeys       *JourneyLog
 }
 
 // job is one accepted submission awaiting its remaining units.
 type job struct {
 	conn      *srvConn
 	tag       uint64 // the client's id for the job, echoed on CDone
+	units     int
 	unitsLeft int
 	at        time.Time
 	submitNS  int64
+	// journey accumulators across the job's units
+	maxHops             int
+	ingestWaitS, queueS float64
+	transferS, serviceS float64
+	stampedUnits        int
 }
 
 // srvConn is one client connection: a reader goroutine parsing frames
@@ -113,6 +132,7 @@ func NewServer(node int, addr string, reg *obs.Registry) (*Server, error) {
 		jobs:   make(map[uint64]*job),
 		conns:  make(map[*srvConn]struct{}),
 	}
+	s.journeys = NewJourneyLog(DefaultJourneyCapacity)
 	if reg != nil {
 		s.sojourn = reg.Histogram(SojournMetric(node), obs.SojournBuckets)
 		label := fmt.Sprintf(`serve_jobs_inflight_units{node="%d"}`, node)
@@ -122,8 +142,21 @@ func NewServer(node int, addr string, reg *obs.Registry) (*Server, error) {
 		reg.Attach(fmt.Sprintf(`serve_units_accepted_total{node="%d"}`, node), &s.unitsAccepted)
 		reg.Attach(fmt.Sprintf(`serve_units_completed_total{node="%d"}`, node), &s.unitsCompleted)
 		reg.Attach(fmt.Sprintf(`serve_dones_dropped_total{node="%d"}`, node), &s.donesDropped)
+		reg.Attach(fmt.Sprintf(`serve_ingest_hwm{node="%d"}`, node), &s.ingestHWM)
+		s.compIngestWait = reg.Histogram(JourneyMetric(node, "ingest_wait"), obs.SojournBuckets)
+		s.compQueue = reg.Histogram(JourneyMetric(node, "queue"), obs.SojournBuckets)
+		s.compTransfer = reg.Histogram(JourneyMetric(node, "transfer"), obs.SojournBuckets)
+		s.compService = reg.Histogram(JourneyMetric(node, "service"), obs.SojournBuckets)
+		s.unitSojourn = reg.Histogram(UnitSojournMetric(node), obs.SojournBuckets)
+		s.hopsHist = reg.Histogram(HopsMetric(node), HopBuckets)
 	} else {
 		s.sojourn = obs.NewHistogram(obs.SojournBuckets)
+		s.compIngestWait = obs.NewHistogram(obs.SojournBuckets)
+		s.compQueue = obs.NewHistogram(obs.SojournBuckets)
+		s.compTransfer = obs.NewHistogram(obs.SojournBuckets)
+		s.compService = obs.NewHistogram(obs.SojournBuckets)
+		s.unitSojourn = obs.NewHistogram(obs.SojournBuckets)
+		s.hopsHist = obs.NewHistogram(HopBuckets)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -136,6 +169,30 @@ func SojournMetric(node int) string {
 	return fmt.Sprintf(`serve_sojourn_seconds{node="%d"}`, node)
 }
 
+// JourneyMetric returns the registry name of one node's per-unit
+// journey-component histogram (component is one of "ingest_wait",
+// "queue", "transfer", "service").
+func JourneyMetric(node int, component string) string {
+	return fmt.Sprintf(`serve_journey_seconds{component=%q,node="%d"}`, component, node)
+}
+
+// UnitSojournMetric returns the registry name of one node's per-unit
+// whole-sojourn histogram — the sum the journey components decompose.
+func UnitSojournMetric(node int) string {
+	return fmt.Sprintf(`serve_unit_sojourn_seconds{node="%d"}`, node)
+}
+
+// HopsMetric returns the registry name of one node's hops-per-job
+// histogram.
+func HopsMetric(node int) string {
+	return fmt.Sprintf(`serve_job_hops{node="%d"}`, node)
+}
+
+// HopBuckets bound the hops-per-job histogram: most units complete
+// where they ingested (0 hops) or one migration away, with a tail for
+// records that bounce during long overload episodes.
+var HopBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
 // Addr returns the listener's address for clients to dial.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
@@ -147,6 +204,10 @@ func (s *Server) Hooks() *cluster.ServeHooks {
 
 // Sojourn exposes the live per-job sojourn histogram (seconds).
 func (s *Server) Sojourn() *obs.Histogram { return s.sojourn }
+
+// Journeys exposes the ring of recently completed journeys backing the
+// /jobs debug endpoint.
+func (s *Server) Journeys() *JourneyLog { return s.journeys }
 
 // Stats is a Server's cumulative accounting.
 type Stats struct {
@@ -257,7 +318,7 @@ func (s *Server) submit(c *srvConn, m wire.CMsg) bool {
 	}
 	s.nextID++
 	id := s.nextID
-	s.jobs[id] = &job{conn: c, tag: m.Job, unitsLeft: units, at: now, submitNS: now.UnixNano()}
+	s.jobs[id] = &job{conn: c, tag: m.Job, units: units, unitsLeft: units, at: now, submitNS: now.UnixNano()}
 	s.mu.Unlock()
 	s.jobsAccepted.Inc()
 	s.unitsAccepted.Add(int64(units))
@@ -267,6 +328,10 @@ func (s *Server) submit(c *srvConn, m wire.CMsg) bool {
 	s.enqueue(c, wire.CMsg{Kind: wire.CAccepted, Job: m.Job, Load: int(s.inflightUnits.Value())})
 	select {
 	case s.ingest <- cluster.Submit{ID: id, Units: units}:
+		// High-water mark of the ingest buffer: how close the node came
+		// to exerting TCP backpressure (depth == ingestDepth means it
+		// did). Sampled after the send so an idle node reads 0.
+		s.ingestHWM.Max(int64(len(s.ingest)))
 		return true
 	case <-s.quit:
 		return false
@@ -274,8 +339,10 @@ func (s *Server) submit(c *srvConn, m wire.CMsg) bool {
 }
 
 // complete is the node-side per-unit completion callback (runs on the
-// node goroutine — must not block).
-func (s *Server) complete(id uint64) {
+// node goroutine — must not block). It decomposes the unit's sojourn
+// into its journey components and, on the job's last unit, samples the
+// whole journey into the /jobs ring.
+func (s *Server) complete(id uint64, jn cluster.Journey) {
 	s.mu.Lock()
 	j := s.jobs[id]
 	if j == nil {
@@ -284,19 +351,72 @@ func (s *Server) complete(id uint64) {
 	}
 	j.unitsLeft--
 	done := j.unitsLeft == 0
+	// Decompose this unit's sojourn. Every clock is server-side (origin
+	// stamps ingest and done, consumer stamps consume), so the
+	// components are deltas of comparable wall clocks; each is clamped
+	// at zero against inter-node skew, and unstamped units (records
+	// that rode pre-v3 frames) are skipped rather than observed as
+	// nonsense.
+	stamped := jn.IngestNS > 0 && jn.ConsumeNS > 0 && jn.DoneNS > 0
+	var ingestWait, queue, transfer, service float64
+	if stamped {
+		ingestWait = clampSeconds(jn.IngestNS - j.submitNS)
+		transfer = clampSeconds(jn.TransferNS)
+		queue = clampSeconds(jn.ConsumeNS - jn.IngestNS - jn.TransferNS)
+		service = clampSeconds(jn.DoneNS - jn.ConsumeNS)
+		j.ingestWaitS += ingestWait
+		j.queueS += queue
+		j.transferS += transfer
+		j.serviceS += service
+		j.stampedUnits++
+	}
+	if jn.Hops > j.maxHops {
+		j.maxHops = jn.Hops
+	}
 	if done {
 		delete(s.jobs, id)
 	}
 	s.mu.Unlock()
 	s.unitsCompleted.Inc()
 	s.inflightUnits.Add(-1)
+	if stamped {
+		s.compIngestWait.Observe(ingestWait)
+		s.compQueue.Observe(queue)
+		s.compTransfer.Observe(transfer)
+		s.compService.Observe(service)
+		s.unitSojourn.Observe(clampSeconds(jn.DoneNS - j.submitNS))
+	}
 	if !done {
 		return
 	}
 	s.jobsCompleted.Inc()
+	s.hopsHist.Observe(float64(j.maxHops))
 	now := time.Now()
 	s.sojourn.Observe(now.Sub(j.at).Seconds())
+	sample := JourneySample{
+		Node: s.node, Job: id, Tag: j.tag, Units: j.units, Hops: j.maxHops,
+		SubmitNS: j.submitNS, DoneNS: now.UnixNano(),
+		Sojourn: now.Sub(j.at).Seconds(),
+		Stamped: j.stampedUnits > 0,
+	}
+	if j.stampedUnits > 0 {
+		per := 1 / float64(j.stampedUnits)
+		sample.IngestWait = j.ingestWaitS * per
+		sample.Queue = j.queueS * per
+		sample.Transfer = j.transferS * per
+		sample.Service = j.serviceS * per
+	}
+	s.journeys.Add(sample)
 	s.enqueue(j.conn, wire.CMsg{Kind: wire.CDone, Job: j.tag, SubmitNS: j.submitNS, DoneNS: now.UnixNano()})
+}
+
+// clampSeconds converts a nanosecond delta to seconds, clamping
+// negatives (inter-node clock skew) to zero.
+func clampSeconds(ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(ns) / 1e9
 }
 
 // enqueue hands a frame to the connection's writer without blocking;

@@ -7,13 +7,15 @@ import (
 )
 
 // The bench-wire suite (make bench-wire, results/BENCH_wire.json)
-// measures what the v2 op field costs on the codec hot path: encode and
-// decode of a representative protocol message mix, v2 against the
-// legacy v1 layout, plus the full framed read path.
+// measures what each codec revision costs on the hot path: encode and
+// decode of a representative protocol message mix under the v3, v2,
+// and legacy v1 layouts, the journey-stamped job-record frames v3
+// added, plus the full framed read path.
 
 // benchMsgs is the protocol mix of a balancing operation: the initiator
-// round plus shutdown traffic. Op = 0 keeps the byte layout v1-shaped
-// so v1 and v2 benches move the same information.
+// round plus shutdown traffic. Op = 0 and no journey stamps keep the
+// byte layout v1-shaped so all version benches move the same
+// information.
 var benchMsgs = []Msg{
 	{Kind: FreezeReq, From: 3, Seq: 17},
 	{Kind: FreezeAck, From: 9, Seq: 17, Load: 128},
@@ -23,7 +25,24 @@ var benchMsgs = []Msg{
 	{Kind: Bye, From: 9, Load: 64, Gen: 100000, Con: 99936},
 }
 
-func BenchmarkWireEncodeV2(b *testing.B) {
+// benchJourneyMsg is a journey-stamped JobMove as the serving path
+// emits it mid-balancing: a realistic record batch, fresh wall-clock
+// stamps, small deltas.
+func benchJourneyMsg(records int) Msg {
+	now := int64(1_700_000_000_000_000_000)
+	m := Msg{Kind: JobMove, From: 3, Seq: 17, Op: 0xdeadbeef, SentNS: now}
+	for i := 0; i < records; i++ {
+		m.Jobs = append(m.Jobs, JobRef{
+			Origin: i % 8, ID: uint64(1000 + i),
+			IngestNS:   now - int64(i+1)*300_000,
+			Hops:       i % 3,
+			TransferNS: int64(i) * 40_000,
+		})
+	}
+	return m
+}
+
+func BenchmarkWireEncodeV3(b *testing.B) {
 	var buf []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -34,13 +53,23 @@ func BenchmarkWireEncodeV2(b *testing.B) {
 	_ = buf
 }
 
-// BenchmarkWireEncodeV2NoOp is the v1-shaped case: no operation in
-// flight (Op = 0), where v2 must cost exactly one extra byte.
-func BenchmarkWireEncodeV2NoOp(b *testing.B) {
+// BenchmarkWireEncodeV3NoOp is the v1-shaped case: no operation in
+// flight (Op = 0), where v3 must cost exactly one extra byte on the
+// non-job protocol mix.
+func BenchmarkWireEncodeV3NoOp(b *testing.B) {
 	var buf []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		buf = AppendMsg(buf[:0], benchMsgs[i%len(benchMsgs)])
+	}
+	_ = buf
+}
+
+func BenchmarkWireEncodeV2(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendMsgV2(buf[:0], benchMsgs[i%len(benchMsgs)])
 	}
 	_ = buf
 }
@@ -54,6 +83,18 @@ func BenchmarkWireEncodeV1(b *testing.B) {
 	_ = buf
 }
 
+// BenchmarkWireEncodeJourney16 is the journey-stamped job path: one
+// JobMove carrying 16 freshly stamped records.
+func BenchmarkWireEncodeJourney16(b *testing.B) {
+	m := benchJourneyMsg(16)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMsg(buf[:0], m)
+	}
+	_ = buf
+}
+
 func benchPayloads(encode func([]byte, Msg) []byte) [][]byte {
 	out := make([][]byte, len(benchMsgs))
 	for i, m := range benchMsgs {
@@ -62,8 +103,18 @@ func benchPayloads(encode func([]byte, Msg) []byte) [][]byte {
 	return out
 }
 
-func BenchmarkWireDecodeV2(b *testing.B) {
+func BenchmarkWireDecodeV3(b *testing.B) {
 	ps := benchPayloads(AppendMsg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMsg(ps[i%len(ps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeV2(b *testing.B) {
+	ps := benchPayloads(appendMsgV2)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeMsg(ps[i%len(ps)]); err != nil {
@@ -77,6 +128,16 @@ func BenchmarkWireDecodeV1(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeMsg(ps[i%len(ps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeJourney16(b *testing.B) {
+	p := AppendMsg(nil, benchJourneyMsg(16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMsg(p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,20 +10,25 @@ import (
 // interpreted twice:
 //
 //  1. as message fields — every syntactically valid Msg (including its
-//     v2 op id) must survive encode→decode unchanged, and its frame
-//     must read back identically through ReadFrame;
+//     op id and v3 journey stamps) must survive encode→decode
+//     unchanged, and its frame must read back identically through
+//     ReadFrame;
 //  2. as a raw byte stream — the decoder must reject or accept without
 //     panicking, truncated and oversized frames must error, and any
 //     stream the decoder accepts must re-encode to the same bytes under
-//     the version it arrived in (canonical encoding) — legacy v1
-//     payloads included, which must decode with Op = 0.
+//     the version it arrived in (canonical encoding) — v2 payloads
+//     (journey fields zero) and legacy v1 payloads (additionally
+//     Op = 0) included.
 func FuzzWireRoundTrip(f *testing.F) {
 	for _, m := range sampleMsgs() {
 		f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, m.Job, AppendFrame(nil, m))
-		// Seed the raw direction with v1 payloads too, so the legacy
-		// decode path stays covered.
-		if m.Op == 0 {
-			f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, m.Job, appendMsgV1(nil, m))
+		// Seed the raw direction with old-version payloads too, so the
+		// legacy decode paths stay covered.
+		if !journeyStamped(m) {
+			f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, m.Job, appendMsgV2(nil, m))
+			if m.Op == 0 {
+				f.Add(byte(m.Kind), int64(m.From), m.Seq, m.Op, int64(m.Load), int64(m.Amount), m.Gen, m.Con, m.Job, appendMsgV1(nil, m))
+			}
 		}
 	}
 	f.Add(byte(0), int64(0), uint64(0), uint64(0), int64(0), int64(0), int64(0), int64(0), uint64(0), []byte{0xff, 0xff, 0x03, 0x00})
@@ -43,15 +48,24 @@ func FuzzWireRoundTrip(f *testing.F) {
 				m.Amount = 0
 			case JobMove:
 				// The record list is a slice, not a fuzz argument: derive a
-				// deterministic one (0..MaxJobsPerMsg records) from the
-				// scalar inputs so the fuzzer still steers its shape.
+				// deterministic one (0..MaxJobsPerMsg records, journey
+				// stamps included) from the scalar inputs so the fuzzer
+				// still steers its shape.
 				m.Load, m.Amount, m.Gen, m.Con = 0, 0, 0, 0
+				m.SentNS = gen
 				for i := 0; i < int(job%(MaxJobsPerMsg+1)); i++ {
-					m.Jobs = append(m.Jobs, JobRef{Origin: int(from) + i, ID: seq ^ uint64(i)*op})
+					m.Jobs = append(m.Jobs, JobRef{
+						Origin: int(from) + i, ID: seq ^ uint64(i)*op,
+						IngestNS:   gen - con*int64(i),
+						Hops:       int(load) & 0xff,
+						TransferNS: con ^ int64(i),
+					})
 				}
 			case JobDone:
 				m.Load, m.Amount, m.Gen, m.Con = 0, 0, 0, 0
 				m.Job = job
+				m.IngestNS, m.ConsumeNS = gen, con
+				m.Hops, m.TransferNS = int(load)&0xff, gen^con
 			default:
 				m.Load, m.Amount, m.Gen, m.Con = 0, 0, 0, 0
 			}
@@ -66,9 +80,23 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if !dm.Equal(m) {
 				t.Fatalf("payload round trip: sent %+v got %+v", m, dm)
 			}
-			// The v1 encoding of the same message (op id stripped) must
-			// still be decodable, yielding the op-less message.
-			v1m := m
+			// The v2 encoding of the same message (journey stamps
+			// stripped) and the v1 one (op id stripped too) must still be
+			// decodable, yielding the correspondingly reduced message.
+			v2m := m
+			v2m.SentNS, v2m.IngestNS, v2m.ConsumeNS, v2m.Hops, v2m.TransferNS = 0, 0, 0, 0, 0
+			if len(v2m.Jobs) > 0 {
+				v2m.Jobs = make([]JobRef, len(m.Jobs))
+				for i, j := range m.Jobs {
+					v2m.Jobs[i] = JobRef{Origin: j.Origin, ID: j.ID}
+				}
+			}
+			if dm, err := DecodeMsg(appendMsgV2(nil, v2m)); err != nil {
+				t.Fatalf("decode of v2 encoding of %+v: %v", v2m, err)
+			} else if !dm.Equal(v2m) {
+				t.Fatalf("v2 round trip: sent %+v got %+v", v2m, dm)
+			}
+			v1m := v2m
 			v1m.Op = 0
 			if dm, err := DecodeMsg(appendMsgV1(nil, v1m)); err != nil {
 				t.Fatalf("decode of v1 encoding of %+v: %v", v1m, err)
@@ -99,9 +127,17 @@ func FuzzWireRoundTrip(f *testing.F) {
 			switch raw[0] {
 			case Version:
 				re = AppendMsg(nil, dm)
+			case VersionV2:
+				if journeyStamped(dm) {
+					t.Fatalf("v2 payload %x decoded with journey stamps: %+v", raw, dm)
+				}
+				re = appendMsgV2(nil, dm)
 			case VersionV1:
 				if dm.Op != 0 {
 					t.Fatalf("v1 payload %x decoded with nonzero op %d", raw, dm.Op)
+				}
+				if journeyStamped(dm) {
+					t.Fatalf("v1 payload %x decoded with journey stamps: %+v", raw, dm)
 				}
 				re = appendMsgV1(nil, dm)
 			default:

@@ -15,9 +15,14 @@
 //	FreezeAck   zigzag(load)                       partner's current load
 //	Transfer    zigzag(amount)                     signed load delta
 //	Bye         zigzag(load) zigzag(gen) zigzag(con)  final accounting
-//	JobMove     uvarint(count) count×{zigzag(origin) uvarint(id)}
-//	                                               job records riding a transfer
-//	JobDone     uvarint(job)                       one job unit completed; sent
+//	JobMove     uvarint(count) zigzag(sentNS)
+//	            count×{zigzag(origin) uvarint(id)
+//	                   zigzag(sentNS−ingestNS) uvarint(hops) zigzag(transferNS)}
+//	                                               job records riding a transfer,
+//	                                               each with its journey stamps
+//	JobDone     uvarint(job) zigzag(consumeNS)
+//	            zigzag(consumeNS−ingestNS) uvarint(hops) zigzag(transferNS)
+//	                                               one job unit completed; sent
 //	                                               to the job's origin node
 //	(all other kinds carry no extras)
 //
@@ -29,15 +34,23 @@
 //
 // # Versioning
 //
-// The current codec is version 2, which added the op field: a 64-bit
-// operation id minted by the initiator of a balancing operation and
-// echoed on every message of that operation, so one operation's
-// freeze→collect→transfer→ack→release timeline can be stitched across
-// processes (see internal/obs and internal/cluster). The encoder always
-// emits v2; the strict decoder still accepts v1 payloads (which have no
-// op field) and decodes them with Op = 0, the "no operation id" value.
-// On a message whose Op is zero or small the field costs exactly one
-// byte over the v1 encoding (see TestOpFieldOverhead).
+// The current codec is version 3, which added job journey stamps to the
+// two job-record kinds: a JobMove frame carries the sender's send
+// timestamp and each record its origin ingest time (delta-coded against
+// the send stamp), hop count, and accumulated in-flight transfer time;
+// a JobDone carries the same journey fields plus the consuming node's
+// consume timestamp, so the origin can decompose a unit's sojourn into
+// queue-wait / transfer / service components (see internal/serve).
+// Version 2 added the op field: a 64-bit operation id minted by the
+// initiator of a balancing operation and echoed on every message of
+// that operation, so one operation's freeze→collect→transfer→ack→release
+// timeline can be stitched across processes (see internal/obs and
+// internal/cluster). The encoder always emits v3; the strict decoder
+// still accepts v2 payloads (journey fields decode as zero) and v1
+// payloads (additionally Op = 0). On a v2-shaped message — all journey
+// fields zero — the stamps cost exactly 1+3·count bytes on a JobMove
+// and 4 bytes on a JobDone over the v2 encoding, and nothing on any
+// other kind (see TestJourneyFieldOverhead).
 //
 // Payloads are capped at MaxPayload; a decoder rejects oversized frames
 // before allocating, so a corrupt or adversarial length prefix cannot
@@ -65,18 +78,25 @@ import (
 
 // Version is the current codec version; it leads every payload so
 // incompatible peers fail loudly at the first frame rather than
-// corrupting state. The decoder additionally accepts VersionV1.
-const Version = 2
+// corrupting state. The decoder additionally accepts VersionV2 and
+// VersionV1.
+const Version = 3
+
+// VersionV2 is the previous codec version (op field, no journey
+// stamps). Still decoded — journey fields come back zero, meaning
+// "unstamped record from an old peer" — but never emitted.
+const VersionV2 = 2
 
 // VersionV1 is the legacy codec version (no op field). Still decoded —
-// a v2 node interoperates with frames recorded or sent by v1 peers —
+// a v3 node interoperates with frames recorded or sent by v1 peers —
 // but never emitted.
 const VersionV1 = 1
 
 // MaxPayload caps the encoded payload size. The largest legal payload
-// is a JobMove carrying MaxJobsPerMsg records with maximal varints,
-// which fits with room to spare; anything larger is a framing error.
-const MaxPayload = 2048
+// is a v3 JobMove carrying MaxJobsPerMsg records with maximal varints
+// (five per record once journey stamps ride along), which fits with
+// room to spare; anything larger is a framing error.
+const MaxPayload = 8192
 
 // MaxJobsPerMsg caps the job records carried by one JobMove. A transfer
 // moving more load than this ships its records across several JobMove
@@ -138,10 +158,17 @@ func (k Kind) valid() bool { return k >= 1 && k <= kindMax }
 // JobRef names one in-flight serving job: the node that accepted it
 // from a client (Origin) and that node's locally unique id for it. One
 // JobRef accompanies each unit of a job's remaining work, so records
-// migrate with the load they account for.
+// migrate with the load they account for. The journey stamps travel
+// with the record: when it ingested at the origin, how many JobMove
+// hops it has taken, and how long it has spent in flight between nodes
+// (accumulated receive−send per hop). A record from a pre-v3 peer
+// carries zeros — "unstamped", not "instantaneous".
 type JobRef struct {
-	Origin int
-	ID     uint64
+	Origin     int
+	ID         uint64
+	IngestNS   int64 // origin's ingest wall clock, unix nanos
+	Hops       int   // JobMove hops taken so far
+	TransferNS int64 // accumulated wire in-flight time, nanos
 }
 
 // Msg is one protocol message. Which fields are meaningful depends on
@@ -160,6 +187,16 @@ type Msg struct {
 	Con    int64    // Bye: lifetime consumed count
 	Job    uint64   // JobDone: origin-local id of the job a unit completed for
 	Jobs   []JobRef // JobMove: records riding the next Transfer on this link
+
+	// Journey stamps (v3). SentNS is the JobMove sender's wall clock at
+	// send time, the reference the per-record ingest deltas are coded
+	// against and the receiver's basis for the hop's in-flight time.
+	// The remaining four describe the one unit a JobDone completes.
+	SentNS     int64 // JobMove: sender's send wall clock, unix nanos
+	IngestNS   int64 // JobDone: unit's origin ingest wall clock
+	ConsumeNS  int64 // JobDone: consuming node's consume wall clock
+	Hops       int   // JobDone: JobMove hops the unit took
+	TransferNS int64 // JobDone: unit's accumulated in-flight nanos
 }
 
 // Equal reports whether two messages are field-for-field identical,
@@ -168,7 +205,9 @@ type Msg struct {
 func (m Msg) Equal(o Msg) bool {
 	if m.Kind != o.Kind || m.From != o.From || m.Seq != o.Seq || m.Op != o.Op ||
 		m.Load != o.Load || m.Amount != o.Amount || m.Gen != o.Gen || m.Con != o.Con ||
-		m.Job != o.Job || len(m.Jobs) != len(o.Jobs) {
+		m.Job != o.Job || len(m.Jobs) != len(o.Jobs) ||
+		m.SentNS != o.SentNS || m.IngestNS != o.IngestNS || m.ConsumeNS != o.ConsumeNS ||
+		m.Hops != o.Hops || m.TransferNS != o.TransferNS {
 		return false
 	}
 	for i := range m.Jobs {
@@ -183,29 +222,45 @@ func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // AppendMsg appends m's encoded payload (no frame prefix) to buf and
-// returns the extended slice. The current (v2) layout is emitted.
+// returns the extended slice. The current (v3) layout is emitted.
 func AppendMsg(buf []byte, m Msg) []byte {
 	buf = append(buf, Version, byte(m.Kind))
 	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
 	buf = binary.AppendUvarint(buf, m.Seq)
 	buf = binary.AppendUvarint(buf, m.Op)
-	return appendExtras(buf, m)
+	return appendExtras(buf, m, Version)
+}
+
+// appendMsgV2 encodes m in the v2 layout (op field, no journey
+// stamps). Kept for the compatibility tests, the fuzz canonicality
+// check, and the bench-wire version comparison; the journey fields are
+// not representable and must be zero for a faithful round trip.
+func appendMsgV2(buf []byte, m Msg) []byte {
+	buf = append(buf, VersionV2, byte(m.Kind))
+	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
+	buf = binary.AppendUvarint(buf, m.Seq)
+	buf = binary.AppendUvarint(buf, m.Op)
+	return appendExtras(buf, m, VersionV2)
 }
 
 // appendMsgV1 encodes m in the legacy v1 layout (no op field). Kept for
 // the compatibility tests, the fuzz canonicality check, and the
-// bench-wire v1-vs-v2 comparison; m.Op is not representable and must be
-// zero for a faithful round trip.
+// bench-wire version comparison; m.Op and the journey fields are not
+// representable and must be zero for a faithful round trip.
 func appendMsgV1(buf []byte, m Msg) []byte {
 	buf = append(buf, VersionV1, byte(m.Kind))
 	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
 	buf = binary.AppendUvarint(buf, m.Seq)
-	return appendExtras(buf, m)
+	return appendExtras(buf, m, VersionV1)
 }
 
-// appendExtras appends the kind-dependent tail fields (identical in v1
-// and v2).
-func appendExtras(buf []byte, m Msg) []byte {
+// appendExtras appends the kind-dependent tail fields for the given
+// codec version. v1 and v2 share one layout; v3 adds the journey
+// stamps to the two job-record kinds. Ingest times are delta-coded
+// against the frame's reference stamp (SentNS on a JobMove, ConsumeNS
+// on a JobDone) so a record freshly stamped with real wall clocks costs
+// a short varint, not nine bytes of unix nanos.
+func appendExtras(buf []byte, m Msg, version byte) []byte {
 	switch m.Kind {
 	case FreezeAck:
 		buf = binary.AppendUvarint(buf, zig(int64(m.Load)))
@@ -220,12 +275,26 @@ func appendExtras(buf []byte, m Msg) []byte {
 			panic(fmt.Sprintf("wire: JobMove with %d records exceeds MaxJobsPerMsg=%d", len(m.Jobs), MaxJobsPerMsg))
 		}
 		buf = binary.AppendUvarint(buf, uint64(len(m.Jobs)))
+		if version >= Version {
+			buf = binary.AppendUvarint(buf, zig(m.SentNS))
+		}
 		for _, j := range m.Jobs {
 			buf = binary.AppendUvarint(buf, zig(int64(j.Origin)))
 			buf = binary.AppendUvarint(buf, j.ID)
+			if version >= Version {
+				buf = binary.AppendUvarint(buf, zig(m.SentNS-j.IngestNS))
+				buf = binary.AppendUvarint(buf, uint64(j.Hops))
+				buf = binary.AppendUvarint(buf, zig(j.TransferNS))
+			}
 		}
 	case JobDone:
 		buf = binary.AppendUvarint(buf, m.Job)
+		if version >= Version {
+			buf = binary.AppendUvarint(buf, zig(m.ConsumeNS))
+			buf = binary.AppendUvarint(buf, zig(m.ConsumeNS-m.IngestNS))
+			buf = binary.AppendUvarint(buf, uint64(m.Hops))
+			buf = binary.AppendUvarint(buf, zig(m.TransferNS))
+		}
 	}
 	return buf
 }
@@ -243,8 +312,9 @@ func AppendFrame(buf []byte, m Msg) []byte {
 
 // DecodeMsg parses one payload. It is strict: version and kind must be
 // known, every varint well-formed (and minimal), and no bytes may trail
-// the message. Both the current v2 layout and legacy v1 payloads are
-// accepted; a v1 payload decodes with Op = 0.
+// the message. The current v3 layout, v2 payloads (journey fields
+// decode as zero), and legacy v1 payloads (additionally Op = 0) are all
+// accepted.
 func DecodeMsg(p []byte) (Msg, error) {
 	var m Msg
 	if len(p) > MaxPayload {
@@ -254,7 +324,7 @@ func DecodeMsg(p []byte) (Msg, error) {
 		return m, fmt.Errorf("wire: payload truncated (%d bytes)", len(p))
 	}
 	version := p[0]
-	if version != Version && version != VersionV1 {
+	if version != Version && version != VersionV2 && version != VersionV1 {
 		return m, fmt.Errorf("wire: unknown version %d", p[0])
 	}
 	m.Kind = Kind(p[1])
@@ -320,6 +390,12 @@ func DecodeMsg(p []byte) (Msg, error) {
 		if count > MaxJobsPerMsg {
 			return m, fmt.Errorf("wire: JobMove with %d records exceeds max %d", count, MaxJobsPerMsg)
 		}
+		if version >= Version {
+			if v, err = next(); err != nil {
+				return m, err
+			}
+			m.SentNS = unzig(v)
+		}
 		if count > 0 {
 			m.Jobs = make([]JobRef, count)
 			for i := range m.Jobs {
@@ -330,11 +406,43 @@ func DecodeMsg(p []byte) (Msg, error) {
 				if m.Jobs[i].ID, err = next(); err != nil {
 					return m, err
 				}
+				if version >= Version {
+					if v, err = next(); err != nil {
+						return m, err
+					}
+					m.Jobs[i].IngestNS = m.SentNS - unzig(v)
+					if v, err = next(); err != nil {
+						return m, err
+					}
+					m.Jobs[i].Hops = int(v)
+					if v, err = next(); err != nil {
+						return m, err
+					}
+					m.Jobs[i].TransferNS = unzig(v)
+				}
 			}
 		}
 	case JobDone:
 		if m.Job, err = next(); err != nil {
 			return m, err
+		}
+		if version >= Version {
+			if v, err = next(); err != nil {
+				return m, err
+			}
+			m.ConsumeNS = unzig(v)
+			if v, err = next(); err != nil {
+				return m, err
+			}
+			m.IngestNS = m.ConsumeNS - unzig(v)
+			if v, err = next(); err != nil {
+				return m, err
+			}
+			m.Hops = int(v)
+			if v, err = next(); err != nil {
+				return m, err
+			}
+			m.TransferNS = unzig(v)
 		}
 	}
 	if len(rest) != 0 {

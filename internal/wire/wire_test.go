@@ -32,8 +32,28 @@ func sampleMsgs() []Msg {
 		{Kind: JobMove, From: 2, Seq: 5},
 		{Kind: JobMove, From: 2, Seq: 5, Op: 777, Jobs: []JobRef{
 			{Origin: 2, ID: 1}, {Origin: 13, ID: 1 << 50}, {Origin: 0, ID: 0}}},
+		{Kind: JobMove, From: 6, Seq: 8, Op: 42, SentNS: 1_700_000_000_123_456_789, Jobs: []JobRef{
+			{Origin: 6, ID: 3, IngestNS: 1_700_000_000_123_000_000, Hops: 0, TransferNS: 0},
+			{Origin: 1, ID: 9, IngestNS: 1_699_999_999_000_000_000, Hops: 4, TransferNS: 2_500_000}}},
 		{Kind: JobDone, From: 4, Seq: 3, Job: 9001},
+		{Kind: JobDone, From: 4, Seq: 3, Op: 11, Job: 9002,
+			IngestNS: 1_700_000_000_000_000_000, ConsumeNS: 1_700_000_000_004_000_000,
+			Hops: 2, TransferNS: 750_000},
 	}
+}
+
+// journeyStamped reports whether m carries any v3-only journey field —
+// such messages are not representable in the v1/v2 layouts.
+func journeyStamped(m Msg) bool {
+	if m.SentNS != 0 || m.IngestNS != 0 || m.ConsumeNS != 0 || m.Hops != 0 || m.TransferNS != 0 {
+		return true
+	}
+	for _, j := range m.Jobs {
+		if j.IngestNS != 0 || j.Hops != 0 || j.TransferNS != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func TestRoundTripPayload(t *testing.T) {
@@ -106,11 +126,11 @@ func TestDecodeRejectsCorruptPayloads(t *testing.T) {
 
 // TestDecodeV1Compat: the strict decoder must keep accepting legacy v1
 // payloads (no op field), decoding them with Op = 0 and all other
-// fields intact — a v2 node interoperates with a v1 peer's frames.
+// fields intact — a v3 node interoperates with a v1 peer's frames.
 func TestDecodeV1Compat(t *testing.T) {
 	for _, m := range sampleMsgs() {
-		if m.Op != 0 {
-			continue // v1 cannot carry an op id
+		if m.Op != 0 || journeyStamped(m) {
+			continue // v1 cannot carry an op id or journey stamps
 		}
 		p := appendMsgV1(nil, m)
 		if p[0] != VersionV1 {
@@ -134,20 +154,94 @@ func TestDecodeV1Compat(t *testing.T) {
 	}
 }
 
+// TestDecodeV2Compat: the strict decoder must keep accepting v2
+// payloads (op field, no journey stamps), decoding their journey
+// fields as zero and everything else intact — a v3 node interoperates
+// with a v2 peer's frames.
+func TestDecodeV2Compat(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if journeyStamped(m) {
+			continue // v2 cannot carry journey stamps
+		}
+		p := appendMsgV2(nil, m)
+		if p[0] != VersionV2 {
+			t.Fatalf("v2 encoder emitted version %d", p[0])
+		}
+		dm, err := DecodeMsg(p)
+		if err != nil {
+			t.Fatalf("v2 payload for %+v rejected: %v", m, err)
+		}
+		if !dm.Equal(m) {
+			t.Fatalf("v2 round trip changed message: sent %+v got %+v", m, dm)
+		}
+		// The same corruption rules apply to v2.
+		if _, err := DecodeMsg(append(append([]byte{}, p...), 0x00)); err == nil {
+			t.Fatalf("v2 payload with trailing byte accepted: %x", p)
+		}
+		if _, err := DecodeMsg(p[:len(p)-1]); err == nil {
+			t.Fatalf("truncated v2 payload accepted: %x", p)
+		}
+	}
+}
+
 // TestOpFieldOverhead pins the cost of the v2 op field: on a v1-shaped
 // message (Op = 0) the v2 encoding is exactly one byte longer than the
 // v1 encoding — the single 0x00 uvarint.
 func TestOpFieldOverhead(t *testing.T) {
 	for _, m := range sampleMsgs() {
-		if m.Op != 0 {
+		if m.Op != 0 || journeyStamped(m) {
 			continue
 		}
 		v1 := appendMsgV1(nil, m)
-		v2 := AppendMsg(nil, m)
+		v2 := appendMsgV2(nil, m)
 		if len(v2) != len(v1)+1 {
 			t.Fatalf("%+v: v2 payload %d bytes, v1 %d — op field must cost exactly 1 byte",
 				m, len(v2), len(v1))
 		}
+	}
+}
+
+// TestJourneyFieldOverhead pins the cost of the v3 journey stamps on
+// v2-shaped messages (all journey fields zero): 1+3·count bytes on a
+// JobMove (the zero send stamp plus three zero varints per record), 4
+// bytes on a JobDone, and nothing at all on any other kind.
+func TestJourneyFieldOverhead(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if journeyStamped(m) {
+			continue
+		}
+		v2 := appendMsgV2(nil, m)
+		v3 := AppendMsg(nil, m)
+		want := 0
+		switch m.Kind {
+		case JobMove:
+			want = 1 + 3*len(m.Jobs)
+		case JobDone:
+			want = 4
+		}
+		if len(v3) != len(v2)+want {
+			t.Fatalf("%+v: v3 payload %d bytes, v2 %d — journey stamps must cost exactly %d bytes",
+				m, len(v3), len(v2), want)
+		}
+	}
+}
+
+// TestJourneyDeltaCoding pins the point of delta-coding the ingest
+// stamps: a freshly stamped record whose ingest is close to the frame's
+// reference stamp costs a short varint, not nine bytes of unix nanos.
+func TestJourneyDeltaCoding(t *testing.T) {
+	now := int64(1_700_000_000_000_000_000)
+	fresh := Msg{Kind: JobMove, From: 1, Seq: 2, SentNS: now, Jobs: []JobRef{
+		{Origin: 1, ID: 7, IngestNS: now - 50_000}}} // ingested 50 µs ago
+	bare := fresh
+	bare.Jobs = []JobRef{{Origin: 1, ID: 7}}
+	bare.SentNS = 0
+	// The frame-level stamp costs its full width once; the per-record
+	// delta (50 µs → 3-byte zigzag varint) plus two zero bytes must stay
+	// well under a second full timestamp.
+	perRec := len(AppendMsg(nil, fresh)) - len(AppendMsg(nil, bare)) - (uvarintLen(zig(now)) - 1)
+	if perRec > 5 {
+		t.Fatalf("freshly stamped record costs %d bytes over unstamped, want ≤5 (delta coding broken)", perRec)
 	}
 }
 
