@@ -1,17 +1,17 @@
 GO ?= go
 
-.PHONY: check race bench bench-obs bench-wire bench-shard bench-pace bench-serve bench-journey fuzz experiments
+.PHONY: check race bench bench-obs bench-wire bench-shard bench-pace bench-serve bench-journey bench-flight fuzz experiments
 
 # Tier-1 gate: everything must pass before a change lands.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./internal/serve ./cmd/lbnode
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./internal/serve ./internal/flight ./cmd/lbnode
 
 # Race-detector pass over the concurrent packages and the core they drive.
 race:
-	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./internal/serve ./cmd/lbnode
+	$(GO) test -race ./internal/pool ./internal/sim ./internal/core ./internal/netsim ./internal/wire ./internal/cluster ./internal/obs ./internal/serve ./internal/flight ./cmd/lbnode
 
 # Microbenchmarks for the sparse core (see results/BENCH_sparse.json).
 bench:
@@ -59,6 +59,14 @@ bench-serve:
 # results/BENCH_journey.json was captured with -out.
 bench-journey:
 	$(GO) run ./cmd/journeybench
+
+# Flight recorder cost: marginal per-frame tap overhead vs the raw
+# loopback send, on-disk bytes per recorded event, and offline replay
+# throughput (load + shadow audit). Fails if the tap exceeds its ns
+# budget or replay drops under the events/s floor. The checked-in
+# results/BENCH_flight.json was captured with -out.
+bench-flight:
+	$(GO) run ./cmd/flightbench
 
 # Short fuzz passes: the core op-sequence fuzzer and the wire codec.
 fuzz:

@@ -1,0 +1,274 @@
+// Command flightbench measures what the black-box flight recorder
+// costs where it matters: the marginal per-frame overhead the
+// transport tap adds to a send (encode into a pooled buffer plus one
+// buffered-channel handoff — the disk I/O rides a separate writer
+// goroutine), the on-disk density of a real recorded cluster run, and
+// how fast the offline auditor chews back through a recording
+// (load+replay events per second).
+//
+// The run fails if the tap's marginal cost per sent frame exceeds the
+// budget, or if replay throughput falls under the floor — the same
+// gates `make bench-flight` enforces in CI.
+//
+// Examples:
+//
+//	flightbench                                 # table to stdout
+//	flightbench -out results/BENCH_flight.json  # the checked-in capture
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"lmbalance/internal/cluster"
+	"lmbalance/internal/flight"
+	"lmbalance/internal/wire"
+)
+
+func main() {
+	var (
+		budget = flag.Float64("budget-ns", 2500, "max marginal tap cost per sent frame, nanoseconds")
+		floor  = flag.Float64("replay-floor", 100_000, "min offline replay throughput, events/second")
+		steps  = flag.Int("steps", 20000, "recorded cluster steps for the disk and replay measurements")
+		out    = flag.String("out", "", "also write the measurements as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*budget, *floor, *steps, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "flightbench:", err)
+		os.Exit(1)
+	}
+}
+
+// sendRow is one transport flavor's per-send cost.
+type sendRow struct {
+	Mode     string  `json:"mode"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// diskRow is the recorded run's on-disk density.
+type diskRow struct {
+	Nodes      int     `json:"nodes"`
+	Steps      int     `json:"steps"`
+	Events     int     `json:"events"`
+	Bytes      int64   `json:"bytes"`
+	BytesPerEv float64 `json:"bytes_per_event"`
+	Dropped    int64   `json:"dropped"`
+}
+
+// replayRow is the offline auditor's throughput over that run.
+type replayRow struct {
+	Events    int     `json:"events"`
+	LoadMs    float64 `json:"load_ms"`
+	AuditMs   float64 `json:"audit_ms"`
+	EventsSec float64 `json:"events_per_sec"`
+}
+
+type report struct {
+	Description string    `json:"description"`
+	Machine     string    `json:"machine"`
+	Date        string    `json:"date"`
+	Sends       []sendRow `json:"sends"`
+	MarginalNs  float64   `json:"tap_marginal_ns_per_frame"`
+	BudgetNs    float64   `json:"tap_budget_ns"`
+	Disk        diskRow   `json:"disk"`
+	Replay      replayRow `json:"replay"`
+	FloorEvSec  float64   `json:"replay_floor_events_per_sec"`
+}
+
+// benchSend times Send on a 2-endpoint loopback, optionally through a
+// recorder tap, with a drain goroutine keeping the peer inbox empty so
+// the send path never blocks.
+func benchSend(tapped bool) (sendRow, error) {
+	lnet := wire.NewLoopback(2)
+	var tr wire.Transport = lnet.Transport(0)
+	peer := lnet.Transport(1)
+	var rec *flight.Recorder
+	if tapped {
+		dir, err := os.MkdirTemp("", "flightbench-")
+		if err != nil {
+			return sendRow{}, err
+		}
+		defer os.RemoveAll(dir)
+		// A large buffer so the hot path measures the encode+handoff it
+		// always pays, not drop-path shortcuts once the writer lags.
+		rec, err = flight.Open(flight.Options{Dir: dir, Node: 0, Buffer: 1 << 16})
+		if err != nil {
+			return sendRow{}, err
+		}
+		tr = rec.Tap(tr)
+	}
+	// Drain the peer so sends never block. Loopback Close does not close
+	// the inbox channel, so the drain needs its own quit signal.
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-peer.Inbox():
+			case <-quit:
+				return
+			}
+		}
+	}()
+	m := wire.Msg{Kind: wire.FreezeReq, From: 0, Seq: 7, Op: 0x1c0000000001, Load: 41}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tr.Send(1, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	tr.Close()
+	peer.Close()
+	close(quit)
+	<-done
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return sendRow{}, err
+		}
+	}
+	mode := "loopback send"
+	if tapped {
+		mode = "tapped send"
+	}
+	return sendRow{Mode: mode, NsOp: float64(res.NsPerOp()), AllocsOp: res.AllocsPerOp()}, nil
+}
+
+// recordRun records a full loopback cluster run and returns the
+// recording root plus the recorders' drop total.
+func recordRun(root string, n, steps int) (int64, error) {
+	lnet := wire.NewLoopback(n)
+	recs := make([]*flight.Recorder, n)
+	transports := make([]wire.Transport, n)
+	for i := 0; i < n; i++ {
+		rec, err := flight.Open(flight.Options{
+			Dir:      filepath.Join(root, fmt.Sprintf("node-%d", i)),
+			Node:     i,
+			MaxBytes: 64 << 20, // keep the whole run; this measures density, not the ring
+			Buffer:   1 << 15,
+		})
+		if err != nil {
+			return 0, err
+		}
+		recs[i] = rec
+		transports[i] = rec.Tap(lnet.Transport(i))
+	}
+	if _, err := cluster.RunCluster(cluster.ClusterConfig{
+		N: n, Delta: 2, F: 2, Steps: steps, Seed: 42, Flight: recs,
+	}, transports); err != nil {
+		return 0, err
+	}
+	var dropped int64
+	for _, rec := range recs {
+		if err := rec.Close(); err != nil {
+			return 0, err
+		}
+		dropped += rec.Dropped()
+	}
+	return dropped, nil
+}
+
+func run(budget, floor float64, steps int, out string) error {
+	raw, err := benchSend(false)
+	if err != nil {
+		return err
+	}
+	tapped, err := benchSend(true)
+	if err != nil {
+		return err
+	}
+	marginal := tapped.NsOp - raw.NsOp
+
+	const nodes = 4
+	root, err := os.MkdirTemp("", "flightbench-run-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	dropped, err := recordRun(root, nodes, steps)
+	if err != nil {
+		return err
+	}
+
+	loadStart := time.Now()
+	rec, err := flight.LoadTree(root)
+	if err != nil {
+		return err
+	}
+	loadMs := time.Since(loadStart).Seconds() * 1e3
+	events := 0
+	var bytes int64
+	for _, nr := range rec.Nodes {
+		events += len(nr.Events)
+		bytes += nr.Bytes
+	}
+	disk := diskRow{
+		Nodes: nodes, Steps: steps, Events: events, Bytes: bytes,
+		BytesPerEv: float64(bytes) / float64(events), Dropped: dropped,
+	}
+
+	auditStart := time.Now()
+	audit := flight.Audit(rec)
+	auditMs := time.Since(auditStart).Seconds() * 1e3
+	if audit.First != nil {
+		return fmt.Errorf("bench run replayed dirty: %v", *audit.First)
+	}
+	replay := replayRow{
+		Events: events, LoadMs: loadMs, AuditMs: auditMs,
+		EventsSec: float64(events) / ((loadMs + auditMs) / 1e3),
+	}
+
+	fmt.Println("flight recorder tap cost (2-endpoint loopback):")
+	for _, s := range []sendRow{raw, tapped} {
+		fmt.Printf("  %-14s %9.1f ns/op %4d allocs/op\n", s.Mode, s.NsOp, s.AllocsOp)
+	}
+	fmt.Printf("  marginal per frame: %.1f ns (budget %.0f)\n", marginal, budget)
+	fmt.Printf("\nrecorded run density (%d nodes, %d steps):\n", nodes, steps)
+	fmt.Printf("  %d events, %d bytes on disk, %.1f B/event, %d dropped\n",
+		disk.Events, disk.Bytes, disk.BytesPerEv, disk.Dropped)
+	fmt.Printf("\noffline replay:\n")
+	fmt.Printf("  load %.1f ms + audit %.1f ms over %d events = %.0f events/s (floor %.0f)\n",
+		replay.LoadMs, replay.AuditMs, replay.Events, replay.EventsSec, floor)
+
+	if marginal > budget {
+		return fmt.Errorf("tap costs %.1f ns marginal per frame, budget %.0f", marginal, budget)
+	}
+	if replay.EventsSec < floor {
+		return fmt.Errorf("replay at %.0f events/s, floor %.0f", replay.EventsSec, floor)
+	}
+
+	if out != "" {
+		rep := report{
+			Description: "Flight recorder cost: marginal ns a transport tap adds per sent frame (encode + buffered-channel handoff; disk I/O is async) vs the raw loopback send, on-disk bytes per recorded event for a real 4-node cluster run, and offline replay throughput (LoadTree + shadow audit). Acceptance: marginal tap cost within budget-ns and replay above replay-floor events/s. make bench-flight",
+			Machine:     fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version()),
+			Date:        time.Now().Format("2006-01-02"),
+			Sends:       []sendRow{raw, tapped},
+			MarginalNs:  marginal,
+			BudgetNs:    budget,
+			Disk:        disk,
+			Replay:      replay,
+			FloorEvSec:  floor,
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -62,6 +62,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -69,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -77,6 +79,7 @@ import (
 	"time"
 
 	"lmbalance/internal/cluster"
+	"lmbalance/internal/flight"
 	"lmbalance/internal/obs"
 	"lmbalance/internal/serve"
 	"lmbalance/internal/trace"
@@ -114,6 +117,8 @@ func main() {
 		slo       = flag.String("slo", "", `run the continuous health monitor against this latency objective, e.g. "p99<20ms over 30s/5m" (requires -debug-addr; serves /health)`)
 		monPeriod = flag.Duration("monitor-period", time.Second, "health monitor poll interval (with -slo)")
 		scrapeTO  = flag.Duration("scrape-timeout", 0, "per-upstream scrape timeout for the aggregator and health monitor (0 = default 3s)")
+		flightDir = flag.String("flight-dir", "", "record every frame and protocol decision into per-node flight-recorder rings under this directory (replay with lbflight); aggregator mode instead snapshots upstream recorders on SLO alerts")
+		flightMax = flag.Int64("flight-max-bytes", 0, "per-node flight-recorder ring size in bytes (0 = default 8 MiB)")
 	)
 	flag.Parse()
 	paceMode, err := cluster.ParsePaceMode(*pace)
@@ -130,6 +135,7 @@ func main() {
 		aggregate: *aggregate,
 		serveAddr: *serveAddr, stepInterval: *stepIv, noBalance: !*balance,
 		slo: *slo, monitorPeriod: *monPeriod, scrapeTimeout: *scrapeTO,
+		flightDir: *flightDir, flightMaxBytes: *flightMax,
 	}
 	conserved, err := run(o, os.Stdout)
 	if err != nil {
@@ -166,9 +172,11 @@ type options struct {
 	serveAddr     string
 	stepInterval  time.Duration
 	noBalance     bool
-	slo           string
-	monitorPeriod time.Duration
-	scrapeTimeout time.Duration
+	slo            string
+	monitorPeriod  time.Duration
+	scrapeTimeout  time.Duration
+	flightDir      string
+	flightMaxBytes int64
 
 	// stop, when non-nil, ends a serving aggregator as if interrupted
 	// (test hook; main leaves it nil and serves until SIGINT/SIGTERM).
@@ -233,6 +241,86 @@ func (p *healthProxy) handler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.Handler()(w, r)
+}
+
+// openFlight opens one node's flight recorder ring under -flight-dir
+// and registers its counters with the node's registry.
+func openFlight(o options, node int, reg *obs.Registry) (*flight.Recorder, error) {
+	rec, err := flight.Open(flight.Options{
+		Dir:      filepath.Join(o.flightDir, fmt.Sprintf("node-%d", node)),
+		Node:     node,
+		MaxBytes: o.flightMaxBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("-flight-dir node %d: %w", node, err)
+	}
+	rec.Register(reg)
+	return rec, nil
+}
+
+// flightSnapHandler serves /flightsnap: seal and copy the given
+// recorders' rings into snapshot artifacts and report the paths. The
+// health monitor's OnAlert hook and remote aggregators both hit this.
+func flightSnapHandler(recs ...*flight.Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "manual"
+		}
+		type row struct {
+			Dir  string `json:"dir"`
+			Path string `json:"path,omitempty"`
+			Err  string `json:"err,omitempty"`
+		}
+		rows := make([]row, 0, len(recs))
+		status := http.StatusOK
+		for _, rec := range recs {
+			path, err := rec.Snapshot(reason)
+			rw := row{Dir: rec.Dir(), Path: path}
+			if err != nil {
+				rw.Err = err.Error()
+				status = http.StatusInternalServerError
+			}
+			rows = append(rows, rw)
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(rows)
+	}
+}
+
+// snapshotOnAlert is the monitor hook for nodes with local recorders:
+// every clear→firing SLO transition cuts a replayable incident
+// artifact under each node's flight dir (flight_snapshots_total counts
+// them; failures land in the recorder's error state, not the run).
+func snapshotOnAlert(recs []*flight.Recorder) func(obs.HealthDoc) {
+	return func(obs.HealthDoc) {
+		for _, rec := range recs {
+			rec.Snapshot("slo_alert")
+		}
+	}
+}
+
+// snapshotUpstreams is the aggregator's OnAlert hook: the recorders
+// live with the nodes, so on an alert it asks every upstream to cut
+// its own incident artifact via /flightsnap. Unreachable upstreams are
+// skipped — the dead node may be the incident; the others still
+// preserve their evidence.
+func snapshotUpstreams(urls []string, timeout time.Duration) func(obs.HealthDoc) {
+	if timeout <= 0 {
+		timeout = obs.DefaultScrapeTimeout
+	}
+	client := &http.Client{Timeout: timeout}
+	return func(obs.HealthDoc) {
+		for _, u := range urls {
+			resp, err := client.Get(u + "/flightsnap?reason=slo_alert")
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
 }
 
 // parseSLOFlag validates the -slo flag and its -debug-addr dependency.
@@ -335,6 +423,27 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			tr.Close()
 		}
 	}
+	// Flight recorders tap the transports before anything else wraps
+	// them, so every frame a node sends or receives is on the record.
+	var frecs []*flight.Recorder
+	closeFlight := func() {
+		for _, fr := range frecs {
+			fr.Close()
+		}
+	}
+	if o.flightDir != "" {
+		frecs = make([]*flight.Recorder, n)
+		for i := range transports {
+			fr, err := openFlight(o, i, regFor(i))
+			if err != nil {
+				closeFlight()
+				closeTransports()
+				return false, err
+			}
+			frecs[i] = fr
+			transports[i] = fr.Tap(transports[i])
+		}
+	}
 	// Client-facing front-ends come up before the nodes so a bound port
 	// fails the run early; submissions queue in the servers until the
 	// node loops start.
@@ -360,12 +469,14 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			addr, err := perNodeAddr("-serve-addr", o.serveAddr, i)
 			if err != nil {
 				closeServers()
+				closeFlight()
 				closeTransports()
 				return false, err
 			}
 			srv, err := serve.NewServer(i, addr, regFor(i))
 			if err != nil {
 				closeServers()
+				closeFlight()
 				closeTransports()
 				return false, err
 			}
@@ -382,9 +493,11 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 		Obs: shared, ObsPerNode: regs,
 		StepInterval: o.stepInterval, NoBalance: o.noBalance,
 		Stop: stop, ServePerNode: hooks,
+		Flight: frecs,
 	}, transports)
 	if err != nil {
 		closeServers()
+		closeFlight()
 		return false, err
 	}
 	// Debug servers and recorders come up after the nodes exist (the
@@ -410,12 +523,16 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 				if err != nil {
 					stopRecs()
 					closeServers()
+					closeFlight()
 					closeTransports()
 					return false, err
 				}
 				extra := make(map[string]http.HandlerFunc)
 				if wantMon {
 					extra["/health"] = hp.handler
+				}
+				if frecs != nil {
+					extra["/flightsnap"] = flightSnapHandler(frecs[i])
 				}
 				if servers != nil {
 					extra["/jobs"] = serve.JourneysHandler(servers[i].Journeys())
@@ -424,6 +541,7 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 				if err != nil {
 					stopRecs()
 					closeServers()
+					closeFlight()
 					closeTransports()
 					return false, fmt.Errorf("node %d: %w", i, err)
 				}
@@ -443,6 +561,9 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			if wantMon {
 				extra["/health"] = hp.handler
 			}
+			if frecs != nil {
+				extra["/flightsnap"] = flightSnapHandler(frecs...)
+			}
 			if servers != nil {
 				logs := make([]*serve.JourneyLog, len(servers))
 				for i, s := range servers {
@@ -459,6 +580,7 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 			if err != nil {
 				stopRecs()
 				closeServers()
+				closeFlight()
 				closeTransports()
 				return false, err
 			}
@@ -468,11 +590,15 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 		}
 	}
 	if wantMon {
-		mon := obs.NewMonitor(obs.MonitorConfig{
+		cfg := obs.MonitorConfig{
 			URLs: debugURLs, SLO: sloObj,
 			Period: o.monitorPeriod, Timeout: o.scrapeTimeout,
-			Tracer: regFor(0).Tracer(),
-		})
+			Tracer: regFor(0).Tracer(), Obs: regFor(0),
+		}
+		if frecs != nil {
+			cfg.OnAlert = snapshotOnAlert(frecs)
+		}
+		mon := obs.NewMonitor(cfg)
 		hp.mon.Store(mon)
 		mon.Start()
 		defer mon.Stop()
@@ -503,7 +629,20 @@ func runSpawn(o options, w io.Writer) (bool, error) {
 	stopRecs()
 	closeServers()
 	if err != nil {
+		closeFlight()
 		return false, err
+	}
+	if frecs != nil {
+		var fRecords, fDropped int64
+		for i, fr := range frecs {
+			fRecords += fr.Records()
+			fDropped += fr.Dropped()
+			if cerr := fr.Close(); cerr != nil {
+				return false, fmt.Errorf("flight recorder node %d: %w", i, cerr)
+			}
+		}
+		fmt.Fprintf(w, "flight recording: %d records (%d dropped) under %s — replay with lbflight\n",
+			fRecords, fDropped, o.flightDir)
 	}
 	if !o.quiet {
 		tb := trace.NewTable(fmt.Sprintf("%d-node cluster over %s (f=%g δ=%d, %d steps)",
@@ -572,6 +711,16 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 		return false, err
 	}
 	tp.Register(reg)
+	var transport wire.Transport = tp
+	var frec *flight.Recorder
+	if o.flightDir != "" {
+		frec, err = openFlight(o, o.id, reg)
+		if err != nil {
+			tp.Close()
+			return false, err
+		}
+		transport = frec.Tap(tp)
+	}
 	hot := o.hot
 	if hot < 0 {
 		hot = 0
@@ -589,6 +738,7 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 		genP = 0 // submissions are the only load source
 		server, err = serve.NewServer(o.id, o.serveAddr, reg)
 		if err != nil {
+			frec.Close()
 			tp.Close()
 			return false, err
 		}
@@ -598,19 +748,22 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 	}
 	nd, err := cluster.New(cluster.Config{
 		ID: o.id, N: n, Delta: clampDelta(o.delta, n), F: o.f, Steps: o.steps,
-		GenP: genP, ConP: conP, Seed: o.seed, Transport: tp, Timeout: o.timeout,
+		GenP: genP, ConP: conP, Seed: o.seed, Transport: transport, Timeout: o.timeout,
 		MinInitGap: o.minInitGap, Pace: o.pace,
 		PaceMaxGap: o.paceMaxGap, PaceMult: o.paceMult, PaceDec: o.paceDec,
 		Obs:          reg,
 		StepInterval: o.stepInterval, NoBalance: o.noBalance,
 		Stop: stop, Serve: hooks,
+		Flight: frec,
 	})
 	if err != nil {
+		frec.Close()
 		tp.Close()
 		return false, err
 	}
 	sloObj, wantMon, err := parseSLOFlag(o)
 	if err != nil {
+		frec.Close()
 		tp.Close()
 		return false, err
 	}
@@ -623,6 +776,9 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 		if wantMon {
 			extra["/health"] = hp.handler
 		}
+		if frec != nil {
+			extra["/flightsnap"] = flightSnapHandler(frec)
+		}
 		if server != nil {
 			extra["/jobs"] = serve.JourneysHandler(server.Journeys())
 		}
@@ -630,17 +786,22 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 		// its endpoints would be invisible to the aggregator.
 		srv, err := obs.ServeDebugOpts(o.debugAddr, reg, obs.DebugOptions{Health: nodeHealth(nd), Extra: extra})
 		if err != nil {
+			frec.Close()
 			tp.Close()
 			return false, fmt.Errorf("node %d: %w", o.id, err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(w, "debug endpoints at %s: /metrics /debug/vars /trace /series /debug/pprof/\n", srv.URL())
 		if wantMon {
-			mon := obs.NewMonitor(obs.MonitorConfig{
+			cfg := obs.MonitorConfig{
 				URLs: []string{srv.URL()}, SLO: sloObj,
 				Period: o.monitorPeriod, Timeout: o.scrapeTimeout,
-				Tracer: reg.Tracer(),
-			})
+				Tracer: reg.Tracer(), Obs: reg,
+			}
+			if frec != nil {
+				cfg.OnAlert = snapshotOnAlert([]*flight.Recorder{frec})
+			}
+			mon := obs.NewMonitor(cfg)
 			hp.mon.Store(mon)
 			mon.Start()
 			defer mon.Stop()
@@ -668,7 +829,16 @@ func runDaemon(o options, w io.Writer) (bool, error) {
 	nd.Start()
 	rep, err := nd.Wait()
 	if err != nil {
+		frec.Close()
 		return false, err
+	}
+	if frec != nil {
+		records, dropped := frec.Records(), frec.Dropped()
+		if cerr := frec.Close(); cerr != nil {
+			return false, fmt.Errorf("flight recorder: %w", cerr)
+		}
+		fmt.Fprintf(w, "flight recording: %d records (%d dropped) under %s — replay with lbflight\n",
+			records, dropped, o.flightDir)
 	}
 	s := rep.Stats
 	fmt.Fprintf(w, "node %d done: load %d  generated %d  consumed %d  completed %d  aborted %d  sent %dB  recv %dB\n",
@@ -712,10 +882,16 @@ func runAggregate(o options, w io.Writer) (bool, error) {
 	if o.debugAddr != "" {
 		aggOpts := obs.AggOptions{Timeout: o.scrapeTimeout}
 		if wantMon {
-			mon := obs.NewMonitor(obs.MonitorConfig{
+			cfg := obs.MonitorConfig{
 				URLs: urls, SLO: sloObj,
 				Period: o.monitorPeriod, Timeout: o.scrapeTimeout,
-			})
+			}
+			if o.flightDir != "" {
+				// The recorders live with the nodes; on an alert ask every
+				// upstream to seal its own incident artifact.
+				cfg.OnAlert = snapshotUpstreams(urls, o.scrapeTimeout)
+			}
+			mon := obs.NewMonitor(cfg)
 			mon.Start()
 			defer mon.Stop()
 			aggOpts.Extra = map[string]http.HandlerFunc{"/health": mon.Handler()}

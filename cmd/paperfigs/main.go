@@ -93,6 +93,9 @@ var artifacts = []artifact{
 	{"anatomy", "sojourn anatomy: journey decomposition + burn-rate alerts (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
 		return experiments.SojournAnatomy(s, seed)
 	}},
+	{"postmortem", "black-box post-mortem: record, snapshot on alert, replay to a verdict (extension)", func(s experiments.Scale, seed uint64) (experiments.Renderer, error) {
+		return experiments.PostMortem(s, seed)
+	}},
 }
 
 func main() {

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lmbalance/internal/flight"
 	"lmbalance/internal/obs"
 	"lmbalance/internal/rng"
 	"lmbalance/internal/wire"
@@ -142,6 +143,12 @@ type Config struct {
 	// transfers, and completed units are reported back per origin
 	// (Complete) — see serve.go. Serve mode requires GenP == 0.
 	Serve *ServeHooks
+	// Flight optionally records the node's protocol decisions into its
+	// black-box flight recorder (see internal/flight) alongside the
+	// frames the recorder's transport tap already captures. The embedder
+	// wraps Transport with Flight.Tap and passes the same recorder here.
+	// Nil disables local-decision recording at ~zero cost.
+	Flight *flight.Recorder
 }
 
 func (c *Config) validate() error {
@@ -416,6 +423,8 @@ func (n *Node) report() {
 	n.stats.MsgsSent, n.stats.MsgsRecv = ws.MsgsSent, ws.MsgsRecv
 	n.stats.BytesSent, n.stats.BytesRecv = ws.BytesSent, ws.BytesRecv
 	n.stats.SendErrors, n.stats.Redials = ws.SendErrors, ws.Redials
+	n.cfg.Flight.Final(n.load, n.stats.Generated, n.stats.Consumed,
+		n.stats.Ingested, n.stats.UnitsDone, n.stats.RecordsHeld)
 	n.rep = &Report{Stats: n.stats}
 	if n.cfg.ID == 0 {
 		s := n.sum
@@ -559,6 +568,9 @@ func (n *Node) checkTimeouts() {
 		}
 		n.met.abort[reason].Inc()
 		n.met.traceOp(n.cfg.ID, n.op, "abort", "reason=%s seq=%d", reason, n.seq)
+		if n.cfg.Flight != nil {
+			n.cfg.Flight.Abort(n.op, n.seq, n.load, reason)
+		}
 		n.paceOutcome(reason, now.Sub(n.protoAt))
 		n.abandon()
 	}
@@ -567,6 +579,9 @@ func (n *Node) checkTimeouts() {
 		n.met.freezeExpired.Inc()
 		n.met.phaseFrozen.ObserveSince(n.frozeAt)
 		n.met.traceOp(n.cfg.ID, n.frozenOp, "freeze_expired", "by=%d", n.frozenBy)
+		if n.cfg.Flight != nil {
+			n.cfg.Flight.FreezeExpired(n.frozenOp, n.frozenBy)
+		}
 		n.frozen = false
 	}
 }
@@ -665,6 +680,9 @@ func (n *Node) paceOutcome(reason string, elapsed time.Duration) {
 	case +1:
 		n.stats.PaceBackoffs++
 		n.met.paceBackoff.Inc()
+		if n.cfg.Flight != nil {
+			n.cfg.Flight.PaceBackoff(n.pacer.gapNow())
+		}
 	case -1:
 		n.stats.PaceRecovers++
 		n.met.paceRecover.Inc()
@@ -704,6 +722,9 @@ func (n *Node) initiate() {
 	n.stats.Initiated++
 	n.met.initiated.Inc()
 	n.met.traceOp(n.cfg.ID, n.op, "initiate", "seq=%d delta=%d load=%d", n.seq, len(n.candBuf), n.load)
+	if n.cfg.Flight != nil {
+		n.cfg.Flight.Initiate(n.op, n.seq, n.load, len(n.candBuf))
+	}
 	for _, c := range n.candBuf {
 		n.send(c, wire.Msg{Kind: wire.FreezeReq, Seq: n.seq, Op: n.op})
 	}
@@ -878,6 +899,9 @@ func (n *Node) resolve() {
 		n.stats.Aborted++
 		n.met.abort[AbortPeerFrozen].Inc()
 		n.met.traceOp(n.cfg.ID, n.op, "abort", "reason=%s seq=%d", AbortPeerFrozen, n.seq)
+		if n.cfg.Flight != nil {
+			n.cfg.Flight.Abort(n.op, n.seq, n.load, AbortPeerFrozen)
+		}
 		// The collision the pacer exists to react to: back off by the
 		// width of the collect window just measured.
 		n.paceOutcome(AbortPeerFrozen, time.Since(n.protoAt))
@@ -906,6 +930,11 @@ func (n *Node) resolve() {
 	}
 	n.load = share(0)
 	n.lOld = n.load
+	// Recorded before the transfers go out, so a replayed stream sees
+	// the resolution before the frames it explains.
+	if n.cfg.Flight != nil {
+		n.cfg.Flight.Resolve(n.op, n.seq, n.load, len(n.ackedFrom))
+	}
 	// Serve mode: record the records owed to partners that gain load and
 	// ship what the FIFO holds now, so each JobMove precedes its Transfer
 	// on the same link (partners that give load back will owe us on

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"lmbalance/internal/flight"
 	"lmbalance/internal/obs"
 	"lmbalance/internal/wire"
 )
@@ -50,6 +51,11 @@ type ClusterConfig struct {
 	// with the given hooks (nil entries leave that node plain). Serve
 	// mode requires the node's GenP to be 0.
 	ServePerNode []*ServeHooks
+	// Flight, when non-empty (length N), gives node i its flight
+	// recorder (nil entries leave that node unrecorded). The caller must
+	// have wrapped transports[i] with Flight[i].Tap so frames and local
+	// decisions land in the same recording.
+	Flight []*flight.Recorder
 }
 
 func probAt(ps []float64, i int) float64 {
@@ -227,6 +233,9 @@ func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 	if len(cfg.ServePerNode) > 0 && len(cfg.ServePerNode) != cfg.N {
 		return nil, fmt.Errorf("cluster: %d serve hooks for %d nodes", len(cfg.ServePerNode), cfg.N)
 	}
+	if len(cfg.Flight) > 0 && len(cfg.Flight) != cfg.N {
+		return nil, fmt.Errorf("cluster: %d flight recorders for %d nodes", len(cfg.Flight), cfg.N)
+	}
 	if len(cfg.GenP) == 0 {
 		cfg.GenP = []float64{0.5}
 	}
@@ -243,6 +252,10 @@ func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 		if len(cfg.ServePerNode) > 0 {
 			serve = cfg.ServePerNode[i]
 		}
+		var rec *flight.Recorder
+		if len(cfg.Flight) > 0 {
+			rec = cfg.Flight[i]
+		}
 		n, err := New(Config{
 			ID: i, N: cfg.N, Delta: cfg.Delta, F: cfg.F, Steps: cfg.Steps,
 			GenP: probAt(cfg.GenP, i), ConP: probAt(cfg.ConP, i),
@@ -253,7 +266,7 @@ func NewNodes(cfg ClusterConfig, transports []wire.Transport) ([]*Node, error) {
 			PaceMult: cfg.PaceMult, PaceDec: cfg.PaceDec,
 			Obs:          reg,
 			StepInterval: cfg.StepInterval, NoBalance: cfg.NoBalance,
-			Stop: cfg.Stop, Serve: serve,
+			Stop: cfg.Stop, Serve: serve, Flight: rec,
 		})
 		if err != nil {
 			// Nothing started yet: close all transports and bail.

@@ -171,6 +171,9 @@ func (n *Node) completeOldest() {
 func (n *Node) serveComplete(id uint64, j Journey) {
 	n.stats.UnitsDone++
 	n.met.unitsDone.Inc()
+	if n.cfg.Flight != nil {
+		n.cfg.Flight.Complete(JobOp(n.cfg.ID, id), id, j.Hops, j.DoneNS-j.IngestNS, j.TransferNS)
+	}
 	if n.cfg.Serve != nil && n.cfg.Serve.Complete != nil {
 		n.cfg.Serve.Complete(id, j)
 	}

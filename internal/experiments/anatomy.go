@@ -94,11 +94,22 @@ func SojournAnatomy(scale Scale, seed uint64) (*SojournAnatomyResult, error) {
 	// balancer's first reaction to load are a genuine transient, so the
 	// monitor's baseline snapshot waits it out — an operator watches a
 	// long-running service, not its first 300ms.
-	sloText := "p95 < 25ms over 120ms/360ms burn 2"
+	//
+	// Quick scale runs as a smoke test on arbitrary CI hardware, where a
+	// single oversubscribed core both adds tens of ms of scheduler
+	// latency to every sojourn and caps effective service capacity far
+	// below the nominal ConP/StepInterval rate. Its steady arm therefore
+	// offers much less load (so the control stays unsaturated even on one
+	// core) and its SLO threshold is loose enough that only the injected
+	// spike (hundreds of ms of queueing) crosses it. The tight
+	// production-shaped threshold and rates are full scale's, which
+	// generates the published artifact.
+	sloText := "p95 < 250ms over 120ms/360ms burn 2"
 	pollPeriod := 15 * time.Millisecond
 	warmup := 300 * time.Millisecond
-	steadyEnv, spikeEnv := "300x300ms,600x1500ms", "300x300ms,600x700ms,12000x300ms,600x500ms"
+	steadyEnv, spikeEnv := "75x300ms,150x1500ms", "75x300ms,150x700ms,12000x300ms,150x500ms"
 	if scale == ScaleFull {
+		sloText = "p95 < 25ms over 120ms/360ms burn 2"
 		pollPeriod = 25 * time.Millisecond
 		warmup = 500 * time.Millisecond
 		steadyEnv, spikeEnv = "300x500ms,800x4000ms", "300x500ms,800x1800ms,12000x500ms,800x1700ms"

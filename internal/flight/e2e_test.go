@@ -1,0 +1,220 @@
+package flight_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"lmbalance/internal/cluster"
+	"lmbalance/internal/flight"
+	"lmbalance/internal/wire"
+)
+
+// TestReplayReproducesLiveRun is the acceptance check for the flight
+// recorder: record a whole loopback cluster run through transport taps
+// and protocol hooks, then replay the recording offline and require the
+// shadow audit to reproduce the live run's accounting bit for bit —
+// conservation, per-node protocol counts, final loads — with zero
+// legality violations.
+func TestReplayReproducesLiveRun(t *testing.T) {
+	const n = 4
+	root := t.TempDir()
+	lnet := wire.NewLoopback(n)
+	recs := make([]*flight.Recorder, n)
+	transports := make([]wire.Transport, n)
+	for i := 0; i < n; i++ {
+		rec, err := flight.Open(flight.Options{
+			Dir:  filepath.Join(root, fmt.Sprintf("node-%d", i)),
+			Node: i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = rec
+		transports[i] = rec.Tap(lnet.Transport(i))
+	}
+
+	res, err := cluster.RunCluster(cluster.ClusterConfig{
+		N: n, Delta: 2, F: 2, Steps: 400, Seed: 42,
+		Flight: recs,
+	}, transports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatal("live run itself failed conservation")
+	}
+	for _, rec := range recs {
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Dropped() != 0 {
+			t.Fatalf("recorder dropped %d records; identity needs a complete stream", rec.Dropped())
+		}
+	}
+
+	recording, err := flight.LoadTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recording.Nodes) != n {
+		t.Fatalf("loaded %d node streams, want %d", len(recording.Nodes), n)
+	}
+	audit := flight.Audit(recording)
+
+	if audit.First != nil {
+		t.Fatalf("clean run flagged: %v (of %d violations)", *audit.First, len(audit.Violations))
+	}
+	if audit.FinalsSeen != n {
+		t.Fatalf("finals from %d of %d nodes", audit.FinalsSeen, n)
+	}
+
+	// Bit-identity against the live result, per node and cluster-wide.
+	for i, na := range audit.Nodes {
+		live := res.Nodes[i]
+		if na.Node != i {
+			t.Fatalf("node stream %d claims id %d", i, na.Node)
+		}
+		if na.Initiated != live.Initiated {
+			t.Errorf("node %d initiated: replay %d live %d", i, na.Initiated, live.Initiated)
+		}
+		if na.Resolved != live.Completed {
+			t.Errorf("node %d completed: replay %d live %d", i, na.Resolved, live.Completed)
+		}
+		if na.Aborted != live.Aborted {
+			t.Errorf("node %d aborted: replay %d live %d", i, na.Aborted, live.Aborted)
+		}
+		if na.FreezeExpired != live.FreezeExpired {
+			t.Errorf("node %d freeze expiries: replay %d live %d", i, na.FreezeExpired, live.FreezeExpired)
+		}
+		if na.Final == nil || na.Final.Load != live.FinalLoad {
+			t.Errorf("node %d final load: replay %+v live %d", i, na.Final, live.FinalLoad)
+		}
+		if na.Final.Generated != live.Generated || na.Final.Consumed != live.Consumed {
+			t.Errorf("node %d gen/con: replay %d/%d live %d/%d",
+				i, na.Final.Generated, na.Final.Consumed, live.Generated, live.Consumed)
+		}
+		if na.MsgsSent != live.MsgsSent {
+			t.Errorf("node %d frames sent: replay %d live %d", i, na.MsgsSent, live.MsgsSent)
+		}
+		// Receives recorded ≤ transport count: frames still queued in the
+		// inner inbox at close were counted by the transport but never
+		// delivered, so the node could not have acted on them.
+		if na.MsgsRecv > live.MsgsRecv {
+			t.Errorf("node %d frames recv: replay %d > live %d", i, na.MsgsRecv, live.MsgsRecv)
+		}
+	}
+	if audit.TotalLoad != res.TotalLoad() {
+		t.Errorf("total load: replay %d live %d", audit.TotalLoad, res.TotalLoad())
+	}
+	if audit.Conserved() != res.Conserved() {
+		t.Errorf("conservation verdicts disagree: replay %v live %v", audit.Conserved(), res.Conserved())
+	}
+
+	// Per-op timelines reconstruct offline: every resolved op's timeline
+	// holds its initiate, the freeze round trip, and its transfers.
+	ops := recording.Ops()
+	if len(ops) == 0 {
+		t.Fatal("no ops in recording")
+	}
+	checked := 0
+	for _, op := range ops {
+		tl := recording.Timeline(op)
+		var hasInit, hasResolve bool
+		for _, ev := range tl {
+			if ev.Dir == flight.DirLocal && ev.Kind == flight.LocalInitiate {
+				hasInit = true
+			}
+			if ev.Dir == flight.DirLocal && ev.Kind == flight.LocalResolve {
+				hasResolve = true
+			}
+		}
+		if !hasInit {
+			t.Fatalf("op %d timeline has no initiate (%d events)", op, len(tl))
+		}
+		if hasResolve {
+			checked++
+		}
+	}
+	if int64(checked) != res.Completed() {
+		t.Errorf("timelines with a resolve: %d, live completed ops: %d", checked, res.Completed())
+	}
+
+	// The VD trajectory re-derives offline.
+	if len(audit.VD) == 0 {
+		t.Error("no VD trajectory from a full recording")
+	}
+}
+
+// TestReplayFlagsDoubleBalance tamper-checks the end-to-end pipeline
+// from a real recording: rewriting one node's history so a transfer is
+// duplicated must produce a verdict naming that exact record.
+func TestReplayFlagsDoubleBalance(t *testing.T) {
+	const n = 3
+	root := t.TempDir()
+	lnet := wire.NewLoopback(n)
+	recs := make([]*flight.Recorder, n)
+	transports := make([]wire.Transport, n)
+	for i := 0; i < n; i++ {
+		rec, err := flight.Open(flight.Options{
+			Dir:  filepath.Join(root, fmt.Sprintf("node-%d", i)),
+			Node: i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = rec
+		transports[i] = rec.Tap(lnet.Transport(i))
+	}
+	if _, err := cluster.RunCluster(cluster.ClusterConfig{
+		N: n, Delta: 1, F: 2, Steps: 300, Seed: 7,
+		Flight: recs,
+	}, transports); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		rec.Close()
+	}
+
+	// Find a node whose stream has a transfer to tamper with.
+	victim := -1
+	for i := 0; i < n; i++ {
+		nr, err := flight.LoadDir(filepath.Join(root, fmt.Sprintf("node-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range nr.Events {
+			if ev.Dir == flight.DirSend && ev.Msg.Kind == wire.Transfer {
+				victim = i
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("run completed no transfers to tamper with")
+	}
+	dst := t.TempDir()
+	err := flight.Rewrite(filepath.Join(root, fmt.Sprintf("node-%d", victim)), dst,
+		func(ev flight.Event) flight.Event {
+			if ev.Dir == flight.DirSend && ev.Msg.Kind == wire.Transfer {
+				ev.Msg.Amount += 5 // steal five packets in transit
+			}
+			return ev
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := flight.LoadDir(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := flight.Audit(&flight.Recording{Nodes: []*flight.NodeRecording{nr}})
+	if verdict.First == nil {
+		t.Fatal("tampered history passed the audit")
+	}
+	if verdict.First.Rule != "imbalance_violation" {
+		t.Fatalf("flagged %q, want imbalance_violation", verdict.First.Rule)
+	}
+}

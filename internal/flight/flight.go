@@ -1,0 +1,166 @@
+// Package flight is the cluster's black-box flight recorder and its
+// offline replay auditor.
+//
+// The live observability layers (internal/obs: metrics, op tracing,
+// journey stamps, burn-rate alerts) answer "what is happening now" —
+// but when an alert fires, the evidence behind it is already gone: the
+// trace ring has wrapped and the monitor deliberately scrapes metrics
+// only, because full trace scrapes perturb the watched cluster. This
+// package closes the forensic gap. A Recorder taps every frame a node
+// sends or receives (as wire.Transport middleware) plus the node's own
+// protocol decisions (initiate, resolve, abort, freeze expiry, pace
+// backoff, serving completions, final accounting) into a bounded
+// on-disk ring of binary segments. Replay loads those segments —
+// possibly long after the process died — merges the per-node streams
+// on their wall stamps, and drives a shadow protocol state machine per
+// node that re-checks the paper's invariants offline: freeze/ack/
+// transfer legality, the ±1 post-balance share bound, epoch
+// monotonicity, packet and job conservation, and the VD trajectory —
+// flagging the first illegal step with its position in the recording.
+//
+// # Segment format
+//
+// A recording is a directory of segment files (seg-NNNNNNNN.lbfr)
+// forming a size-bounded ring: the writer rotates at SegBytes and
+// deletes the oldest segment when the directory exceeds MaxBytes.
+// Each segment is
+//
+//	header  := "LBFR" format(1B) uvarint(node) uvarint(segseq)
+//	           uvarint(zig(wallRefNS)) codec(1B)
+//	record  := uvarint(len(body)) body
+//	body    := dir(1B) uvarint(zig(dWallNS)) tail
+//
+// where dWallNS is delta-coded against the previous record's stamp
+// (the header reference for the first record) and tail depends on dir:
+//
+//	DirSend  uvarint(zig(peer)) wire-payload     frame this node sent
+//	DirRecv  wire-payload                        frame delivered to it
+//	DirLocal kind(1B) uvarint(op) uvarint(n) n×uvarint(zig(arg))
+//
+// Wire payloads reuse the existing length-prefixed codec verbatim
+// (wire.AppendMsg / wire.DecodeMsg), so a recording decodes with the
+// same strictness as the wire itself and old recordings carrying v1/v2
+// payloads replay under a v3 reader. Local events are a forward-
+// compatible kind + arg-count encoding: a reader that knows fewer args
+// than the writer wrote still decodes the record.
+//
+// Writes are lock-free on the hot path: the caller encodes into a
+// pooled buffer and hands it to a buffered channel; a single writer
+// goroutine does all file I/O. When the channel is full the record is
+// dropped and counted — the writer then journals the gap into the
+// stream as a LocalDrops record, so the auditor can see (and degrade
+// around) missing evidence instead of silently trusting a hole.
+// index.jsonl is an append-only cache of sealed-segment metadata;
+// replay never requires it (the reader scans the directory), so a
+// crash that loses the index loses nothing.
+//
+// # Snapshots
+//
+// Snapshot seals the current segment and copies the live ring into
+// snapshots/snap-NNN-<reason>/ with a manifest — the incident
+// artifact. obs.Monitor's OnAlert hook calls it on every burn-rate
+// alert transition, so a firing /health leaves a replayable recording
+// behind (see cmd/lbnode).
+package flight
+
+import "fmt"
+
+// Dir says which way a recorded frame moved (or that the record is a
+// local decision, not a frame).
+type Dir uint8
+
+const (
+	// DirSend is a frame this node put on the wire.
+	DirSend Dir = 1
+	// DirRecv is a frame delivered to this node.
+	DirRecv Dir = 2
+	// DirLocal is a local protocol decision (no frame).
+	DirLocal Dir = 3
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirSend:
+		return "send"
+	case DirRecv:
+		return "recv"
+	case DirLocal:
+		return "local"
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// LocalKind discriminates local (non-frame) records.
+type LocalKind uint8
+
+// The local record kinds and their argument layouts (see Args):
+//
+//	LocalInitiate      op; args = seq, load, partners
+//	LocalAbort         op; args = seq, load, reason code
+//	LocalFreezeExpired op; args = freezer id
+//	LocalPaceBackoff   args = gap µs
+//	LocalResolve       op; args = seq, load after, partners
+//	LocalComplete      op; args = job id, hops, sojourn ns, transfer ns
+//	LocalFinal         args = load, generated, consumed, ingested,
+//	                          units done, records held
+//	LocalDrops         args = records dropped since the last record
+const (
+	LocalInitiate LocalKind = 1 + iota
+	LocalAbort
+	LocalFreezeExpired
+	LocalPaceBackoff
+	LocalResolve
+	LocalComplete
+	LocalFinal
+	LocalDrops
+)
+
+var localNames = [...]string{
+	LocalInitiate:      "initiate",
+	LocalAbort:         "abort",
+	LocalFreezeExpired: "freeze_expired",
+	LocalPaceBackoff:   "pace_backoff",
+	LocalResolve:       "resolve",
+	LocalComplete:      "complete",
+	LocalFinal:         "final",
+	LocalDrops:         "drops",
+}
+
+func (k LocalKind) String() string {
+	if int(k) < len(localNames) && localNames[k] != "" {
+		return localNames[k]
+	}
+	return fmt.Sprintf("LocalKind(%d)", uint8(k))
+}
+
+// Abort reason codes, the compact on-disk form of the cluster's abort
+// reason labels. Codes are stable; AbortCode maps an unknown label to
+// 0 and AbortReason maps an unknown code to "unknown", so recordings
+// survive new reasons in either direction.
+const (
+	abortUnknown    = 0
+	abortPeerFrozen = 1
+	abortTimeout    = 2
+	abortStaleEpoch = 3
+	abortLinkDown   = 4
+)
+
+var abortLabels = map[string]int64{
+	"peer_frozen": abortPeerFrozen,
+	"timeout":     abortTimeout,
+	"stale_epoch": abortStaleEpoch,
+	"link_down":   abortLinkDown,
+}
+
+// AbortCode returns the on-disk code for an abort reason label.
+func AbortCode(reason string) int64 { return abortLabels[reason] }
+
+// AbortReason returns the label for an on-disk abort code.
+func AbortReason(code int64) string {
+	for label, c := range abortLabels {
+		if c == code {
+			return label
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,549 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lmbalance/internal/obs"
+	"lmbalance/internal/wire"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := segHeader{node: 7, seq: 42, wallRefNS: 1_700_000_000_123_456_789, codec: wire.Version}
+	buf := appendHeader(nil, h)
+	got, n, err := decodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d header bytes", n, len(buf))
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestHeaderRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeHeader([]byte("NOPEnope")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	buf := appendHeader(nil, segHeader{node: 1, seq: 0, wallRefNS: 5, codec: 3})
+	buf[4] = 99 // unknown container version
+	if _, _, err := decodeHeader(buf); err == nil {
+		t.Fatal("unknown format version accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	msg := wire.Msg{Kind: wire.FreezeAck, From: 3, Seq: 9, Op: 77, Load: 12}
+	cases := []struct {
+		name string
+		dir  Dir
+		tail []byte
+	}{
+		{"send", DirSend, appendTailSend(nil, 5, msg)},
+		{"recv", DirRecv, wire.AppendMsg(nil, msg)},
+		{"local", DirLocal, appendTailLocal(nil, LocalAbort, 77, []int64{9, 12, abortTimeout})},
+	}
+	prev := int64(1000)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := appendRecord(nil, tc.dir, 250, tc.tail)
+			// Strip the length prefix the segment reader consumes.
+			_, n := uvarint(buf)
+			var ev Event
+			if err := decodeRecord(buf[n:], prev, &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Dir != tc.dir || ev.WallNS != prev+250 {
+				t.Fatalf("dir=%v wall=%d", ev.Dir, ev.WallNS)
+			}
+			switch tc.dir {
+			case DirSend:
+				if ev.Peer != 5 || !ev.Msg.Equal(msg) {
+					t.Fatalf("send decoded to peer=%d msg=%+v", ev.Peer, ev.Msg)
+				}
+			case DirRecv:
+				if ev.Peer != msg.From || !ev.Msg.Equal(msg) {
+					t.Fatalf("recv decoded to peer=%d msg=%+v", ev.Peer, ev.Msg)
+				}
+			case DirLocal:
+				if ev.Kind != LocalAbort || ev.Op != 77 || ev.Arg(2) != abortTimeout {
+					t.Fatalf("local decoded to %v op=%d args=%v", ev.Kind, ev.Op, ev.Args)
+				}
+				if ev.Arg(10) != 0 {
+					t.Fatal("absent arg must read as 0")
+				}
+			}
+		})
+	}
+}
+
+func uvarint(p []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i, b := range p {
+		if b < 0x80 {
+			return v | uint64(b)<<s, i + 1
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+func TestAbortCodes(t *testing.T) {
+	for _, reason := range []string{"peer_frozen", "timeout", "stale_epoch", "link_down"} {
+		if got := AbortReason(AbortCode(reason)); got != reason {
+			t.Errorf("%s round-tripped to %s", reason, got)
+		}
+	}
+	if AbortCode("never_heard_of_it") != abortUnknown {
+		t.Error("unknown reason must map to code 0")
+	}
+	if AbortReason(999) != "unknown" {
+		t.Error("unknown code must map to \"unknown\"")
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := Open(Options{Dir: dir, Node: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := wire.Msg{Kind: wire.Transfer, From: 2, Seq: 4, Op: 11, Amount: -3}
+	rec.RecordSend(0, msg)
+	rec.RecordRecv(wire.Msg{Kind: wire.Release, From: 0, Seq: 4, Op: 11})
+	rec.Initiate(11, 4, 9, 2)
+	rec.Final(5, 100, 95, 0, 0, 0)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Node != 2 || nr.Torn || len(nr.Events) != 4 {
+		t.Fatalf("node=%d torn=%v events=%d", nr.Node, nr.Torn, len(nr.Events))
+	}
+	if nr.Events[0].Dir != DirSend || !nr.Events[0].Msg.Equal(msg) || nr.Events[0].Peer != 0 {
+		t.Fatalf("event 0: %+v", nr.Events[0])
+	}
+	if nr.Events[2].Kind != LocalInitiate || nr.Events[2].Op != 11 || nr.Events[2].Arg(1) != 9 {
+		t.Fatalf("event 2: %+v", nr.Events[2])
+	}
+	for i := 1; i < len(nr.Events); i++ {
+		if nr.Events[i].WallNS < nr.Events[i-1].WallNS {
+			t.Fatalf("wall stamps regressed at %d", i)
+		}
+	}
+	// Nil recorder: every method is a no-op.
+	var nilRec *Recorder
+	nilRec.RecordSend(0, msg)
+	nilRec.Initiate(1, 1, 1, 1)
+	if nilRec.Tap(nil) != nil {
+		t.Fatal("nil recorder Tap must pass the transport through")
+	}
+	if err := nilRec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderRotationAndRingTrim(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny ring: force many rotations and ring eviction. The buffer
+	// holds the whole flood so the eviction arithmetic is deterministic.
+	rec, err := Open(Options{Dir: dir, Node: 0, MaxBytes: 16 * minSegBytes, SegBytes: minSegBytes, Buffer: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		rec.Local(LocalPaceBackoff, 0, int64(i))
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dropped() > 0 {
+		t.Fatalf("dropped %d with a buffer sized for the whole flood", rec.Dropped())
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	var total int64
+	for _, s := range segs {
+		total += s.bytes
+	}
+	// The open segment can exceed the budget transiently; the sealed
+	// ring must be near it (one segment of slack).
+	if total > 16*minSegBytes+minSegBytes {
+		t.Fatalf("ring holds %d bytes, budget %d", total, 16*minSegBytes)
+	}
+	if segs[0].seq == 0 {
+		t.Fatal("oldest segment should have been evicted")
+	}
+	nr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surviving events must be a contiguous suffix of what was put.
+	var prev int64 = -1
+	for _, ev := range nr.Events {
+		if ev.Kind != LocalPaceBackoff {
+			continue
+		}
+		if prev >= 0 && ev.Arg(0) != prev+1 {
+			t.Fatalf("gap in surviving stream: %d after %d", ev.Arg(0), prev)
+		}
+		prev = ev.Arg(0)
+	}
+	if prev != 19999 {
+		t.Fatalf("last surviving event is %d, want 19999", prev)
+	}
+	// index.jsonl exists and has one line per sealed segment (minus
+	// evicted ones — it is append-only, so at least the sealed count).
+	idx, err := os.ReadFile(filepath.Join(dir, "index.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(idx), "\n"); int64(lines) != rec.sealed.Value() {
+		t.Fatalf("index has %d lines, sealed %d segments", lines, rec.sealed.Value())
+	}
+}
+
+func TestRecorderResume(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := Open(Options{Dir: dir, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Local(LocalPaceBackoff, 0, 1)
+	rec.Close()
+	rec2, err := Open(Options{Dir: dir, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2.Local(LocalPaceBackoff, 0, 2)
+	rec2.Close()
+	nr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nr.Events) != 2 || nr.Events[0].Arg(0) != 1 || nr.Events[1].Arg(0) != 2 {
+		t.Fatalf("resume lost events: %+v", nr.Events)
+	}
+	if nr.Segments != 2 {
+		t.Fatalf("expected 2 segments after resume, got %d", nr.Segments)
+	}
+}
+
+func TestTornFinalSegmentRecovers(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := Open(Options{Dir: dir, Node: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rec.Local(LocalPaceBackoff, 0, int64(i))
+	}
+	rec.Close()
+	segs, _ := listSegments(dir)
+	last := segs[len(segs)-1].path
+	p, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-body, as a crash mid-write would.
+	if err := os.WriteFile(last, p[:len(p)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("torn tail must not poison replay: %v", err)
+	}
+	if !nr.Torn {
+		t.Fatal("Torn not reported")
+	}
+	if len(nr.Events) != 99 {
+		t.Fatalf("recovered %d events, want 99", len(nr.Events))
+	}
+	// The same corruption mid-stream (not the final segment) is an
+	// error: evidence silently missing from the middle is not a tear.
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("LBFRjunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("mid-recording corruption must error")
+	}
+}
+
+func TestCrossVersionReplay(t *testing.T) {
+	// Frames recorded by an older node (codec v1/v2 payloads) must
+	// replay under the current reader.
+	for _, codec := range []byte{wire.VersionV1, wire.VersionV2} {
+		dir := t.TempDir()
+		events := []Event{
+			{WallNS: 1000, Dir: DirLocal, Kind: LocalInitiate, Op: opAt(codec, 5), Args: []int64{1, 10, 1}},
+			{WallNS: 1001, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.FreezeReq, From: 0, Seq: 1, Op: opAt(codec, 5)}},
+			{WallNS: 1002, Dir: DirRecv, Msg: wire.Msg{Kind: wire.FreezeAck, From: 1, Seq: 1, Op: opAt(codec, 5), Load: 4}},
+			{WallNS: 1003, Dir: DirLocal, Kind: LocalResolve, Op: opAt(codec, 5), Args: []int64{1, 7, 1}},
+			{WallNS: 1004, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.Transfer, From: 0, Seq: 1, Op: opAt(codec, 5), Amount: 3}},
+			{WallNS: 1005, Dir: DirLocal, Kind: LocalFinal, Args: []int64{7, 7, 0, 0, 0, 0}},
+		}
+		if err := WriteDir(dir, 0, codec, events); err != nil {
+			t.Fatalf("codec v%d: %v", codec, err)
+		}
+		nr, err := LoadDir(dir)
+		if err != nil {
+			t.Fatalf("codec v%d: %v", codec, err)
+		}
+		if nr.CodecVersion != codec || len(nr.Events) != len(events) {
+			t.Fatalf("codec v%d: version=%d events=%d", codec, nr.CodecVersion, len(nr.Events))
+		}
+		// v1 cannot carry op ids; the reader must still see the frames.
+		if got := nr.Events[1].Msg.Kind; got != wire.FreezeReq {
+			t.Fatalf("codec v%d: frame kind %v", codec, got)
+		}
+		res := Audit(&Recording{Nodes: []*NodeRecording{nr}})
+		if codec >= wire.VersionV2 && len(res.Violations) != 0 {
+			t.Fatalf("codec v%d: unexpected violations %v", codec, res.Violations)
+		}
+		if res.TotalLoad != 7 || !res.Conserved() {
+			t.Fatalf("codec v%d: load=%d conserved=%v", codec, res.TotalLoad, res.Conserved())
+		}
+	}
+}
+
+// opAt zeroes op ids for codec versions that cannot carry them, so the
+// fixture's local records agree with what its frames can encode.
+func opAt(codec byte, op uint64) uint64 {
+	if codec < wire.VersionV2 {
+		return 0
+	}
+	return op
+}
+
+func TestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := Open(Options{Dir: dir, Node: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rec.Register(reg)
+	rec.Initiate(9, 1, 3, 1)
+	snap, err := rec.Snapshot("slo alert: p99 burn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snap, "snap-001-slo_alert") {
+		t.Fatalf("snapshot path %q", snap)
+	}
+	if _, err := os.Stat(filepath.Join(snap, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Recording continues after a snapshot, and the snapshot itself
+	// replays standalone.
+	rec.Final(3, 3, 0, 0, 0, 0)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTree(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != 1 || len(got.Nodes[0].Events) != 1 {
+		t.Fatalf("snapshot replayed %d nodes", len(got.Nodes))
+	}
+	full, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Events) != 2 {
+		t.Fatalf("live ring has %d events, want 2", len(full.Events))
+	}
+	// Post-Close snapshots capture the sealed ring (the daemon's
+	// shutdown path can still preserve evidence).
+	snap2, err := rec.Snapshot("after close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadTree(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Nodes[0].Events) != 2 {
+		t.Fatalf("post-close snapshot has %d events", len(got2.Nodes[0].Events))
+	}
+}
+
+func TestTamperedRecordingIsFlagged(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	events := []Event{
+		{WallNS: 10, Dir: DirLocal, Kind: LocalInitiate, Op: 5, Args: []int64{1, 10, 1}},
+		{WallNS: 11, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.FreezeReq, From: 0, Seq: 1, Op: 5}},
+		{WallNS: 12, Dir: DirRecv, Msg: wire.Msg{Kind: wire.FreezeAck, From: 1, Seq: 1, Op: 5, Load: 4}},
+		{WallNS: 13, Dir: DirLocal, Kind: LocalResolve, Op: 5, Args: []int64{1, 7, 1}},
+		{WallNS: 14, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.Transfer, From: 0, Seq: 1, Op: 5, Amount: 3}},
+	}
+	if err := WriteDir(src, 0, wire.Version, events); err != nil {
+		t.Fatal(err)
+	}
+	clean := Audit(&Recording{Nodes: mustLoad(t, src)})
+	if len(clean.Violations) != 0 {
+		t.Fatalf("clean recording flagged: %v", clean.Violations)
+	}
+	// Tamper: inflate the transfer amount. Shares become {7, 4+9=13}.
+	err := Rewrite(src, dst, func(ev Event) Event {
+		if ev.Dir == DirSend && ev.Msg.Kind == wire.Transfer {
+			ev.Msg.Amount = 9
+		}
+		return ev
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Audit(&Recording{Nodes: mustLoad(t, dst)})
+	if bad.First == nil || bad.First.Rule != "imbalance_violation" {
+		t.Fatalf("tampered transfer not flagged: %+v", bad.First)
+	}
+	if bad.First.Index != 4 {
+		t.Fatalf("flagged event %d, want the transfer at 4", bad.First.Index)
+	}
+	if diff := Diff(clean, bad); len(diff) == 0 {
+		t.Fatal("Diff found no disagreement between clean and tampered")
+	}
+}
+
+func mustLoad(t *testing.T, dir string) []*NodeRecording {
+	t.Helper()
+	nr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*NodeRecording{nr}
+}
+
+func TestShadowMachineRules(t *testing.T) {
+	cases := []struct {
+		name string
+		rule string
+		evs  []Event
+	}{
+		{"busy while free", "busy_while_free", []Event{
+			{WallNS: 1, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.FreezeBusy, From: 0, Seq: 3, Op: 9}},
+		}},
+		{"ack while frozen", "ack_while_frozen", []Event{
+			{WallNS: 1, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.FreezeAck, From: 0, Seq: 3, Op: 9, Load: 2}},
+			{WallNS: 2, Dir: DirSend, Peer: 2, Msg: wire.Msg{Kind: wire.FreezeAck, From: 0, Seq: 8, Op: 10, Load: 2}},
+		}},
+		{"transfer to unacked peer", "transfer_to_unacked", []Event{
+			{WallNS: 1, Dir: DirLocal, Kind: LocalInitiate, Op: 9, Args: []int64{1, 6, 1}},
+			{WallNS: 2, Dir: DirRecv, Msg: wire.Msg{Kind: wire.FreezeAck, From: 1, Seq: 1, Op: 9, Load: 2}},
+			{WallNS: 3, Dir: DirLocal, Kind: LocalResolve, Op: 9, Args: []int64{1, 4, 1}},
+			{WallNS: 4, Dir: DirSend, Peer: 2, Msg: wire.Msg{Kind: wire.Transfer, From: 0, Seq: 1, Op: 9, Amount: 2}},
+		}},
+		{"seq regression", "seq_regressed", []Event{
+			{WallNS: 1, Dir: DirLocal, Kind: LocalInitiate, Op: 9, Args: []int64{5, 6, 1}},
+			{WallNS: 2, Dir: DirLocal, Kind: LocalAbort, Op: 9, Args: []int64{5, 6, abortTimeout}},
+			{WallNS: 3, Dir: DirLocal, Kind: LocalInitiate, Op: 10, Args: []int64{4, 6, 1}},
+		}},
+		{"initiate while inflight", "initiate_while_inflight", []Event{
+			{WallNS: 1, Dir: DirLocal, Kind: LocalInitiate, Op: 9, Args: []int64{1, 6, 1}},
+			{WallNS: 2, Dir: DirLocal, Kind: LocalInitiate, Op: 10, Args: []int64{2, 6, 1}},
+		}},
+		{"freeze expiry while free", "freeze_expiry_while_free", []Event{
+			{WallNS: 1, Dir: DirLocal, Kind: LocalFreezeExpired, Op: 9, Args: []int64{1}},
+		}},
+		{"bye contradicts final", "bye_mismatch", []Event{
+			{WallNS: 1, Dir: DirSend, Peer: 0, Msg: wire.Msg{Kind: wire.Bye, From: 1, Load: 5}},
+			{WallNS: 2, Dir: DirLocal, Kind: LocalFinal, Args: []int64{6, 6, 0, 0, 0, 0}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := WriteDir(dir, 0, wire.Version, tc.evs); err != nil {
+				t.Fatal(err)
+			}
+			res := Audit(&Recording{Nodes: mustLoad(t, dir)})
+			found := false
+			for _, v := range res.Violations {
+				if v.Rule == tc.rule {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("rule %s not flagged; got %v", tc.rule, res.Violations)
+			}
+		})
+	}
+}
+
+func TestPendingClearToleratesRecvSkew(t *testing.T) {
+	// The tap's pump records a Release before the node processes it, so
+	// node actions taken while still frozen may follow the Release in
+	// the stream. None of these is a violation.
+	evs := []Event{
+		// Frozen by node 2.
+		{WallNS: 1, Dir: DirSend, Peer: 2, Msg: wire.Msg{Kind: wire.FreezeAck, From: 0, Seq: 7, Op: 9, Load: 3}},
+		// Release recorded early by the pump...
+		{WallNS: 2, Dir: DirRecv, Msg: wire.Msg{Kind: wire.Release, From: 2, Seq: 7, Op: 9}},
+		// ...while the node, not yet aware, still answers busy.
+		{WallNS: 3, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.FreezeBusy, From: 0, Seq: 4, Op: 11}},
+		// Node finally processes the release, freezes for the next
+		// requester — the pending clear applies here.
+		{WallNS: 4, Dir: DirSend, Peer: 1, Msg: wire.Msg{Kind: wire.FreezeAck, From: 0, Seq: 4, Op: 11, Load: 3}},
+	}
+	dir := t.TempDir()
+	if err := WriteDir(dir, 0, wire.Version, evs); err != nil {
+		t.Fatal(err)
+	}
+	res := Audit(&Recording{Nodes: mustLoad(t, dir)})
+	if len(res.Violations) != 0 {
+		t.Fatalf("recv skew flagged as violations: %v", res.Violations)
+	}
+}
+
+func TestDropsAreJournaled(t *testing.T) {
+	dir := t.TempDir()
+	// Buffer of 1: flooding from the test goroutine while the writer
+	// contends guarantees drops.
+	rec, err := Open(Options{Dir: dir, Node: 0, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		rec.Local(LocalPaceBackoff, 0, int64(i))
+	}
+	rec.Close()
+	if rec.Dropped() == 0 {
+		t.Skip("no drops under this scheduler; nothing to verify")
+	}
+	nr, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Dropped == 0 {
+		t.Fatal("drops happened but none journaled in the stream")
+	}
+	if nr.Dropped+int64(len(nr.Events))-countKind(nr, LocalDrops) != 50000 {
+		t.Fatalf("journal doesn't account for the gap: dropped=%d events=%d", nr.Dropped, len(nr.Events))
+	}
+}
+
+func countKind(nr *NodeRecording, k LocalKind) int64 {
+	var n int64
+	for _, ev := range nr.Events {
+		if ev.Dir == DirLocal && ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,238 @@
+package flight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lmbalance/internal/wire"
+)
+
+// NodeRecording is one node's decoded event stream.
+type NodeRecording struct {
+	Node int
+	// CodecVersion is the wire codec version the *last* segment was
+	// recorded under (segments may mix versions across restarts; each
+	// frame still carries its own version byte).
+	CodecVersion byte
+	Events       []Event
+	Segments     int
+	Bytes        int64
+	// Torn reports that the final segment ended mid-record — the
+	// recorder was killed between buffered writes. Everything before
+	// the tear decoded cleanly.
+	Torn bool
+	// Dropped is the total of LocalDrops gaps journaled in the stream:
+	// records the recorder had to discard under backpressure.
+	Dropped int64
+}
+
+// Recording is a set of node streams loaded from one directory tree.
+type Recording struct {
+	Dir   string
+	Nodes []*NodeRecording
+}
+
+// LoadDir decodes all segments of a single-node recording directory,
+// in segment order. A truncated tail is tolerated only on the last
+// segment (the one a crash could tear); corruption anywhere else is an
+// error.
+func LoadDir(dir string) (*NodeRecording, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("flight: no segments in %s", dir)
+	}
+	nr := &NodeRecording{Node: -1}
+	for i, s := range segs {
+		last := i == len(segs)-1
+		if err := nr.loadSegment(s.path, last); err != nil {
+			return nil, err
+		}
+		nr.Segments++
+		nr.Bytes += s.bytes
+	}
+	for i := range nr.Events {
+		nr.Events[i].Seq = i
+		if nr.Events[i].Dir == DirLocal && nr.Events[i].Kind == LocalDrops {
+			nr.Dropped += nr.Events[i].Arg(0)
+		}
+	}
+	return nr, nil
+}
+
+// loadSegment appends one segment's events to nr. tolerateTear allows
+// a truncated record at the very end of the byte stream.
+func (nr *NodeRecording) loadSegment(path string, tolerateTear bool) error {
+	p, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	h, off, err := decodeHeader(p)
+	if err != nil {
+		return fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	if nr.Node == -1 {
+		nr.Node = h.node
+	} else if nr.Node != h.node {
+		return fmt.Errorf("%s: segment for node %d in node %d's recording",
+			filepath.Base(path), h.node, nr.Node)
+	}
+	nr.CodecVersion = h.codec
+	prevWall := h.wallRefNS
+	for off < len(p) {
+		ln, n := binary.Uvarint(p[off:])
+		if n <= 0 || ln > maxRecordBody || off+n+int(ln) > len(p) {
+			if tolerateTear {
+				nr.Torn = true
+				return nil
+			}
+			return fmt.Errorf("%s: truncated record at offset %d", filepath.Base(path), off)
+		}
+		body := p[off+n : off+n+int(ln)]
+		var ev Event
+		if err := decodeRecord(body, prevWall, &ev); err != nil {
+			if tolerateTear {
+				nr.Torn = true
+				return nil
+			}
+			return fmt.Errorf("%s: offset %d: %w", filepath.Base(path), off, err)
+		}
+		ev.Node = nr.Node
+		prevWall = ev.WallNS
+		nr.Events = append(nr.Events, ev)
+		off += n + int(ln)
+	}
+	return nil
+}
+
+// LoadTree loads a recording that is either a single node directory, a
+// parent of per-node directories (node-0, node-1, ... as lbnode lays
+// them out), or a snapshot directory. Any subdirectory containing
+// segment files is loaded as one node; the root itself counts if it
+// holds segments directly.
+func LoadTree(root string) (*Recording, error) {
+	rec := &Recording{Dir: root}
+	var dirs []string
+	if segs, err := listSegments(root); err != nil {
+		return nil, err
+	} else if len(segs) > 0 {
+		dirs = append(dirs, root)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() || e.Name() == "snapshots" {
+			continue
+		}
+		sub := filepath.Join(root, e.Name())
+		segs, err := listSegments(sub)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) > 0 {
+			dirs = append(dirs, sub)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("flight: no segments under %s", root)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		nr, err := LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		rec.Nodes = append(rec.Nodes, nr)
+	}
+	sort.Slice(rec.Nodes, func(i, j int) bool { return rec.Nodes[i].Node < rec.Nodes[j].Node })
+	return rec, nil
+}
+
+// Merge interleaves every node's events into one globally ordered
+// stream on (wall stamp, node, per-node seq). Wall clocks across real
+// machines are not perfectly synchronized; the shadow auditor
+// therefore never relies on cross-node order for legality — merge
+// order is for human timelines.
+func (r *Recording) Merge() []Event {
+	var total int
+	for _, nr := range r.Nodes {
+		total += len(nr.Events)
+	}
+	all := make([]Event, 0, total)
+	for _, nr := range r.Nodes {
+		all = append(all, nr.Events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].WallNS != all[j].WallNS {
+			return all[i].WallNS < all[j].WallNS
+		}
+		if all[i].Node != all[j].Node {
+			return all[i].Node < all[j].Node
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return all
+}
+
+// Node returns the stream for one node id, or nil.
+func (r *Recording) Node(id int) *NodeRecording {
+	for _, nr := range r.Nodes {
+		if nr.Node == id {
+			return nr
+		}
+	}
+	return nil
+}
+
+// WriteDir writes a synthetic single-segment recording — test fixtures
+// and tamper demos. Events must already carry monotone WallNS stamps.
+func WriteDir(dir string, node int, codec byte, events []Event) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var wallRef int64
+	if len(events) > 0 {
+		wallRef = events[0].WallNS
+	}
+	buf := appendHeader(nil, segHeader{node: node, seq: 0, wallRefNS: wallRef, codec: codec})
+	prev := wallRef
+	for _, ev := range events {
+		var tail []byte
+		switch ev.Dir {
+		case DirSend:
+			tail = binary.AppendUvarint(nil, zig(int64(ev.Peer)))
+			tail = wire.AppendMsgVersion(tail, ev.Msg, codec)
+		case DirRecv:
+			tail = wire.AppendMsgVersion(nil, ev.Msg, codec)
+		case DirLocal:
+			tail = appendTailLocal(nil, ev.Kind, ev.Op, ev.Args)
+		default:
+			return fmt.Errorf("flight: event %d has dir %d", ev.Seq, ev.Dir)
+		}
+		buf = appendRecord(buf, ev.Dir, ev.WallNS-prev, tail)
+		prev = ev.WallNS
+	}
+	return os.WriteFile(filepath.Join(dir, segName(0)), buf, 0o644)
+}
+
+// Rewrite copies a single-node recording through fn — the tamper tool:
+// load, mutate selected events, write the altered history, and let the
+// auditor catch it.
+func Rewrite(src, dst string, fn func(Event) Event) error {
+	nr, err := LoadDir(src)
+	if err != nil {
+		return err
+	}
+	out := make([]Event, len(nr.Events))
+	for i, ev := range nr.Events {
+		out[i] = fn(ev)
+	}
+	return WriteDir(dst, nr.Node, nr.CodecVersion, out)
+}

@@ -1,0 +1,603 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lmbalance/internal/obs"
+	"lmbalance/internal/wire"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultMaxBytes bounds the whole segment ring on disk.
+	DefaultMaxBytes = 8 << 20
+	// DefaultBuffer is the hot-path channel depth: how many records may
+	// be in flight to the writer before new ones are dropped (and the
+	// drop journaled) rather than blocking the protocol.
+	DefaultBuffer = 1024
+	// minSegBytes floors the per-segment size so rotation stays rare.
+	minSegBytes = 4096
+)
+
+// Options configures a Recorder.
+type Options struct {
+	// Dir is the recording directory (created if missing). One node per
+	// directory; multi-node recordings use one subdirectory per node
+	// (see LoadTree).
+	Dir string
+	// Node is the recording node's cluster id.
+	Node int
+	// MaxBytes bounds the segment ring (0 = DefaultMaxBytes). Snapshots
+	// are preserved copies and do not count against it.
+	MaxBytes int64
+	// SegBytes is the rotation threshold per segment (0 = MaxBytes/8,
+	// floored at minSegBytes).
+	SegBytes int64
+	// Buffer is the writer channel depth (0 = DefaultBuffer).
+	Buffer int
+}
+
+// Recorder is one node's flight recorder. All recording methods are
+// safe for concurrent use, never block on I/O (a full buffer drops the
+// record and journals the gap), and are no-ops on a nil receiver — a
+// nil *Recorder is the disabled path, like a nil *obs.Registry.
+type Recorder struct {
+	opts Options
+
+	ch   chan pending
+	stop chan struct{}
+	done chan struct{}
+	snap chan snapReq
+
+	closed  atomic.Bool
+	pool    sync.Pool
+	nowNS   func() int64 // test hook; time.Now().UnixNano() by default
+	lastErr atomic.Pointer[error]
+
+	records   obs.Counter
+	bytes     obs.Counter
+	dropped   obs.Counter
+	sealed    obs.Counter
+	snapshots obs.Counter
+
+	// writer-goroutine state (never touched from other goroutines)
+	w         *segWriter
+	segSeq    uint64
+	lastWall  int64
+	lastDrops int64
+	scratch   []byte
+	live      []liveSeg
+	liveBytes int64
+	snapSeq   int
+}
+
+// pending is one record in flight to the writer goroutine.
+type pending struct {
+	wall int64
+	dir  Dir
+	tail []byte // pooled; returned by the writer
+}
+
+type snapReq struct {
+	reason string
+	reply  chan snapResult
+}
+
+type snapResult struct {
+	dir string
+	err error
+}
+
+// liveSeg is one on-disk segment of the ring.
+type liveSeg struct {
+	seq   uint64
+	path  string
+	bytes int64
+}
+
+// segWriter is the open, current segment.
+type segWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	path    string
+	seq     uint64
+	bytes   int64
+	records int64
+	first   int64
+	last    int64
+}
+
+// Open creates (or resumes) a recording directory and starts the
+// writer. Existing segments in the directory are kept, counted against
+// the ring budget, and extended — a restarted daemon appends to its
+// ring rather than clobbering the incident evidence it just wrote.
+func Open(o Options) (*Recorder, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("flight: Options.Dir is required")
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	if o.SegBytes <= 0 {
+		o.SegBytes = o.MaxBytes / 8
+	}
+	if o.SegBytes < minSegBytes {
+		o.SegBytes = minSegBytes
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = DefaultBuffer
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := &Recorder{
+		opts:  o,
+		ch:    make(chan pending, o.Buffer),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		snap:  make(chan snapReq),
+		nowNS: func() int64 { return time.Now().UnixNano() },
+	}
+	r.pool.New = func() any { b := make([]byte, 0, 512); return &b }
+	// Resume: adopt segments already in the ring.
+	segs, err := listSegments(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		r.live = append(r.live, s)
+		r.liveBytes += s.bytes
+		if s.seq >= r.segSeq {
+			r.segSeq = s.seq + 1
+		}
+	}
+	go r.run()
+	return r, nil
+}
+
+// Dir returns the recording directory ("" on a nil recorder).
+func (r *Recorder) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.opts.Dir
+}
+
+// Err returns the first write error the writer hit (nil if none): the
+// recorder keeps running after an I/O error — recording must never
+// take the cluster down — but the failure is not silent.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	if p := r.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Register attaches the recorder's counters to an obs registry under
+// the flight_* namespace, labeled with the node id.
+func (r *Recorder) Register(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	n := fmt.Sprintf("node=\"%d\"", r.opts.Node)
+	reg.Attach(fmt.Sprintf("flight_records_total{%s}", n), &r.records)
+	reg.Attach(fmt.Sprintf("flight_bytes_total{%s}", n), &r.bytes)
+	reg.Attach(fmt.Sprintf("flight_dropped_total{%s}", n), &r.dropped)
+	reg.Attach(fmt.Sprintf("flight_segments_sealed_total{%s}", n), &r.sealed)
+	reg.Attach(fmt.Sprintf("flight_snapshots_total{%s}", n), &r.snapshots)
+}
+
+// Dropped returns the number of records dropped because the writer
+// buffer was full.
+func (r *Recorder) Dropped() int64 { return r.dropped.Value() }
+
+// Records returns the number of records accepted for writing.
+func (r *Recorder) Records() int64 { return r.records.Value() }
+
+// put hands one record to the writer, dropping (and counting) when the
+// buffer is full or the recorder is closed.
+func (r *Recorder) put(dir Dir, tail *[]byte) {
+	if r.closed.Load() {
+		r.pool.Put(tail)
+		return
+	}
+	p := pending{wall: r.nowNS(), dir: dir, tail: *tail}
+	select {
+	case r.ch <- p:
+		r.records.Add(1)
+	default:
+		r.dropped.Add(1)
+		r.pool.Put(tail)
+	}
+}
+
+func (r *Recorder) buf() *[]byte {
+	b := r.pool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// RecordSend records one frame this node sent to peer `to`.
+func (r *Recorder) RecordSend(to int, m wire.Msg) {
+	if r == nil {
+		return
+	}
+	b := r.buf()
+	*b = appendTailSend(*b, to, m)
+	r.put(DirSend, b)
+}
+
+// RecordRecv records one frame delivered to this node.
+func (r *Recorder) RecordRecv(m wire.Msg) {
+	if r == nil {
+		return
+	}
+	b := r.buf()
+	*b = wire.AppendMsg(*b, m)
+	r.put(DirRecv, b)
+}
+
+// Local records one local protocol decision.
+func (r *Recorder) Local(kind LocalKind, op uint64, args ...int64) {
+	if r == nil {
+		return
+	}
+	b := r.buf()
+	*b = appendTailLocal(*b, kind, op, args)
+	r.put(DirLocal, b)
+}
+
+// Initiate records the start of a balancing protocol.
+func (r *Recorder) Initiate(op, seq uint64, load, partners int) {
+	r.Local(LocalInitiate, op, int64(seq), int64(load), int64(partners))
+}
+
+// Abort records a protocol abort with the cluster's reason label.
+func (r *Recorder) Abort(op, seq uint64, load int, reason string) {
+	r.Local(LocalAbort, op, int64(seq), int64(load), AbortCode(reason))
+}
+
+// FreezeExpired records a frozen partner releasing itself.
+func (r *Recorder) FreezeExpired(op uint64, by int) {
+	r.Local(LocalFreezeExpired, op, int64(by))
+}
+
+// PaceBackoff records an adaptive-pacer gap increase.
+func (r *Recorder) PaceBackoff(gap time.Duration) {
+	r.Local(LocalPaceBackoff, 0, int64(gap/time.Microsecond))
+}
+
+// Resolve records a successful collect: the initiator's post-balance
+// load, just before its transfers go out.
+func (r *Recorder) Resolve(op, seq uint64, loadAfter, partners int) {
+	r.Local(LocalResolve, op, int64(seq), int64(loadAfter), int64(partners))
+}
+
+// Complete records one finished serving unit of a job that originated
+// on this node.
+func (r *Recorder) Complete(op, job uint64, hops int, sojournNS, transferNS int64) {
+	r.Local(LocalComplete, op, int64(job), int64(hops), sojournNS, transferNS)
+}
+
+// Final records the node's end-of-run accounting — the recording-side
+// copy of the conservation audit's inputs.
+func (r *Recorder) Final(load int, generated, consumed, ingested, unitsDone, recordsHeld int64) {
+	r.Local(LocalFinal, 0, int64(load), generated, consumed, ingested, unitsDone, recordsHeld)
+}
+
+// Snapshot seals the current segment and copies the live ring into
+// snapshots/snap-NNN-<reason>/ inside the recording directory,
+// returning the snapshot path. Safe while recording continues (the
+// writer pauses between records) and after Close (the ring is sealed).
+func (r *Recorder) Snapshot(reason string) (string, error) {
+	if r == nil {
+		return "", fmt.Errorf("flight: nil recorder")
+	}
+	req := snapReq{reason: reason, reply: make(chan snapResult, 1)}
+	select {
+	case r.snap <- req:
+		res := <-req.reply
+		return res.dir, res.err
+	case <-r.done:
+		// Writer gone: everything on disk is sealed; copy directly.
+		dir, err := r.takeSnapshot(reason)
+		return dir, err
+	}
+}
+
+// Close stops the writer, flushing buffered records and sealing the
+// current segment. Records arriving after Close are dropped silently.
+// Close is idempotent.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	if r.closed.CompareAndSwap(false, true) {
+		close(r.stop)
+	}
+	<-r.done
+	return r.Err()
+}
+
+// run is the writer goroutine: all file I/O happens here.
+func (r *Recorder) run() {
+	defer close(r.done)
+	for {
+		select {
+		case p := <-r.ch:
+			r.write(p)
+		case req := <-r.snap:
+			// Drain queued records first: everything recorded before the
+			// snapshot request must be in it (select order is random).
+			for draining := true; draining; {
+				select {
+				case p := <-r.ch:
+					r.write(p)
+				default:
+					draining = false
+				}
+			}
+			dir, err := r.sealAndSnapshot(req.reason)
+			req.reply <- snapResult{dir: dir, err: err}
+		case <-r.stop:
+			for {
+				select {
+				case p := <-r.ch:
+					r.write(p)
+				default:
+					// Journal a trailing gap (drops with no record after
+					// them) before sealing, so the stream accounts for
+					// every record offered to it.
+					if d := r.dropped.Value(); d > r.lastDrops {
+						gap := d - r.lastDrops
+						r.lastDrops = d
+						tail := appendTailLocal(nil, LocalDrops, 0, []int64{gap})
+						r.writeRecord(pending{wall: r.nowNS(), dir: DirLocal, tail: tail})
+					}
+					r.seal()
+					return
+				}
+			}
+		}
+	}
+}
+
+// fail records a writer error without stopping the recorder.
+func (r *Recorder) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.lastErr.CompareAndSwap(nil, &err)
+}
+
+// write appends one record to the current segment, journaling any
+// drop gap first and rotating at the segment boundary.
+func (r *Recorder) write(p pending) {
+	defer func() {
+		b := p.tail
+		r.pool.Put(&b)
+	}()
+	if d := r.dropped.Value(); d > r.lastDrops {
+		gap := d - r.lastDrops
+		r.lastDrops = d
+		tail := appendTailLocal(nil, LocalDrops, 0, []int64{gap})
+		r.writeRecord(pending{wall: p.wall, dir: DirLocal, tail: tail})
+	}
+	r.writeRecord(p)
+}
+
+func (r *Recorder) writeRecord(p pending) {
+	if r.w == nil {
+		if err := r.openSegment(p.wall); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	prev := r.lastWall
+	r.scratch = appendRecord(r.scratch[:0], p.dir, p.wall-prev, p.tail)
+	if _, err := r.w.bw.Write(r.scratch); err != nil {
+		r.fail(err)
+		return
+	}
+	r.lastWall = p.wall
+	n := int64(len(r.scratch))
+	r.w.bytes += n
+	r.w.records++
+	r.w.last = p.wall
+	r.bytes.Add(n)
+	if r.w.bytes >= r.opts.SegBytes {
+		r.seal()
+	}
+}
+
+// openSegment starts the next segment file; its header reference stamp
+// resets the wall-delta chain.
+func (r *Recorder) openSegment(wall int64) error {
+	path := filepath.Join(r.opts.Dir, segName(r.segSeq))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := &segWriter{
+		f: f, bw: bufio.NewWriterSize(f, 32<<10),
+		path: path, seq: r.segSeq, first: wall, last: wall,
+	}
+	hdr := appendHeader(nil, segHeader{node: r.opts.Node, seq: r.segSeq, wallRefNS: wall, codec: wire.Version})
+	if _, err := w.bw.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	w.bytes = int64(len(hdr))
+	r.w = w
+	r.segSeq++
+	r.lastWall = wall
+	return nil
+}
+
+// seal flushes and closes the current segment, appends its index line,
+// and trims the ring to the byte budget.
+func (r *Recorder) seal() {
+	w := r.w
+	if w == nil {
+		return
+	}
+	r.w = nil
+	if err := w.bw.Flush(); err != nil {
+		r.fail(err)
+	}
+	if err := w.f.Close(); err != nil {
+		r.fail(err)
+	}
+	r.sealed.Add(1)
+	r.live = append(r.live, liveSeg{seq: w.seq, path: w.path, bytes: w.bytes})
+	r.liveBytes += w.bytes
+	r.appendIndex(w)
+	for len(r.live) > 1 && r.liveBytes > r.opts.MaxBytes {
+		old := r.live[0]
+		r.live = r.live[1:]
+		r.liveBytes -= old.bytes
+		if err := os.Remove(old.path); err != nil && !os.IsNotExist(err) {
+			r.fail(err)
+		}
+	}
+}
+
+// appendIndex adds one sealed segment's metadata to the append-only
+// index.jsonl. The index is a cache: replay scans the directory, so a
+// missing or stale index (crash, trimmed segments) costs nothing.
+func (r *Recorder) appendIndex(w *segWriter) {
+	f, err := os.OpenFile(filepath.Join(r.opts.Dir, "index.jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	defer f.Close()
+	line, _ := json.Marshal(map[string]any{
+		"seg": w.seq, "file": filepath.Base(w.path),
+		"records": w.records, "bytes": w.bytes,
+		"first_wall_ns": w.first, "last_wall_ns": w.last,
+	})
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		r.fail(err)
+	}
+}
+
+// sealAndSnapshot (writer goroutine) seals the open segment so the
+// snapshot captures everything recorded so far, then copies the ring.
+func (r *Recorder) sealAndSnapshot(reason string) (string, error) {
+	r.seal()
+	return r.takeSnapshot(reason)
+}
+
+// takeSnapshot copies the sealed ring into a fresh snapshot directory
+// with a manifest.
+func (r *Recorder) takeSnapshot(reason string) (string, error) {
+	r.snapSeq++
+	dir := filepath.Join(r.opts.Dir, "snapshots",
+		fmt.Sprintf("snap-%03d-%s", r.snapSeq, sanitizeReason(reason)))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	segs, err := listSegments(r.opts.Dir)
+	if err != nil {
+		return "", err
+	}
+	var copied []string
+	var total int64
+	for _, s := range segs {
+		n, err := copyFile(filepath.Join(dir, filepath.Base(s.path)), s.path)
+		if err != nil {
+			return "", err
+		}
+		copied = append(copied, filepath.Base(s.path))
+		total += n
+	}
+	man, _ := json.MarshalIndent(map[string]any{
+		"node": r.opts.Node, "reason": reason, "at_ns": r.nowNS(),
+		"segments": copied, "bytes": total,
+	}, "", "  ")
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(man, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	r.snapshots.Add(1)
+	return dir, nil
+}
+
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason) && len(out) < 32; i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func copyFile(dst, src string) (int64, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(out, in)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// segName formats a segment file name; the zero-padded sequence keeps
+// lexical and numeric order identical.
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.lbfr", seq) }
+
+// listSegments returns the directory's segment files in sequence
+// order.
+func listSegments(dir string) ([]liveSeg, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []liveSeg
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".lbfr") {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "seg-%d.lbfr", &seq); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, liveSeg{seq: seq, path: filepath.Join(dir, name), bytes: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}

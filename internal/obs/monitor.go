@@ -155,12 +155,30 @@ type MonitorConfig struct {
 	Timeout time.Duration // per-scrape timeout (default DefaultScrapeTimeout)
 	Tracer  *Tracer       // receives slo_alert / slo_clear / node_verdict events
 
+	// Obs, when non-nil, exports the alert lifecycle as metrics:
+	// monitor_alerts_total{severity=...} counts transitions into each
+	// alert state (so an aggregator can count firings across restarts)
+	// and monitor_alert_active{severity=...} gauges which are in force
+	// right now. Severities: slo (the burn-rate alert), and the per-node
+	// verdicts degraded, saturated, unreachable.
+	Obs *Registry
+
+	// OnAlert, when non-nil, runs (in its own goroutine) every time the
+	// SLO burn-rate alert transitions from clear to firing, with the
+	// health document that fired it. cmd/lbnode uses it to trigger a
+	// flight-recorder snapshot, so every alert leaves a replayable
+	// incident artifact behind.
+	OnAlert func(HealthDoc)
+
 	// Verdict thresholds; zero means the Default* constant.
 	SaturateFactor float64
 	SaturateMin    float64
 	AbortRateMax   float64
 	SendqMax       float64
 }
+
+// monSeverities are the alert-lifecycle metric labels.
+var monSeverities = []string{"slo", "degraded", "saturated", "unreachable"}
 
 // NodeHealth is one upstream's slice of the /health document.
 type NodeHealth struct {
@@ -242,6 +260,10 @@ type Monitor struct {
 	last      HealthDoc
 	fired     int64
 
+	// Alert lifecycle metrics (nil-safe; attached when cfg.Obs is set).
+	alertsTotal map[string]*Counter
+	alertActive map[string]*Gauge
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -270,7 +292,19 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 	if cfg.SendqMax <= 0 {
 		cfg.SendqMax = DefaultSendqMax
 	}
-	return &Monitor{cfg: cfg, tracks: make(map[string]*nodeTrack)}
+	m := &Monitor{
+		cfg:         cfg,
+		tracks:      make(map[string]*nodeTrack),
+		alertsTotal: make(map[string]*Counter, len(monSeverities)),
+		alertActive: make(map[string]*Gauge, len(monSeverities)),
+	}
+	for _, sev := range monSeverities {
+		c, g := &Counter{}, &Gauge{}
+		m.alertsTotal[sev], m.alertActive[sev] = c, g
+		cfg.Obs.Attach(fmt.Sprintf("monitor_alerts_total{severity=%q}", sev), c)
+		cfg.Obs.Attach(fmt.Sprintf("monitor_alert_active{severity=%q}", sev), g)
+	}
+	return m
 }
 
 // Start launches the polling loop. Stop shuts it down and waits.
@@ -337,6 +371,7 @@ func (m *Monitor) Poll() HealthDoc {
 		}
 		doc.Alerting = m.last.Alerting
 		doc.AlertsFired = m.fired
+		m.alertActive["unreachable"].Set(int64(len(m.cfg.URLs)))
 		m.last = doc
 		return doc
 	}
@@ -378,6 +413,7 @@ func (m *Monitor) Poll() HealthDoc {
 		doc.BurnShort >= m.cfg.SLO.Burn && doc.BurnLong >= m.cfg.SLO.Burn
 	if doc.Alerting && !wasAlerting {
 		m.fired++
+		m.alertsTotal["slo"].Inc()
 		m.cfg.Tracer.Record(-1, "slo_alert", fmt.Sprintf(
 			"slo=%q burn_short=%.2f burn_long=%.2f q_short=%.4fs",
 			m.cfg.SLO, doc.BurnShort, doc.BurnLong, doc.QShort))
@@ -436,9 +472,24 @@ func (m *Monitor) Poll() HealthDoc {
 			m.cfg.Tracer.Record(-1, "node_verdict", fmt.Sprintf(
 				"url=%s verdict=%s was=%s load=%g sendq=%g abort_ewma=%.2f",
 				nh.URL, nh.Verdict, tr.verdict, nh.Load, nh.Sendq, nh.AbortEWMA))
+			if c := m.alertsTotal[nh.Verdict]; c != nil { // degraded|saturated|unreachable
+				c.Inc()
+			}
 			tr.verdict = nh.Verdict
 		}
 		doc.Nodes = append(doc.Nodes, nh)
+	}
+
+	// Alert-state gauges reflect this poll.
+	active := map[string]int64{"slo": 0}
+	if doc.Alerting {
+		active["slo"] = 1
+	}
+	for _, nh := range doc.Nodes {
+		active[nh.Verdict]++
+	}
+	for _, sev := range monSeverities {
+		m.alertActive[sev].Set(active[sev])
 	}
 
 	switch {
@@ -452,12 +503,22 @@ func (m *Monitor) Poll() HealthDoc {
 		doc.Status = "ok"
 	}
 	m.last = doc
+	if doc.Alerting && !wasAlerting && m.cfg.OnAlert != nil {
+		// Own goroutine: Poll holds m.mu and the hook may block (it
+		// typically triggers a flight-recorder snapshot to disk).
+		go m.cfg.OnAlert(doc)
+	}
 	return doc
 }
 
 // Handler serves the latest health document as JSON — the /health
 // endpoint. If the monitor has never polled (no Start loop, no manual
 // Poll), the first request triggers one synchronously.
+//
+// The status code is the machine-readable verdict for probes that never
+// parse the body: 503 while the SLO burn-rate alert is firing or any
+// node is unreachable, 200 otherwise (including "degraded" — a degraded
+// cluster is still serving). The JSON document is identical either way.
 func (m *Monitor) Handler() http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) {
 		doc := m.Last()
@@ -465,10 +526,27 @@ func (m *Monitor) Handler() http.HandlerFunc {
 			doc = m.Poll()
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if unhealthy(doc) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(doc)
 	}
+}
+
+// unhealthy decides the /health status code: alerting, or any upstream
+// unreachable, means a probe should see 503.
+func unhealthy(doc HealthDoc) bool {
+	if doc.Alerting {
+		return true
+	}
+	for _, n := range doc.Nodes {
+		if n.Verdict == "unreachable" {
+			return true
+		}
+	}
+	return false
 }
 
 // trimSnaps drops snapshots that fell out of the long window (plus one

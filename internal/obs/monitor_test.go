@@ -317,6 +317,168 @@ func TestMonitorVerdicts(t *testing.T) {
 	}
 }
 
+// TestHealthStatusCodes: /health answers 503 while the SLO alert is
+// firing or any upstream is unreachable, and 200 otherwise — including
+// "degraded", which is already covered by TestMonitorVerdicts. The JSON
+// body is the same document either way. Alongside the status codes this
+// exercises the alert lifecycle metrics and the OnAlert hook.
+func TestHealthStatusCodes(t *testing.T) {
+	s, _, h := monitorNode(t, 0, 4)
+	slo, err := ParseSLO("p99 < 20ms over 80ms/240ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	alerted := make(chan HealthDoc, 4)
+	m := NewMonitor(MonitorConfig{
+		URLs:    []string{s.URL()},
+		SLO:     slo,
+		Obs:     reg,
+		OnAlert: func(doc HealthDoc) { alerted <- doc },
+	})
+	srv, err := ServeDebugOpts("127.0.0.1:0", nil, DebugOptions{
+		Extra: map[string]http.HandlerFunc{"/health": m.Handler()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Healthy traffic → 200.
+	m.Poll()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	time.Sleep(30 * time.Millisecond)
+	doc := m.Poll()
+	if doc.Alerting {
+		t.Fatalf("healthy traffic alerting: %+v", doc)
+	}
+	if code, _ := get(t, srv.URL()+"/health"); code != 200 {
+		t.Fatalf("healthy /health = %d, want 200", code)
+	}
+	if got := reg.Gauge(`monitor_alert_active{severity="slo"}`).Value(); got != 0 {
+		t.Fatalf("slo active gauge = %d while healthy", got)
+	}
+
+	// Latency regression → alert fires → 503, metrics, OnAlert.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.2)
+	}
+	time.Sleep(30 * time.Millisecond)
+	doc = m.Poll()
+	if !doc.Alerting {
+		t.Fatalf("regression not alerting: %+v", doc)
+	}
+	code, body := get(t, srv.URL()+"/health")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("alerting /health = %d, want 503", code)
+	}
+	var got HealthDoc
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("503 body not the JSON doc: %v\n%s", err, body)
+	}
+	if !got.Alerting || got.Status != "alerting" {
+		t.Fatalf("503 body = %+v", got)
+	}
+	if n := reg.Counter(`monitor_alerts_total{severity="slo"}`).Value(); n != 1 {
+		t.Fatalf("slo alerts total = %d, want 1", n)
+	}
+	if g := reg.Gauge(`monitor_alert_active{severity="slo"}`).Value(); g != 1 {
+		t.Fatalf("slo active gauge = %d, want 1", g)
+	}
+	select {
+	case fired := <-alerted:
+		if !fired.Alerting {
+			t.Fatalf("OnAlert doc = %+v", fired)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnAlert never ran")
+	}
+
+	// Recovery → 200 again, gauge drops, counter stays (it is a total).
+	deadline := time.Now().Add(2 * time.Second)
+	for doc.Alerting && time.Now().Before(deadline) {
+		for i := 0; i < 50; i++ {
+			h.Observe(0.002)
+		}
+		time.Sleep(45 * time.Millisecond)
+		doc = m.Poll()
+	}
+	if doc.Alerting {
+		t.Fatalf("alert never cleared: %+v", doc)
+	}
+	if code, _ := get(t, srv.URL()+"/health"); code != 200 {
+		t.Fatalf("recovered /health = %d, want 200", code)
+	}
+	if g := reg.Gauge(`monitor_alert_active{severity="slo"}`).Value(); g != 0 {
+		t.Fatalf("slo active gauge after clear = %d", g)
+	}
+	if n := reg.Counter(`monitor_alerts_total{severity="slo"}`).Value(); n != 1 {
+		t.Fatalf("slo alerts total after clear = %d, want 1", n)
+	}
+	select {
+	case <-alerted:
+		t.Fatal("OnAlert ran again without a fresh clear→firing transition")
+	default:
+	}
+}
+
+// TestHealthUnreachable503: a dead upstream makes /health answer 503,
+// and the unreachable lifecycle metrics track it.
+func TestHealthUnreachable503(t *testing.T) {
+	s, _, _ := monitorNode(t, 0, 4)
+	dead := "http://127.0.0.1:1"
+	slo, _ := ParseSLO("p99 < 20ms over 80ms/240ms")
+	reg := NewRegistry()
+	m := NewMonitor(MonitorConfig{
+		URLs:    []string{s.URL(), dead},
+		SLO:     slo,
+		Timeout: 500 * time.Millisecond,
+		Obs:     reg,
+	})
+	srv, err := ServeDebugOpts("127.0.0.1:0", nil, DebugOptions{
+		Extra: map[string]http.HandlerFunc{"/health": m.Handler()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m.Poll()
+	code, body := get(t, srv.URL()+"/health")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/health with dead upstream = %d, want 503", code)
+	}
+	var got HealthDoc
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("503 body not the JSON doc: %v\n%s", err, body)
+	}
+	if g := reg.Gauge(`monitor_alert_active{severity="unreachable"}`).Value(); g != 1 {
+		t.Fatalf("unreachable active gauge = %d, want 1", g)
+	}
+	if n := reg.Counter(`monitor_alerts_total{severity="unreachable"}`).Value(); n != 1 {
+		t.Fatalf("unreachable alerts total = %d, want 1", n)
+	}
+
+	// Whole cluster dark: the aggregate itself errors; still 503, and the
+	// active gauge covers every URL.
+	m2 := NewMonitor(MonitorConfig{
+		URLs: []string{dead}, SLO: slo,
+		Timeout: 300 * time.Millisecond, Obs: reg,
+	})
+	srv2, err := ServeDebugOpts("127.0.0.1:0", nil, DebugOptions{
+		Extra: map[string]http.HandlerFunc{"/health": m2.Handler()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if code, _ := get(t, srv2.URL()+"/health"); code != http.StatusServiceUnavailable {
+		t.Fatalf("dark-cluster /health = %d, want 503", code)
+	}
+}
+
 // TestMonitorStartStop: the background loop polls on its own and shuts
 // down cleanly.
 func TestMonitorStartStop(t *testing.T) {

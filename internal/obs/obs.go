@@ -215,6 +215,7 @@ func (r *Registry) Tracer() *Tracer {
 	defer r.mu.Unlock()
 	if r.tracer == nil {
 		r.tracer = NewTracer(DefaultTraceCapacity)
+		r.metrics["trace_dropped_total"] = &r.tracer.dropped
 	}
 	return r.tracer
 }
@@ -227,6 +228,11 @@ func (r *Registry) SetTracer(t *Tracer) {
 	}
 	r.mu.Lock()
 	r.tracer = t
+	if t != nil {
+		r.metrics["trace_dropped_total"] = &t.dropped
+	} else {
+		delete(r.metrics, "trace_dropped_total")
+	}
 	r.mu.Unlock()
 }
 

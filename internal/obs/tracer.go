@@ -34,6 +34,10 @@ type Tracer struct {
 	next  int
 	full  bool
 	total uint64
+	// dropped counts ring overwrites: events evicted before anyone
+	// exported them. Registry.Tracer surfaces it as trace_dropped_total
+	// so /metrics shows when the ring is undersized for the event rate.
+	dropped Counter
 }
 
 // NewTracer returns a tracer holding the last capacity events
@@ -70,6 +74,9 @@ func (t *Tracer) RecordEvent(ev Event) {
 		ev.At = time.Now()
 	}
 	t.mu.Lock()
+	if t.full { // the slot still holds an event nobody drained
+		t.dropped.Inc()
+	}
 	t.buf[t.next] = ev
 	t.next++
 	if t.next == len(t.buf) {
@@ -78,6 +85,14 @@ func (t *Tracer) RecordEvent(ev Event) {
 	}
 	t.total++
 	t.mu.Unlock()
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Value()
 }
 
 // Len returns the number of buffered events.

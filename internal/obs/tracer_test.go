@@ -177,3 +177,50 @@ func TestTracerByOp(t *testing.T) {
 	}
 	nilT.RecordOp(1, 42, "k", "") // must not panic
 }
+
+// TestTracerDroppedCounter: overwriting a full ring counts each evicted
+// event, the count is visible both through Dropped() and as the
+// trace_dropped_total line on a registry's /metrics exposition, and a
+// ring that never wraps reports zero.
+func TestTracerDroppedCounter(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 4; i++ {
+		tr.Record(0, "k", "fits")
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("Dropped() = %d before the ring wrapped", d)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(0, "k", "evicts")
+	}
+	if d := tr.Dropped(); d != 10 {
+		t.Fatalf("Dropped() = %d after 10 overwrites, want 10", d)
+	}
+
+	// Surfaced on the registry: Tracer() auto-attaches the counter,
+	// SetTracer rebinds it to the replacement ring.
+	reg := NewRegistry()
+	reg.SetTracer(tr)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace_dropped_total 10") {
+		t.Fatalf("/metrics missing trace_dropped_total:\n%s", buf.String())
+	}
+
+	reg2 := NewRegistry()
+	reg2.Tracer().Record(0, "k", "fresh")
+	buf.Reset()
+	if err := reg2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace_dropped_total 0") {
+		t.Fatalf("auto-created tracer not exported:\n%s", buf.String())
+	}
+
+	var nilT *Tracer
+	if nilT.Dropped() != 0 {
+		t.Fatal("nil tracer Dropped should be 0")
+	}
+}

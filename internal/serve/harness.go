@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lmbalance/internal/cluster"
+	"lmbalance/internal/flight"
 	"lmbalance/internal/obs"
 	"lmbalance/internal/wire"
 )
@@ -31,6 +32,12 @@ type ClusterSpec struct {
 	Loopback bool
 	// Obs, when non-nil, aggregates node and server metrics.
 	Obs *obs.Registry
+	// Flight, when non-empty (length N), gives node i a flight recorder:
+	// the harness wraps node i's cluster transport with Flight[i].Tap and
+	// hands the recorder to the node for local-decision records. Nil
+	// entries leave that node unrecorded. The caller owns the recorders
+	// (close them after DrainAndStop).
+	Flight []*flight.Recorder
 }
 
 // ServeCluster is a running serving cluster: N nodes balancing among
@@ -57,6 +64,9 @@ func StartServeCluster(spec ClusterSpec) (*ServeCluster, error) {
 	if spec.StepInterval <= 0 {
 		return nil, fmt.Errorf("serve: StepInterval must be positive (it is the service clock)")
 	}
+	if len(spec.Flight) > 0 && len(spec.Flight) != spec.N {
+		return nil, fmt.Errorf("serve: %d flight recorders for %d nodes", len(spec.Flight), spec.N)
+	}
 	transports := make([]wire.Transport, spec.N)
 	if spec.Loopback {
 		lnet := wire.NewLoopback(spec.N)
@@ -70,6 +80,11 @@ func StartServeCluster(spec ClusterSpec) (*ServeCluster, error) {
 		}
 		for i, t := range ts {
 			transports[i] = t
+		}
+	}
+	for i := range transports {
+		if len(spec.Flight) > 0 {
+			transports[i] = spec.Flight[i].Tap(transports[i])
 		}
 	}
 
@@ -107,6 +122,7 @@ func StartServeCluster(spec ClusterSpec) (*ServeCluster, error) {
 		NoBalance:    spec.NoBalance,
 		Stop:         stop,
 		ServePerNode: hooks,
+		Flight:       spec.Flight,
 	}, transports)
 	if err != nil {
 		closeAll()

@@ -224,35 +224,33 @@ func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // AppendMsg appends m's encoded payload (no frame prefix) to buf and
 // returns the extended slice. The current (v3) layout is emitted.
 func AppendMsg(buf []byte, m Msg) []byte {
-	buf = append(buf, Version, byte(m.Kind))
+	return AppendMsgVersion(buf, m, Version)
+}
+
+// AppendMsgVersion encodes m in a specific codec version's layout —
+// for compatibility tests and recorded-history fixtures that need
+// byte-exact old-version frames. Fields a version cannot represent
+// (Op before v2, journey stamps before v3) must be zero for a faithful
+// round trip.
+func AppendMsgVersion(buf []byte, m Msg, version byte) []byte {
+	buf = append(buf, version, byte(m.Kind))
 	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
 	buf = binary.AppendUvarint(buf, m.Seq)
-	buf = binary.AppendUvarint(buf, m.Op)
-	return appendExtras(buf, m, Version)
+	if version >= VersionV2 {
+		buf = binary.AppendUvarint(buf, m.Op)
+	}
+	return appendExtras(buf, m, version)
 }
 
 // appendMsgV2 encodes m in the v2 layout (op field, no journey
 // stamps). Kept for the compatibility tests, the fuzz canonicality
-// check, and the bench-wire version comparison; the journey fields are
-// not representable and must be zero for a faithful round trip.
-func appendMsgV2(buf []byte, m Msg) []byte {
-	buf = append(buf, VersionV2, byte(m.Kind))
-	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
-	buf = binary.AppendUvarint(buf, m.Seq)
-	buf = binary.AppendUvarint(buf, m.Op)
-	return appendExtras(buf, m, VersionV2)
-}
+// check, and the bench-wire version comparison.
+func appendMsgV2(buf []byte, m Msg) []byte { return AppendMsgVersion(buf, m, VersionV2) }
 
 // appendMsgV1 encodes m in the legacy v1 layout (no op field). Kept for
 // the compatibility tests, the fuzz canonicality check, and the
-// bench-wire version comparison; m.Op and the journey fields are not
-// representable and must be zero for a faithful round trip.
-func appendMsgV1(buf []byte, m Msg) []byte {
-	buf = append(buf, VersionV1, byte(m.Kind))
-	buf = binary.AppendUvarint(buf, zig(int64(m.From)))
-	buf = binary.AppendUvarint(buf, m.Seq)
-	return appendExtras(buf, m, VersionV1)
-}
+// bench-wire version comparison.
+func appendMsgV1(buf []byte, m Msg) []byte { return AppendMsgVersion(buf, m, VersionV1) }
 
 // appendExtras appends the kind-dependent tail fields for the given
 // codec version. v1 and v2 share one layout; v3 adds the journey
